@@ -1,0 +1,35 @@
+//! End-to-end simulation throughput (slots/second) for both fabrics.
+
+use cioq_core::{CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy};
+use cioq_model::SwitchConfig;
+use cioq_sim::{run_cioq, run_crossbar};
+use cioq_traffic::{gen_trace, OnOffBursty, ValueDist};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    let slots = 512u64;
+    let cioq = SwitchConfig::cioq(16, 8, 2);
+    let xbar = SwitchConfig::crossbar(16, 8, 2, 2);
+    let gen = OnOffBursty::new(0.8, 10.0, ValueDist::Zipf { max: 32, exponent: 1.0 });
+    let cioq_trace = gen_trace(&gen, &cioq, slots, 3);
+    let xbar_trace = gen_trace(&gen, &xbar, slots, 3);
+
+    group.throughput(Throughput::Elements(slots));
+    group.bench_function("cioq_gm_16x16_s2", |b| {
+        b.iter(|| run_cioq(&cioq, &mut GreedyMatching::new(), &cioq_trace).unwrap())
+    });
+    group.bench_function("cioq_pg_16x16_s2", |b| {
+        b.iter(|| run_cioq(&cioq, &mut PreemptiveGreedy::new(), &cioq_trace).unwrap())
+    });
+    group.bench_function("xbar_cgu_16x16_s2", |b| {
+        b.iter(|| run_crossbar(&xbar, &mut CrossbarGreedyUnit::new(), &xbar_trace).unwrap())
+    });
+    group.bench_function("xbar_cpg_16x16_s2", |b| {
+        b.iter(|| run_crossbar(&xbar, &mut CrossbarPreemptiveGreedy::new(), &xbar_trace).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

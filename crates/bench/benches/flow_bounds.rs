@@ -1,0 +1,32 @@
+//! Cost of the certified OPT bounds (the expensive side of every ratio
+//! experiment): per-output vs destination-oblivious, unit vs weighted.
+
+use cioq_model::SwitchConfig;
+use cioq_opt::opt_upper_bound;
+use cioq_traffic::{gen_trace, BernoulliUniform, ValueDist};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_bounds");
+    group.sample_size(10);
+    for &(n, slots) in &[(4usize, 128u64), (8, 128)] {
+        let cfg = SwitchConfig::cioq(n, 4, 1);
+        let unit = gen_trace(&BernoulliUniform::new(0.8, ValueDist::Unit), &cfg, slots, 1);
+        let zipf = gen_trace(
+            &BernoulliUniform::new(0.8, ValueDist::Zipf { max: 32, exponent: 1.0 }),
+            &cfg,
+            slots,
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("unit", format!("{n}x{n}x{slots}")), &(), |b, _| {
+            b.iter(|| opt_upper_bound(&cfg, &unit))
+        });
+        group.bench_with_input(BenchmarkId::new("zipf", format!("{n}x{n}x{slots}")), &(), |b, _| {
+            b.iter(|| opt_upper_bound(&cfg, &zipf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

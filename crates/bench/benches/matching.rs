@@ -1,0 +1,53 @@
+//! Experiment F6's rigorous form: per-cycle matching cost, greedy maximal
+//! (the paper's contribution) vs maximum matchings (prior work) vs iSLIP.
+
+use cioq_matching::{
+    greedy_maximal, greedy_maximal_weighted, hopcroft_karp, hungarian_max_weight, BipartiteGraph,
+    EdgeOrder, Islip,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_graph(n: usize, density: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BipartiteGraph::new(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if rng.gen::<f64>() < density {
+                g.add_edge(i, j, rng.gen_range(1..1000));
+            }
+        }
+    }
+    g
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for &n in &[16usize, 64, 256] {
+        let g = dense_graph(n, 0.5, 42);
+        group.throughput(Throughput::Elements(g.n_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("greedy_maximal", n), &g, |b, g| {
+            b.iter(|| greedy_maximal(g, EdgeOrder::Insertion))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_weighted", n), &g, |b, g| {
+            b.iter(|| greedy_maximal_weighted(g))
+        });
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &g, |b, g| {
+            b.iter(|| hopcroft_karp(g))
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("hungarian", n), &g, |b, g| {
+                b.iter(|| hungarian_max_weight(g))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("islip2", n), &g, |b, g| {
+            let mut islip = Islip::new(n, n, 2);
+            b.iter(|| islip.match_cycle(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Buffer substrate micro-benchmarks: the per-packet operations on the hot
+//! path of every arrival/scheduling phase.
+
+use cioq_model::{Packet, PacketId, PortId};
+use cioq_queues::SortedQueue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorted_queue");
+    for &cap in &[4usize, 16, 64] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let packets: Vec<Packet> = (0..1024)
+            .map(|id| {
+                Packet::new(
+                    PacketId(id),
+                    rng.gen_range(1..1000),
+                    0,
+                    PortId(0),
+                    PortId(0),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("insert_preempt_cycle", cap),
+            &packets,
+            |b, packets| {
+                b.iter(|| {
+                    let mut q = SortedQueue::new(cap);
+                    for p in packets {
+                        if q.is_full() {
+                            if q.tail_value().unwrap() < p.value {
+                                q.pop_tail();
+                                q.insert(*p).unwrap();
+                            }
+                        } else {
+                            q.insert(*p).unwrap();
+                        }
+                    }
+                    q.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fill_drain", cap),
+            &packets,
+            |b, packets| {
+                b.iter(|| {
+                    let mut q = SortedQueue::new(cap);
+                    let mut total = 0u64;
+                    for chunk in packets.chunks(cap) {
+                        for p in chunk {
+                            let _ = q.insert(*p);
+                        }
+                        while let Some(p) = q.pop_head() {
+                            total += p.value;
+                        }
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

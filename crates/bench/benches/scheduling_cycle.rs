@@ -1,0 +1,42 @@
+//! Per-slot scheduling cost of the full policies inside the engine:
+//! GM vs PG vs the maximum-matching baselines at switch sizes 8..64.
+
+use cioq_core::baselines::{MaxMatching, MaxWeightMatching};
+use cioq_core::{GreedyMatching, PreemptiveGreedy};
+use cioq_model::SwitchConfig;
+use cioq_sim::run_cioq;
+use cioq_traffic::{gen_trace, BernoulliUniform, ValueDist};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_cycle");
+    let slots = 128u64;
+    for &n in &[8usize, 16, 32, 64] {
+        let cfg = SwitchConfig::cioq(n, 8, 1);
+        let trace = gen_trace(
+            &BernoulliUniform::new(0.9, ValueDist::Zipf { max: 64, exponent: 1.1 }),
+            &cfg,
+            slots,
+            7,
+        );
+        group.throughput(Throughput::Elements(slots));
+        group.bench_with_input(BenchmarkId::new("GM", n), &(), |b, _| {
+            b.iter(|| run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("PG", n), &(), |b, _| {
+            b.iter(|| run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("KR-MaxMatching", n), &(), |b, _| {
+            b.iter(|| run_cioq(&cfg, &mut MaxMatching::new(), &trace).unwrap())
+        });
+        if n <= 32 {
+            group.bench_with_input(BenchmarkId::new("KR-MaxWeight", n), &(), |b, _| {
+                b.iter(|| run_cioq(&cfg, &mut MaxWeightMatching::new(), &trace).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # cioq-bench
+//!
+//! Criterion benchmarks for the workspace; see `benches/`. This library
+//! crate only hosts shared workload-construction helpers for the benches.
+
+#![forbid(unsafe_code)]
+
+use cioq_model::SwitchConfig;
+use cioq_sim::Trace;
+use cioq_traffic::{gen_trace, BernoulliUniform, ValueDist};
+
+/// A deterministic medium-load uniform workload used by several benches.
+pub fn uniform_workload(n: usize, slots: u64, load: f64, values: ValueDist, seed: u64) -> Trace {
+    let cfg = SwitchConfig::cioq(n, 8, 1);
+    let gen = BernoulliUniform::new(load, values);
+    gen_trace(&gen, &cfg, slots, seed)
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for building per-cycle scheduling graphs.
+
+use cioq_matching::BipartiteGraph;
+use cioq_model::{exceeds_factor, PortId};
+use cioq_sim::SwitchView;
+
+/// Build GM's scheduling graph (§2.1): edge `(u_i, v_j)` iff `Q_ij` is
+/// non-empty and `Q_j` is not full. Weights are 1 (unit model).
+pub(crate) fn build_unit_graph(view: &SwitchView<'_>, graph: &mut BipartiteGraph) {
+    graph.reset(view.n_inputs(), view.n_outputs());
+    for i in 0..view.n_inputs() {
+        for j in 0..view.n_outputs() {
+            let iq = view.input_queue(PortId::from(i), PortId::from(j));
+            if iq.is_empty() {
+                continue;
+            }
+            if view.output_queue(PortId::from(j)).is_full() {
+                continue;
+            }
+            graph.add_edge(i, j, 1);
+        }
+    }
+}
+
+/// Build PG's scheduling graph (§2.2): edge `(u_i, v_j)` iff
+/// `|Q_ij| > 0 ∧ (|Q_j| < B(Q_j) ∨ v(g_ij) > β·v(l_j))`,
+/// with weight `w(u_i, v_j) = v(g_ij)`.
+pub(crate) fn build_weighted_graph(view: &SwitchView<'_>, beta: f64, graph: &mut BipartiteGraph) {
+    graph.reset(view.n_inputs(), view.n_outputs());
+    for i in 0..view.n_inputs() {
+        for j in 0..view.n_outputs() {
+            let iq = view.input_queue(PortId::from(i), PortId::from(j));
+            let Some(g_ij) = iq.head_value() else {
+                continue;
+            };
+            let oq = view.output_queue(PortId::from(j));
+            let eligible = !oq.is_full()
+                || exceeds_factor(g_ij, beta, oq.tail_value().expect("full queue has a tail"));
+            if eligible {
+                graph.add_edge(i, j, g_ij);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # cioq-core
+//!
+//! The scheduling algorithms of Al-Bawani, Englert & Westermann,
+//! *Online Packet Scheduling for CIOQ and Buffered Crossbar Switches*:
+//!
+//! | Algorithm | Model | Values | Guarantee (any speedup) |
+//! |-----------|-------|--------|--------------------------|
+//! | [`GreedyMatching`] (gm) | CIOQ | unit | 3-competitive (Thm 1) |
+//! | [`PreemptiveGreedy`] (pg) | CIOQ | general | 3+2√2 ≈ 5.83 (Thm 2, β = 1+√2) |
+//! | [`CrossbarGreedyUnit`] (cgu) | buffered crossbar | unit | 3-competitive (Thm 3) |
+//! | [`CrossbarPreemptiveGreedy`] (cpg) | buffered crossbar | general | ≈ 14.83 (Thm 4) |
+//!
+//! plus the prior-work baselines the paper measures itself against
+//! ([`baselines`]): maximum-matching and maximum-weight-matching CIOQ
+//! policies (Kesselman–Rosén), iSLIP, and ablated variants of PG/CPG.
+//!
+//! All policies implement the [`cioq_sim::CioqPolicy`] /
+//! [`cioq_sim::CrossbarPolicy`] traits and never allocate per cycle after
+//! warm-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod cgu;
+mod common;
+mod cpg;
+mod gm;
+pub mod params;
+mod pg;
+
+pub use cgu::{CrossbarGreedyUnit, SelectionOrder};
+pub use cpg::CrossbarPreemptiveGreedy;
+pub use gm::{GmEdgePolicy, GreedyMatching};
+pub use pg::PreemptiveGreedy;

@@ -1,0 +1,37 @@
+//! Run the entire experiment suite (every table and figure of
+//! EXPERIMENTS.md) in order. Pass `--quick` for a reduced-scale run,
+//! `--markdown` for markdown output.
+use cioq_experiments::{suite, Table};
+use std::time::Instant;
+
+fn main() {
+    let quick = cioq_experiments::quick_mode();
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let start = Instant::now();
+    let experiments: Vec<(&str, fn(bool) -> Vec<Table>)> = vec![
+        ("T1", suite::t1_summary),
+        ("F3", suite::f3_gm_load),
+        ("F4", suite::f4_pg_beta),
+        ("F5", suite::f5_speedup),
+        ("F6", suite::f6_matching_cost),
+        ("F7", suite::f7_crossbar_buffer),
+        ("F8", suite::f8_adversarial),
+        ("T2", suite::t2_value_distributions),
+        ("T3", suite::t3_bursty),
+        ("T4", suite::t4_asymmetric),
+        ("T5", suite::t5_ablation),
+    ];
+    for (id, run) in experiments {
+        let t0 = Instant::now();
+        let tables = run(quick);
+        eprintln!("[{:>8.1?}] experiment {id} done in {:.1?}", start.elapsed(), t0.elapsed());
+        for table in tables {
+            if markdown {
+                println!("{}", table.to_markdown());
+            } else {
+                table.print();
+            }
+        }
+    }
+    eprintln!("suite finished in {:.1?}", start.elapsed());
+}

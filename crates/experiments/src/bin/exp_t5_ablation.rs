@@ -1,0 +1,13 @@
+//! Experiment T5: see DESIGN.md §5 and EXPERIMENTS.md. Pass `--quick`
+//! for a reduced-scale run, `--markdown` for markdown output.
+fn main() {
+    let quick = cioq_experiments::quick_mode();
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    for table in cioq_experiments::suite::t5_ablation(quick) {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            table.print();
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # cioq-experiments
+//!
+//! The experiment harness behind every table and figure in EXPERIMENTS.md:
+//! policy registry, competitive-ratio measurement against the certified OPT
+//! bounds of `cioq-opt`, a parallel sweep runner (crossbeam scoped
+//! threads), and plain-text/markdown table rendering.
+//!
+//! Each experiment is a binary (`src/bin/exp_*.rs`); `exp_all` runs the
+//! whole suite. Binaries accept `--quick` for a reduced-scale run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod policies;
+mod ratio;
+mod runner;
+pub mod suite;
+mod table;
+
+pub use policies::{run_policy, PolicyKind};
+pub use ratio::{measure_ratio, RatioRow};
+pub use runner::parallel_map;
+pub use table::{fmt_ratio, Table};
+
+/// Whether `--quick` was passed to the current binary (reduced scale for
+/// CI/tests).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Scale a slot count down in quick mode.
+pub fn scaled_slots(full: u64) -> u64 {
+    if quick_mode() {
+        (full / 8).max(16)
+    } else {
+        full
+    }
+}

@@ -1,0 +1,105 @@
+//! Competitive-ratio measurement: algorithm benefit vs certified OPT bound.
+
+use crate::policies::{run_policy, PolicyKind};
+use cioq_model::{Benefit, SwitchConfig};
+use cioq_opt::{exact_opt, opt_upper_bound, opt_upper_bound_is_exact, BruteForceLimits};
+use cioq_sim::Trace;
+
+/// One measured row: a policy on a workload, with its ratio against OPT.
+#[derive(Debug, Clone)]
+pub struct RatioRow {
+    /// Policy label.
+    pub policy: String,
+    /// Algorithm benefit.
+    pub benefit: u128,
+    /// The OPT value compared against (exact or certified upper bound).
+    pub opt_bound: u128,
+    /// `opt_bound / benefit` — an upper bound on (or the exact value of)
+    /// the empirical competitive ratio.
+    pub ratio: f64,
+    /// Whether `opt_bound` is exact OPT (IQ configs / brute force) rather
+    /// than a relaxation bound.
+    pub exact: bool,
+    /// The theorem's guarantee for this policy, if any.
+    pub theoretical: Option<f64>,
+}
+
+/// Measure a policy's ratio on a trace. Tries exact OPT first when the
+/// instance is tiny (`try_exact`), otherwise uses the flow bounds.
+pub fn measure_ratio(
+    kind: PolicyKind,
+    cfg: &SwitchConfig,
+    trace: &Trace,
+    try_exact: bool,
+) -> RatioRow {
+    let report = run_policy(kind, cfg, trace).expect("policy must run cleanly");
+    let exact_value = if try_exact {
+        exact_opt(
+            cfg,
+            trace,
+            BruteForceLimits {
+                max_states: 200_000,
+            },
+        )
+        .map(|b| b.0)
+    } else {
+        None
+    };
+    let (opt_bound, exact) = match exact_value {
+        Some(v) => (v, true),
+        None => {
+            let bounds = opt_upper_bound(cfg, trace);
+            (bounds.best(), opt_upper_bound_is_exact(cfg))
+        }
+    };
+    RatioRow {
+        policy: kind.label(),
+        benefit: report.benefit.0,
+        opt_bound,
+        ratio: Benefit(opt_bound).ratio_over(report.benefit),
+        exact,
+        theoretical: kind.theoretical_ratio(),
+    }
+}
+
+impl RatioRow {
+    /// `true` when the measurement is consistent with the theorem bound
+    /// (always true for non-exact bounds if ratio ≤ bound; a violation with
+    /// an *exact* bound would falsify the implementation).
+    pub fn within_theorem(&self) -> bool {
+        match self.theoretical {
+            Some(t) => !self.exact || self.ratio <= t + 1e-9,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::PortId;
+
+    #[test]
+    fn measures_exact_on_tiny_instances() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let trace = Trace::from_tuples([
+            (0, PortId(0), PortId(0), 1),
+            (0, PortId(1), PortId(1), 1),
+        ]);
+        let row = measure_ratio(PolicyKind::Gm, &cfg, &trace, true);
+        assert!(row.exact);
+        assert_eq!(row.benefit, 2);
+        assert_eq!(row.opt_bound, 2);
+        assert_eq!(row.ratio, 1.0);
+        assert!(row.within_theorem());
+    }
+
+    #[test]
+    fn falls_back_to_flow_bound() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let trace = Trace::from_tuples([(0, PortId(0), PortId(1), 4)]);
+        let row = measure_ratio(PolicyKind::Gm, &cfg, &trace, false);
+        assert!(!row.exact, "2x2 CIOQ flow bound is not certified exact");
+        assert_eq!(row.opt_bound, 4);
+    }
+}

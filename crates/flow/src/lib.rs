@@ -1,0 +1,25 @@
+//! # cioq-flow
+//!
+//! Network-flow solvers backing the offline-optimum machinery of
+//! `cioq-opt`:
+//!
+//! * [`FlowNetwork`] + [`FlowNetwork::max_flow`] — Dinic's algorithm with
+//!   **incremental arc addition**: arcs may be added after a max-flow call
+//!   and the computation resumed, preserving the flow found so far.
+//! * [`profit::max_profit_by_classes`] — maximum-profit flow where profits
+//!   sit only on source arcs, solved as successive max-flow over descending
+//!   value classes (equivalent to successive-shortest-path min-cost flow for
+//!   this cost structure; see the module docs for the argument).
+//!
+//! Both are exact; `max_flow` can emit a *min-cut certificate* that tests
+//! use to verify optimality on every instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dinic;
+mod mcmf;
+pub mod profit;
+
+pub use dinic::{ArcId, FlowNetwork, NodeId};
+pub use mcmf::{CostFlowNetwork, CostFlowResult};

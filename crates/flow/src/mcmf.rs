@@ -1,0 +1,269 @@
+//! Successive-shortest-path min-cost flow — the independent oracle for
+//! [`crate::profit`].
+//!
+//! The value-class successive-max-flow method in `profit.rs` is fast but
+//! its exactness rests on an argument about the cost structure (profits on
+//! source arcs only). This module implements the textbook
+//! successive-shortest-path (SPFA-based) min-cost flow with explicit arc
+//! costs, making *no* structural assumptions. Property tests build both
+//! solvers over the same random networks and assert equal optima —
+//! independent-implementation cross-validation of the machinery behind
+//! every certified OPT bound in `cioq-opt`.
+
+/// A flow network with per-arc costs.
+#[derive(Debug, Clone, Default)]
+pub struct CostFlowNetwork {
+    arcs: Vec<CostArc>,
+    adj: Vec<Vec<usize>>,
+}
+
+#[derive(Debug, Clone)]
+struct CostArc {
+    to: usize,
+    cap: u64,
+    cost: i64,
+}
+
+/// Result of a maximum-profit computation (profit = −cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostFlowResult {
+    /// Total profit (only meaningful when some arcs carry negative cost).
+    pub profit: u128,
+    /// Units of flow routed.
+    pub units: u64,
+}
+
+impl CostFlowNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        CostFlowNetwork::default()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add `k` nodes, returning the id of the first.
+    pub fn add_nodes(&mut self, k: usize) -> usize {
+        let first = self.adj.len();
+        for _ in 0..k {
+            self.adj.push(Vec::new());
+        }
+        first
+    }
+
+    /// Add a directed arc with capacity and per-unit cost.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: u64, cost: i64) {
+        assert!(from < self.adj.len() && to < self.adj.len());
+        let id = self.arcs.len();
+        self.arcs.push(CostArc { to, cap, cost });
+        self.arcs.push(CostArc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    /// Maximize profit (= −total cost) of a flow from `s` to `t`, choosing
+    /// the flow amount freely: augments along cheapest residual paths while
+    /// they have strictly negative cost. Exact for networks without
+    /// negative-cost cycles (SSP maintains that invariant itself).
+    pub fn max_profit(&mut self, s: usize, t: usize) -> CostFlowResult {
+        let n = self.adj.len();
+        let mut profit: i128 = 0;
+        let mut units: u64 = 0;
+        loop {
+            // SPFA shortest path by cost from s (handles negative arcs).
+            const INF: i64 = i64::MAX / 4;
+            let mut dist = vec![INF; n];
+            let mut parent_arc = vec![usize::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let du = dist[u];
+                for &a in &self.adj[u] {
+                    let arc = &self.arcs[a];
+                    if arc.cap > 0 && du + arc.cost < dist[arc.to] {
+                        dist[arc.to] = du + arc.cost;
+                        parent_arc[arc.to] = a;
+                        if !in_queue[arc.to] {
+                            queue.push_back(arc.to);
+                            in_queue[arc.to] = true;
+                        }
+                    }
+                }
+            }
+            if dist[t] >= 0 {
+                break; // no profitable augmenting path remains
+            }
+            // Bottleneck along the parent chain.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let a = parent_arc[v];
+                bottleneck = bottleneck.min(self.arcs[a].cap);
+                v = self.arcs[a ^ 1].to;
+            }
+            let mut v = t;
+            while v != s {
+                let a = parent_arc[v];
+                self.arcs[a].cap -= bottleneck;
+                self.arcs[a ^ 1].cap += bottleneck;
+                v = self.arcs[a ^ 1].to;
+            }
+            profit += (-(dist[t] as i128)) * bottleneck as i128;
+            units += bottleneck;
+        }
+        CostFlowResult {
+            profit: profit.max(0) as u128,
+            units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profit::{max_profit_by_classes, merge_classes, ValueClass};
+    use crate::FlowNetwork;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chooses_high_value_on_contention() {
+        let mut net = CostFlowNetwork::new();
+        let s = net.add_node();
+        let buffer = net.add_node();
+        let t = net.add_node();
+        net.add_arc(buffer, t, 1, 0);
+        net.add_arc(s, buffer, 1, -10);
+        net.add_arc(s, buffer, 1, -1);
+        let r = net.max_profit(s, t);
+        assert_eq!(r.units, 1);
+        assert_eq!(r.profit, 10);
+    }
+
+    #[test]
+    fn stops_at_zero_profit_paths() {
+        let mut net = CostFlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, 5, 0); // zero profit: must not be taken
+        net.add_arc(s, t, 2, -3);
+        let r = net.max_profit(s, t);
+        assert_eq!(r.units, 2);
+        assert_eq!(r.profit, 6);
+    }
+
+    #[test]
+    fn reroutes_through_residuals() {
+        // Same fixture as profit.rs: the valuable packet may grab the arc
+        // the cheap one needs; augmentation must shift it.
+        let mut net = CostFlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let shared = net.add_node();
+        let t = net.add_node();
+        net.add_arc(a, shared, 1, 0);
+        net.add_arc(shared, t, 1, 0);
+        net.add_arc(a, t, 1, 0);
+        net.add_arc(b, shared, 1, 0);
+        net.add_arc(s, a, 1, -9);
+        net.add_arc(s, b, 1, -4);
+        let r = net.max_profit(s, t);
+        assert_eq!(r.units, 2);
+        assert_eq!(r.profit, 13);
+    }
+
+    /// Build the same random layered network for both solvers and compare.
+    /// Layout: source -> entry nodes (one arc per packet, profit = value)
+    /// -> random zero-cost inner arcs -> sink.
+    fn cross_check(
+        n_inner: usize,
+        inner_arcs: &[(usize, usize, u64)],
+        packets: &[(usize, u64)], // (entry inner node, value)
+        sink_caps: &[(usize, u64)],
+    ) -> (u128, u128) {
+        // Value-class Dinic.
+        let mut fnet = FlowNetwork::new();
+        let fs = fnet.add_node();
+        let ft = fnet.add_node();
+        let base = fnet.add_nodes(n_inner);
+        for &(u, v, c) in inner_arcs {
+            fnet.add_arc(base + u, base + v, c);
+        }
+        for &(u, c) in sink_caps {
+            fnet.add_arc(base + u, ft, c);
+        }
+        let classes = merge_classes(
+            packets
+                .iter()
+                .map(|&(u, value)| ValueClass {
+                    value,
+                    entries: vec![(base + u, 1)],
+                })
+                .collect(),
+        );
+        let a = max_profit_by_classes(&mut fnet, fs, ft, classes).profit;
+
+        // SSP oracle.
+        let mut cnet = CostFlowNetwork::new();
+        let cs = cnet.add_node();
+        let ct = cnet.add_node();
+        let cbase = cnet.add_nodes(n_inner);
+        for &(u, v, c) in inner_arcs {
+            cnet.add_arc(cbase + u, cbase + v, c, 0);
+        }
+        for &(u, c) in sink_caps {
+            cnet.add_arc(cbase + u, ct, c, 0);
+        }
+        for &(u, value) in packets {
+            cnet.add_arc(cs, cbase + u, 1, -(value as i64));
+        }
+        let b = cnet.max_profit(cs, ct).profit;
+        (a, b)
+    }
+
+    #[test]
+    fn cross_check_fixture() {
+        let (a, b) = cross_check(
+            3,
+            &[(0, 1, 2), (1, 2, 1), (0, 2, 1)],
+            &[(0, 7), (0, 3), (1, 5)],
+            &[(2, 2)],
+        );
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The value-class method equals textbook min-cost flow on random
+        /// networks — independent cross-validation of the OPT-bound solver.
+        #[test]
+        fn value_class_equals_ssp(
+            n_inner in 2usize..6,
+            inner in prop::collection::vec((0usize..6, 0usize..6, 1u64..4), 0..14),
+            packets in prop::collection::vec((0usize..6, 1u64..20), 0..8),
+            sinks in prop::collection::vec((0usize..6, 1u64..3), 1..4),
+        ) {
+            let inner: Vec<_> = inner.into_iter()
+                .filter(|&(u, v, _)| u < n_inner && v < n_inner && u != v)
+                .collect();
+            let packets: Vec<_> = packets.into_iter()
+                .filter(|&(u, _)| u < n_inner)
+                .collect();
+            let sinks: Vec<_> = sinks.into_iter()
+                .filter(|&(u, _)| u < n_inner)
+                .collect();
+            let (a, b) = cross_check(n_inner, &inner, &packets, &sinks);
+            prop_assert_eq!(a, b, "value-class {} != ssp {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! König edge colouring of bipartite multigraphs.
+//!
+//! König's theorem: a bipartite multigraph with maximum degree Δ is
+//! Δ-edge-colourable. This is the combinatorial fact behind the
+//! *destination-oblivious* OPT relaxation in `cioq-opt`: a per-slot
+//! transfer multiset in which every input port releases ≤ ŝ packets and
+//! every output port admits ≤ ŝ packets decomposes into ŝ matchings — i.e.
+//! into ŝ legal scheduling cycles. [`edge_color`] computes that
+//! decomposition constructively (alternating-path recolouring, O(E·(N+M))
+//! overall), and tests in `cioq-opt` use it to certify that flow solutions
+//! are realizable cycle schedules.
+
+use crate::graph::Matching;
+
+const FREE: usize = usize::MAX;
+
+/// Colour the edges of a bipartite multigraph given as `(left, right)`
+/// pairs, using at most `max(Δ, 1)` colours, such that no two edges sharing
+/// an endpoint get the same colour. Returns one colour index per edge, in
+/// input order.
+pub fn edge_color(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut deg_l = vec![0usize; n_left];
+    let mut deg_r = vec![0usize; n_right];
+    for &(l, r) in edges {
+        assert!(l < n_left && r < n_right, "edge endpoint out of range");
+        deg_l[l] += 1;
+        deg_r[r] += 1;
+    }
+    let delta = deg_l
+        .iter()
+        .chain(deg_r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    // at_left[l][c] / at_right[r][c]: the edge using colour c at a vertex.
+    let mut at_left = vec![vec![FREE; delta]; n_left];
+    let mut at_right = vec![vec![FREE; delta]; n_right];
+    let mut colors = vec![FREE; edges.len()];
+
+    for (id, &(l, r)) in edges.iter().enumerate() {
+        let ca = (0..delta)
+            .find(|&c| at_left[l][c] == FREE)
+            .expect("left degree <= delta");
+        let cb = (0..delta)
+            .find(|&c| at_right[r][c] == FREE)
+            .expect("right degree <= delta");
+        if ca != cb {
+            // Free colour ca at r: flip the ca/cb alternating path that
+            // starts at r with a ca-edge. By König's parity argument the
+            // path never reaches l, so ca stays free at l.
+            let mut path = Vec::new();
+            let mut on_right = true;
+            let mut vert = r;
+            let mut want = ca;
+            loop {
+                let e = if on_right {
+                    at_right[vert][want]
+                } else {
+                    at_left[vert][want]
+                };
+                if e == FREE {
+                    break;
+                }
+                path.push(e);
+                let (el, er) = edges[e];
+                vert = if on_right { el } else { er };
+                on_right = !on_right;
+                want = if want == ca { cb } else { ca };
+            }
+            debug_assert!(
+                !path.iter().any(|&e| edges[e].0 == l && colors[e] == cb),
+                "alternating path must not occupy cb at l"
+            );
+            // Erase the path from the tables, flip, re-insert.
+            for &e in &path {
+                let (el, er) = edges[e];
+                let c = colors[e];
+                at_left[el][c] = FREE;
+                at_right[er][c] = FREE;
+            }
+            for &e in &path {
+                let (el, er) = edges[e];
+                let c = if colors[e] == ca { cb } else { ca };
+                colors[e] = c;
+                at_left[el][c] = e;
+                at_right[er][c] = e;
+            }
+        }
+        debug_assert_eq!(at_left[l][ca], FREE);
+        debug_assert_eq!(at_right[r][ca], FREE);
+        at_left[l][ca] = id;
+        at_right[r][ca] = id;
+        colors[id] = ca;
+    }
+    colors
+}
+
+/// Decompose a bipartite multigraph into matchings: returns one
+/// [`Matching`] per colour, covering every input edge exactly once.
+pub fn decompose_into_matchings(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize)],
+) -> Vec<Matching> {
+    let colors = edge_color(n_left, n_right, edges);
+    let n_colors = colors.iter().copied().max().map_or(0, |c| c + 1);
+    let mut matchings = vec![Matching::new(); n_colors];
+    for (id, &(l, r)) in edges.iter().enumerate() {
+        matchings[colors[id]].pairs.push((l, r));
+    }
+    matchings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_proper(n_left: usize, n_right: usize, edges: &[(usize, usize)], colors: &[usize]) {
+        let delta = {
+            let mut dl = vec![0usize; n_left];
+            let mut dr = vec![0usize; n_right];
+            for &(l, r) in edges {
+                dl[l] += 1;
+                dr[r] += 1;
+            }
+            dl.iter().chain(dr.iter()).copied().max().unwrap_or(0).max(1)
+        };
+        assert_eq!(colors.len(), edges.len());
+        for &c in colors {
+            assert!(c < delta, "colour {c} exceeds delta {delta}");
+        }
+        for i in 0..edges.len() {
+            for j in i + 1..edges.len() {
+                if colors[i] == colors[j] {
+                    assert_ne!(edges[i].0, edges[j].0, "left clash at edges {i},{j}");
+                    assert_ne!(edges[i].1, edges[j].1, "right clash at edges {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_path_needs_two_colors() {
+        let edges = [(0, 0), (1, 0), (1, 1)];
+        let colors = edge_color(2, 2, &edges);
+        check_proper(2, 2, &edges, &colors);
+    }
+
+    #[test]
+    fn complete_bipartite_k33_uses_three_colors() {
+        let edges: Vec<_> = (0..3).flat_map(|l| (0..3).map(move |r| (l, r))).collect();
+        let colors = edge_color(3, 3, &edges);
+        check_proper(3, 3, &edges, &colors);
+        let distinct: std::collections::BTreeSet<_> = colors.iter().collect();
+        assert_eq!(distinct.len(), 3, "K3,3 is 3-edge-chromatic");
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_colors() {
+        let edges = [(0, 0), (0, 0), (0, 0)];
+        let colors = edge_color(1, 1, &edges);
+        check_proper(1, 1, &edges, &colors);
+        let distinct: std::collections::BTreeSet<_> = colors.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn forced_recolor_path() {
+        // Edges arranged so the last insertion must flip a chain:
+        // (0,0)c?, (1,0), (1,1), (2,1), then (0,1) or (2,0) forces work.
+        let edges = [(0, 0), (1, 0), (1, 1), (2, 1), (2, 0), (0, 1)];
+        let colors = edge_color(3, 2, &edges);
+        check_proper(3, 2, &edges, &colors);
+    }
+
+    #[test]
+    fn decomposition_covers_all_edges() {
+        let edges = [(0, 1), (0, 2), (1, 0), (1, 1), (2, 2), (2, 0)];
+        let ms = decompose_into_matchings(3, 3, &edges);
+        let total: usize = ms.iter().map(|m| m.len()).sum();
+        assert_eq!(total, edges.len());
+        for m in &ms {
+            let mut seen_l = std::collections::BTreeSet::new();
+            let mut seen_r = std::collections::BTreeSet::new();
+            for &(l, r) in &m.pairs {
+                assert!(seen_l.insert(l));
+                assert!(seen_r.insert(r));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(edge_color(3, 3, &[]).is_empty());
+        assert!(decompose_into_matchings(3, 3, &[]).is_empty());
+    }
+
+    proptest! {
+        /// König's theorem, constructively: any bipartite multigraph is
+        /// properly colourable with Δ colours by this implementation.
+        #[test]
+        fn konig_on_random_multigraphs(
+            n in 1usize..5,
+            edges in prop::collection::vec((0usize..5, 0usize..5), 0..24),
+        ) {
+            let edges: Vec<_> = edges.into_iter()
+                .filter(|&(l, r)| l < n && r < n)
+                .collect();
+            let colors = edge_color(n, n, &edges);
+            check_proper(n, n, &edges, &colors);
+        }
+
+        /// The scheduling-aggregation fact used by the oblivious bound:
+        /// a transfer multiset with per-port degree <= s decomposes into
+        /// <= s matchings (legal cycles).
+        #[test]
+        fn degree_s_decomposes_into_s_matchings(
+            n in 1usize..5,
+            s in 1usize..4,
+            seed_edges in prop::collection::vec((0usize..5, 0usize..5), 0..32),
+        ) {
+            let mut dl = vec![0usize; n];
+            let mut dr = vec![0usize; n];
+            let mut edges = Vec::new();
+            for (l, r) in seed_edges {
+                if l < n && r < n && dl[l] < s && dr[r] < s {
+                    dl[l] += 1;
+                    dr[r] += 1;
+                    edges.push((l, r));
+                }
+            }
+            let ms = decompose_into_matchings(n, n, &edges);
+            prop_assert!(ms.len() <= s, "needed {} > s = {s} matchings", ms.len());
+        }
+    }
+}

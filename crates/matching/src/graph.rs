@@ -1,0 +1,244 @@
+//! Bipartite graph and matching containers.
+
+use cioq_model::Value;
+
+/// Index of an edge within a [`BipartiteGraph`].
+pub type EdgeId = usize;
+
+/// One edge `(u_i, v_j)` of the scheduling graph `G_{T[s]}`, optionally
+/// weighted by `w(u_i, v_j) = v(g_ij)` (PG) or 1 (GM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Left endpoint (input port index).
+    pub left: usize,
+    /// Right endpoint (output port index).
+    pub right: usize,
+    /// Edge weight; 1 for unit-value scheduling.
+    pub weight: Value,
+}
+
+/// A bipartite graph with `n_left` left vertices (input ports) and `n_right`
+/// right vertices (output ports). Edges are stored in insertion order, which
+/// is the "arbitrary" iteration order of the paper's greedy matching.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    edges: Vec<Edge>,
+}
+
+impl BipartiteGraph {
+    /// An empty graph over the given vertex sets.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteGraph {
+            n_left,
+            n_right,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Reuse this graph's allocation for a new cycle (hot path: one graph is
+    /// rebuilt every scheduling cycle).
+    pub fn reset(&mut self, n_left: usize, n_right: usize) {
+        self.n_left = n_left;
+        self.n_right = n_right;
+        self.edges.clear();
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Add an edge; panics (debug) on out-of-range endpoints.
+    pub fn add_edge(&mut self, left: usize, right: usize, weight: Value) -> EdgeId {
+        debug_assert!(left < self.n_left && right < self.n_right);
+        self.edges.push(Edge {
+            left,
+            right,
+            weight,
+        });
+        self.edges.len() - 1
+    }
+
+    /// All edges in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adjacency list `left -> [(right, weight, edge id)]`.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, Value, EdgeId)>> {
+        let mut adj = vec![Vec::new(); self.n_left];
+        for (id, e) in self.edges.iter().enumerate() {
+            adj[e.left].push((e.right, e.weight, id));
+        }
+        adj
+    }
+}
+
+/// A matching: a set of edges, no two sharing an endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// The matched edges as `(left, right)` pairs, in the order they were
+    /// added by the algorithm.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl Matching {
+    /// An empty matching.
+    pub fn new() -> Self {
+        Matching { pairs: Vec::new() }
+    }
+
+    /// Cardinality of the matching.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no edges are matched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The right vertex matched to `left`, if any. O(|M|).
+    pub fn right_of(&self, left: usize) -> Option<usize> {
+        self.pairs.iter().find(|&&(l, _)| l == left).map(|&(_, r)| r)
+    }
+
+    /// The left vertex matched to `right`, if any. O(|M|).
+    pub fn left_of(&self, right: usize) -> Option<usize> {
+        self.pairs.iter().find(|&&(_, r)| r == right).map(|&(l, _)| l)
+    }
+
+    /// Verify the matching property (no shared endpoints) and that every
+    /// pair is an edge of `g`.
+    pub fn is_valid_for(&self, g: &BipartiteGraph) -> bool {
+        let mut left_used = vec![false; g.n_left()];
+        let mut right_used = vec![false; g.n_right()];
+        for &(l, r) in &self.pairs {
+            if l >= g.n_left() || r >= g.n_right() || left_used[l] || right_used[r] {
+                return false;
+            }
+            if !g.edges().iter().any(|e| e.left == l && e.right == r) {
+                return false;
+            }
+            left_used[l] = true;
+            right_used[r] = true;
+        }
+        true
+    }
+
+    /// Whether the matching is **maximal** in `g`: no edge of `g` has both
+    /// endpoints unmatched. (Lemma 2 and Lemma 5 of the paper rest on
+    /// exactly this property.)
+    pub fn is_maximal_in(&self, g: &BipartiteGraph) -> bool {
+        let mut left_used = vec![false; g.n_left()];
+        let mut right_used = vec![false; g.n_right()];
+        for &(l, r) in &self.pairs {
+            left_used[l] = true;
+            right_used[r] = true;
+        }
+        g.edges()
+            .iter()
+            .all(|e| left_used[e.left] || right_used[e.right])
+    }
+
+    /// Total weight of the matching in `g` (sums the *maximum* weight edge
+    /// between each matched pair, which equals the matched edge's weight when
+    /// the graph has no parallel edges — scheduling graphs never do).
+    pub fn weight_in(&self, g: &BipartiteGraph) -> u128 {
+        self.pairs
+            .iter()
+            .map(|&(l, r)| {
+                g.edges()
+                    .iter()
+                    .filter(|e| e.left == l && e.right == r)
+                    .map(|e| e.weight as u128)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> BipartiteGraph {
+        // 2x2 complete bipartite graph with distinct weights.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0, 4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(1, 0, 2);
+        g.add_edge(1, 1, 1);
+        g
+    }
+
+    #[test]
+    fn adjacency_lists_group_by_left() {
+        let g = diamond();
+        let adj = g.adjacency();
+        assert_eq!(adj[0], vec![(0, 4, 0), (1, 3, 1)]);
+        assert_eq!(adj[1], vec![(0, 2, 2), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn matching_validity() {
+        let g = diamond();
+        let m = Matching {
+            pairs: vec![(0, 0), (1, 1)],
+        };
+        assert!(m.is_valid_for(&g));
+        assert!(m.is_maximal_in(&g));
+        assert_eq!(m.weight_in(&g), 5);
+
+        let clash = Matching {
+            pairs: vec![(0, 0), (1, 0)],
+        };
+        assert!(!clash.is_valid_for(&g));
+
+        let non_edge = Matching {
+            pairs: vec![(1, 1)],
+        };
+        assert!(non_edge.is_valid_for(&g));
+        assert!(!non_edge.is_maximal_in(&g), "edge (0,0) is still free");
+    }
+
+    #[test]
+    fn lookup_by_endpoint() {
+        let m = Matching {
+            pairs: vec![(0, 1), (2, 0)],
+        };
+        assert_eq!(m.right_of(0), Some(1));
+        assert_eq!(m.right_of(1), None);
+        assert_eq!(m.left_of(0), Some(2));
+        assert_eq!(m.left_of(1), Some(0));
+    }
+
+    #[test]
+    fn reset_reuses_graph() {
+        let mut g = diamond();
+        g.reset(3, 3);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.n_left(), 3);
+        g.add_edge(2, 2, 1);
+        assert_eq!(g.n_edges(), 1);
+    }
+}

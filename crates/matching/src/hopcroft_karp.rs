@@ -1,0 +1,169 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching, O(E·√V).
+//!
+//! This is the scheduling kernel of the *baseline* CIOQ policies
+//! (Kesselman–Rosén [23] and successors), which compute a **maximum**
+//! matching every cycle. The paper's contribution is showing the greedy
+//! maximal matching of `greedy.rs` suffices; this implementation exists so
+//! that experiments F2/F6 can compare both throughput parity and cost.
+
+use crate::graph::{BipartiteGraph, Matching};
+
+const NIL: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Compute a maximum-cardinality matching of `g`.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let n_left = g.n_left();
+    let n_right = g.n_right();
+
+    // Dedup adjacency (parallel edges add nothing for cardinality).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_left];
+    for e in g.edges() {
+        adj[e.left].push(e.right);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+
+    let mut match_left = vec![NIL; n_left];
+    let mut match_right = vec![NIL; n_right];
+    let mut dist = vec![INF; n_left];
+    let mut queue = Vec::with_capacity(n_left);
+
+    loop {
+        // BFS from all free left vertices, layering the graph.
+        queue.clear();
+        for l in 0..n_left {
+            if match_left[l] == NIL {
+                dist[l] = 0;
+                queue.push(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let l = queue[qi];
+            qi += 1;
+            for &r in &adj[l] {
+                let next = match_right[r];
+                if next == NIL {
+                    found_augmenting = true;
+                } else if dist[next] == INF {
+                    dist[next] = dist[l] + 1;
+                    queue.push(next);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS along layered graph augmenting vertex-disjoint shortest paths.
+        for l in 0..n_left {
+            if match_left[l] == NIL {
+                dfs(l, &adj, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+
+    let pairs = match_left
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r != NIL)
+        .map(|(l, &r)| (l, r))
+        .collect();
+    Matching { pairs }
+}
+
+fn dfs(
+    l: usize,
+    adj: &[Vec<usize>],
+    match_left: &mut [usize],
+    match_right: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    for k in 0..adj[l].len() {
+        let r = adj[l][k];
+        let next = match_right[r];
+        if next == NIL || (dist[next] == dist[l] + 1 && dfs(next, adj, match_left, match_right, dist))
+        {
+            match_left[l] = r;
+            match_right[r] = l;
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use proptest::prelude::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(n, n);
+        for &(l, r) in edges {
+            g.add_edge(l, r, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn finds_augmenting_path() {
+        let g = graph(2, &[(0, 0), (0, 1), (1, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn perfect_matching_on_permutation() {
+        let g = graph(5, &[(0, 3), (1, 0), (2, 4), (3, 1), (4, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let g = BipartiteGraph::new(3, 3);
+        assert!(hopcroft_karp(&g).is_empty());
+    }
+
+    #[test]
+    fn handles_parallel_edges() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, 1);
+        g.add_edge(0, 0, 1);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn star_graph_matches_one() {
+        let g = graph(4, &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 1);
+    }
+
+    proptest! {
+        /// Hopcroft–Karp equals the exhaustive maximum on random graphs.
+        #[test]
+        fn matches_brute_force(
+            n in 1usize..6,
+            edges in prop::collection::vec((0usize..6, 0usize..6), 0..14),
+        ) {
+            let edges: Vec<_> = edges.into_iter()
+                .filter(|&(l, r)| l < n && r < n)
+                .collect();
+            let g = graph(n, &edges);
+            let hk = hopcroft_karp(&g);
+            let exact = brute::max_cardinality(&g);
+            prop_assert!(hk.is_valid_for(&g));
+            prop_assert_eq!(hk.len(), exact.len());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for configuration and model-level validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::SwitchConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A port count was zero.
+    ZeroPorts {
+        /// Which side ("input" / "output") was zero.
+        side: &'static str,
+    },
+    /// The speedup was zero; the paper requires `ŝ ≥ 1`.
+    ZeroSpeedup,
+    /// A buffer capacity was zero.
+    ZeroCapacity {
+        /// Which buffer kind ("input" / "output" / "crossbar") was zero.
+        kind: &'static str,
+    },
+    /// Crossbar buffer capacity was supplied for a plain CIOQ switch, or is
+    /// missing for a buffered crossbar switch.
+    CrossbarMismatch {
+        /// Human-readable description of the mismatch.
+        detail: &'static str,
+    },
+    /// Port counts exceed the supported maximum (u16 indices).
+    TooManyPorts {
+        /// The offending count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPorts { side } => write!(f, "{side} port count must be >= 1"),
+            ConfigError::ZeroSpeedup => write!(f, "speedup must be >= 1"),
+            ConfigError::ZeroCapacity { kind } => {
+                write!(f, "{kind} queue capacity must be >= 1")
+            }
+            ConfigError::CrossbarMismatch { detail } => write!(f, "crossbar config: {detail}"),
+            ConfigError::TooManyPorts { got } => {
+                write!(f, "port count {got} exceeds the supported maximum of 65535")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Model-level errors (packet validation and similar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A packet referenced a port outside the configured switch.
+    PortOutOfRange {
+        /// The offending port index.
+        port: usize,
+        /// Number of configured ports on that side.
+        limit: usize,
+        /// Which side ("input" / "output").
+        side: &'static str,
+    },
+    /// A packet had value zero.
+    ZeroValue,
+    /// Arrivals in a trace were not sorted by slot.
+    UnsortedTrace {
+        /// The slot of the out-of-order packet.
+        slot: u64,
+        /// The largest slot seen before it.
+        seen: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::PortOutOfRange { port, limit, side } => {
+                write!(f, "{side} port {port} out of range (switch has {limit})")
+            }
+            ModelError::ZeroValue => write!(f, "packet value must be >= 1"),
+            ModelError::UnsortedTrace { slot, seen } => {
+                write!(f, "trace not sorted by slot: saw slot {slot} after {seen}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format() {
+        let e = ConfigError::ZeroPorts { side: "input" };
+        assert!(e.to_string().contains("input"));
+        let e = ModelError::PortOutOfRange {
+            port: 9,
+            limit: 4,
+            side: "output",
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,78 @@
+//! The packet: the unit of work flowing through the switch.
+
+use crate::{PacketId, PortId, SlotId, Value};
+
+/// A fixed-size packet tagged, as in §1.3 of the paper, with its value
+/// `v(p)`, arrival time `arr(p)`, input port `in(p)` and output port
+/// `out(p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Unique id; also the deterministic tie-breaker between equal values.
+    pub id: PacketId,
+    /// `v(p)` — the packet's value (class of service). Always ≥ 1.
+    pub value: Value,
+    /// `arr(p)` — the slot in which the packet arrives.
+    pub arrival: SlotId,
+    /// `in(p)` — the input port through which the packet enters.
+    pub input: PortId,
+    /// `out(p)` — the output port through which it must leave.
+    pub output: PortId,
+}
+
+impl Packet {
+    /// Construct a packet. Panics (debug) on a zero value: the paper assumes
+    /// strictly positive values, and several threshold comparisons
+    /// (`v(g) > β·v(l)`) degenerate when zero values are admitted.
+    pub fn new(id: PacketId, value: Value, arrival: SlotId, input: PortId, output: PortId) -> Self {
+        debug_assert!(value >= 1, "packet values must be >= 1");
+        Packet {
+            id,
+            value,
+            arrival,
+            input,
+            output,
+        }
+    }
+
+    /// Sort key used by every queue in the workspace: descending value,
+    /// ascending id (assumption A3: "ties are broken arbitrarily but
+    /// consistently"). Returns a key such that sorting *ascending* by it
+    /// yields head-first (greatest value first) order.
+    #[inline]
+    pub fn queue_key(&self) -> (std::cmp::Reverse<Value>, PacketId) {
+        (std::cmp::Reverse(self.value), self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u64, value: Value) -> Packet {
+        Packet::new(PacketId(id), value, 0, PortId(0), PortId(0))
+    }
+
+    #[test]
+    fn queue_key_orders_by_value_desc_then_id_asc() {
+        let a = mk(1, 10);
+        let b = mk(2, 10);
+        let c = mk(3, 5);
+        let mut v = vec![c, b, a];
+        v.sort_by_key(|p| p.queue_key());
+        assert_eq!(
+            v.iter().map(|p| p.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "higher value first; among equal values lower id first"
+        );
+    }
+
+    #[test]
+    fn packet_fields_roundtrip() {
+        let p = Packet::new(PacketId(9), 42, 7, PortId(1), PortId(2));
+        assert_eq!(p.id, PacketId(9));
+        assert_eq!(p.value, 42);
+        assert_eq!(p.arrival, 7);
+        assert_eq!(p.input, PortId(1));
+        assert_eq!(p.output, PortId(2));
+    }
+}

@@ -1,0 +1,70 @@
+//! Public bound API and certified ratio reporting.
+
+use crate::network::{oblivious_bound, per_output_bound};
+use cioq_model::{Benefit, SwitchConfig};
+use cioq_sim::Trace;
+
+/// The two relaxation bounds on `OPT(σ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptBounds {
+    /// Per-output relaxation (drops cross-output input-port coupling).
+    pub per_output: u128,
+    /// Destination-oblivious relaxation (keeps both port couplings,
+    /// forgets destinations).
+    pub oblivious: u128,
+}
+
+impl OptBounds {
+    /// The tighter (smaller) of the two upper bounds.
+    pub fn best(&self) -> u128 {
+        self.per_output.min(self.oblivious)
+    }
+}
+
+/// Compute both certified upper bounds on `OPT(σ)`.
+pub fn opt_upper_bound(cfg: &SwitchConfig, trace: &Trace) -> OptBounds {
+    OptBounds {
+        per_output: per_output_bound(cfg, trace),
+        oblivious: oblivious_bound(cfg, trace),
+    }
+}
+
+/// Whether the per-output bound is *exact* OPT for this configuration:
+/// true for `N×1` switches (the IQ model), where the single output's
+/// per-slot admission capacity `ŝ` subsumes the per-input-port constraint
+/// (any per-slot aggregate of ≤ ŝ transfers serializes into ŝ cycles of
+/// singleton matchings).
+pub fn opt_upper_bound_is_exact(cfg: &SwitchConfig) -> bool {
+    cfg.n_outputs == 1
+}
+
+/// `UB(OPT) / benefit` — an upper bound on the true competitive ratio of
+/// the run. Uses the tighter of the two relaxations.
+pub fn certified_ratio(cfg: &SwitchConfig, trace: &Trace, benefit: Benefit) -> f64 {
+    let ub = opt_upper_bound(cfg, trace).best();
+    Benefit(ub).ratio_over(benefit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::PortId;
+
+    #[test]
+    fn bounds_and_ratio() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let tr = Trace::from_tuples([
+            (0, PortId(0), PortId(0), 4),
+            (0, PortId(1), PortId(1), 6),
+        ]);
+        let b = opt_upper_bound(&cfg, &tr);
+        assert_eq!(b.best(), 10);
+        assert_eq!(certified_ratio(&cfg, &tr, Benefit(5)), 2.0);
+    }
+
+    #[test]
+    fn exactness_predicate() {
+        assert!(opt_upper_bound_is_exact(&SwitchConfig::iq_model(8, 4)));
+        assert!(!opt_upper_bound_is_exact(&SwitchConfig::cioq(2, 4, 1)));
+    }
+}

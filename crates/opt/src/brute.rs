@@ -1,0 +1,476 @@
+//! Exact OPT for small instances by memoized exhaustive search.
+//!
+//! The search space is pruned by the paper's WLOG assumptions about OPT
+//! (§2.2, A1–A3), each of which is a dominance argument:
+//!
+//! * **Arrivals** need no branching: accepting into a non-full queue, and
+//!   swapping out the least-valuable packet when the queue is full and the
+//!   arrival is strictly more valuable, always yields a pointwise-dominant
+//!   queue multiset (a clairvoyant schedule for the dominated state maps
+//!   packet-for-packet onto the dominant one with no loss of value).
+//! * **Scheduling** branches over *all sub-matchings* of the eligibility
+//!   graph — that choice genuinely matters — but within a chosen edge it
+//!   always moves the greatest-value packet (A1) and preempts the
+//!   least-valuable packet of a full target (both exchange arguments).
+//!   Edges whose head would not exceed a full target queue's minimum are
+//!   dominated (the swap only shrinks the multiset) and skipped.
+//! * **Transmission** is greedy and work-conserving (A1, A2).
+//! * After the last arrival, a slot in which nothing moves and nothing is
+//!   sent can be cut: idling is never required once the input is fixed
+//!   (shift the remaining schedule one slot earlier).
+//!
+//! Memoization is on the exact queue contents at slot boundaries; once
+//! arrivals are exhausted the slot number is canonicalized away, so
+//! post-arrival drain states are shared regardless of when they occur.
+
+use cioq_model::{Benefit, SwitchConfig, Value};
+use cioq_sim::Trace;
+use std::collections::HashMap;
+
+/// Search limits for [`exact_opt`].
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForceLimits {
+    /// Maximum number of memoized states before giving up.
+    pub max_states: usize,
+}
+
+impl Default for BruteForceLimits {
+    fn default() -> Self {
+        BruteForceLimits {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Compute the exact offline optimum benefit, or `None` if the state limit
+/// is exceeded. Supports both CIOQ and buffered crossbar configurations;
+/// intended for tiny instances (N, M ≤ 3, a handful of slots).
+pub fn exact_opt(cfg: &SwitchConfig, trace: &Trace, limits: BruteForceLimits) -> Option<Benefit> {
+    let mut search = Search::new(cfg, trace, limits);
+    search.best_from_slot(&State::empty(cfg), 0).map(Benefit)
+}
+
+/// Queue contents: every queue is a multiset kept sorted descending.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Input queues, row-major `i*m + j`.
+    iq: Vec<Vec<Value>>,
+    /// Crossbar queues (empty vec when CIOQ).
+    cb: Vec<Vec<Value>>,
+    /// Output queues.
+    oq: Vec<Vec<Value>>,
+}
+
+impl State {
+    fn empty(cfg: &SwitchConfig) -> State {
+        let nm = cfg.n_inputs * cfg.n_outputs;
+        State {
+            iq: vec![Vec::new(); nm],
+            cb: if cfg.crossbar_capacity.is_some() {
+                vec![Vec::new(); nm]
+            } else {
+                Vec::new()
+            },
+            oq: vec![Vec::new(); cfg.n_outputs],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.iq.iter().all(|q| q.is_empty())
+            && self.cb.iter().all(|q| q.is_empty())
+            && self.oq.iter().all(|q| q.is_empty())
+    }
+}
+
+/// Insert keeping descending order.
+fn insert_sorted(q: &mut Vec<Value>, v: Value) {
+    let pos = q.partition_point(|&x| x >= v);
+    q.insert(pos, v);
+}
+
+/// Greedy-dominant admission: accept if room; swap out the minimum if full
+/// and strictly smaller.
+fn admit(q: &mut Vec<Value>, cap: usize, v: Value) {
+    if q.len() < cap {
+        insert_sorted(q, v);
+    } else if let Some(&min) = q.last() {
+        if min < v {
+            q.pop();
+            insert_sorted(q, v);
+        }
+    }
+}
+
+struct Search<'a> {
+    cfg: &'a SwitchConfig,
+    /// Arrivals grouped by slot: `(input, output, value)`.
+    per_slot: Vec<Vec<(usize, usize, Value)>>,
+    memo: HashMap<(u64, State), u128>,
+    limit: usize,
+    exceeded: bool,
+}
+
+impl<'a> Search<'a> {
+    fn new(cfg: &'a SwitchConfig, trace: &Trace, limits: BruteForceLimits) -> Self {
+        let slots = trace.arrival_slots() as usize;
+        let mut per_slot = vec![Vec::new(); slots];
+        for p in trace.packets() {
+            per_slot[p.arrival as usize].push((p.input.index(), p.output.index(), p.value));
+        }
+        Search {
+            cfg,
+            per_slot,
+            memo: HashMap::new(),
+            limit: limits.max_states,
+            exceeded: false,
+        }
+    }
+
+    fn arrival_slots(&self) -> u64 {
+        self.per_slot.len() as u64
+    }
+
+    /// Best achievable benefit from `state` at the start of `slot`
+    /// (before that slot's arrival phase).
+    fn best_from_slot(&mut self, state: &State, slot: u64) -> Option<u128> {
+        if self.exceeded {
+            return None;
+        }
+        let past_arrivals = slot >= self.arrival_slots();
+        if past_arrivals && state.is_empty() {
+            return Some(0);
+        }
+        let key = (slot.min(self.arrival_slots()), state.clone());
+        if let Some(&v) = self.memo.get(&key) {
+            return Some(v);
+        }
+        if self.memo.len() >= self.limit {
+            self.exceeded = true;
+            return None;
+        }
+
+        let mut st = state.clone();
+        if !past_arrivals {
+            for &(i, j, v) in &self.per_slot[slot as usize].clone() {
+                admit(&mut st.iq[i * self.cfg.n_outputs + j], self.cfg.input_capacity, v);
+            }
+        }
+
+        let best = self.run_cycles(&st, slot, 0, false)?;
+        self.memo.insert(key, best);
+        Some(best)
+    }
+
+    /// Enumerate the remaining cycles of `slot`, then transmit and recurse.
+    fn run_cycles(
+        &mut self,
+        state: &State,
+        slot: u64,
+        cycle: u32,
+        progressed: bool,
+    ) -> Option<u128> {
+        if cycle == self.cfg.speedup {
+            return self.transmit_and_continue(state, slot, progressed);
+        }
+        if self.cfg.crossbar_capacity.is_some() {
+            let mut best = 0u128;
+            let mut after_input = Vec::new();
+            enumerate_input_subphase(self.cfg, state, 0, &mut Vec::new(), &mut after_input);
+            for (st1, moved_in) in after_input {
+                let mut after_output = Vec::new();
+                enumerate_output_subphase(self.cfg, &st1, 0, &mut Vec::new(), &mut after_output);
+                for (st2, moved_out) in after_output {
+                    let b = self.run_cycles(&st2, slot, cycle + 1, progressed || moved_in || moved_out)?;
+                    best = best.max(b);
+                }
+            }
+            Some(best)
+        } else {
+            let mut best = 0u128;
+            let mut outcomes = Vec::new();
+            enumerate_cioq_matchings(
+                self.cfg,
+                state,
+                0,
+                &mut vec![false; self.cfg.n_outputs],
+                &mut Vec::new(),
+                &mut outcomes,
+            );
+            for (st1, moved) in outcomes {
+                let b = self.run_cycles(&st1, slot, cycle + 1, progressed || moved)?;
+                best = best.max(b);
+            }
+            Some(best)
+        }
+    }
+
+    fn transmit_and_continue(
+        &mut self,
+        state: &State,
+        slot: u64,
+        progressed: bool,
+    ) -> Option<u128> {
+        let mut st = state.clone();
+        let mut gained = 0u128;
+        let mut sent = false;
+        for q in &mut st.oq {
+            if !q.is_empty() {
+                gained += q.remove(0) as u128;
+                sent = true;
+            }
+        }
+        // Post-arrival idle slot: nothing moved, nothing sent — idling
+        // cannot be part of any strictly better schedule.
+        if slot >= self.arrival_slots() && !progressed && !sent {
+            return Some(0);
+        }
+        Some(gained + self.best_from_slot(&st, slot + 1)?)
+    }
+}
+
+/// Is a transfer of `head` into `target` (capacity `cap`) worthwhile?
+/// Returns what to do: `None` = ineligible/dominated, `Some(preempt)`.
+fn transfer_mode(head: Value, target: &[Value], cap: usize) -> Option<bool> {
+    if target.len() < cap {
+        Some(false)
+    } else if target.last().copied().unwrap_or(0) < head {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+fn apply_transfer(from: &mut Vec<Value>, to: &mut Vec<Value>, preempt: bool) {
+    let head = from.remove(0);
+    if preempt {
+        to.pop();
+    }
+    insert_sorted(to, head);
+}
+
+/// All CIOQ sub-matchings over inputs `i..`, producing resulting states.
+fn enumerate_cioq_matchings(
+    cfg: &SwitchConfig,
+    state: &State,
+    i: usize,
+    outputs_used: &mut Vec<bool>,
+    _path: &mut Vec<(usize, usize)>,
+    out: &mut Vec<(State, bool)>,
+) {
+    if i == cfg.n_inputs {
+        out.push((state.clone(), !_path.is_empty()));
+        return;
+    }
+    // Option: input i idles this cycle.
+    enumerate_cioq_matchings(cfg, state, i + 1, outputs_used, _path, out);
+    for j in 0..cfg.n_outputs {
+        if outputs_used[j] || state.iq[i * cfg.n_outputs + j].is_empty() {
+            continue;
+        }
+        let head = state.iq[i * cfg.n_outputs + j][0];
+        let Some(preempt) = transfer_mode(head, &state.oq[j], cfg.output_capacity) else {
+            continue;
+        };
+        let mut st = state.clone();
+        {
+            // Split-borrow via index juggling: move head from iq to oq.
+            let from = &mut st.iq[i * cfg.n_outputs + j];
+            let head_val = from.remove(0);
+            let to = &mut st.oq[j];
+            if preempt {
+                to.pop();
+            }
+            insert_sorted(to, head_val);
+        }
+        outputs_used[j] = true;
+        _path.push((i, j));
+        enumerate_cioq_matchings(cfg, &st, i + 1, outputs_used, _path, out);
+        _path.pop();
+        outputs_used[j] = false;
+    }
+}
+
+/// All input-subphase decisions (≤1 transfer per input port, independent
+/// across ports).
+fn enumerate_input_subphase(
+    cfg: &SwitchConfig,
+    state: &State,
+    i: usize,
+    _path: &mut Vec<usize>,
+    out: &mut Vec<(State, bool)>,
+) {
+    if i == cfg.n_inputs {
+        out.push((state.clone(), !_path.is_empty()));
+        return;
+    }
+    enumerate_input_subphase(cfg, state, i + 1, _path, out);
+    let bc = cfg.crossbar_capacity.expect("crossbar enumeration");
+    for j in 0..cfg.n_outputs {
+        let idx = i * cfg.n_outputs + j;
+        if state.iq[idx].is_empty() {
+            continue;
+        }
+        let head = state.iq[idx][0];
+        let Some(preempt) = transfer_mode(head, &state.cb[idx], bc) else {
+            continue;
+        };
+        let mut st = state.clone();
+        let (iq, cb) = (&mut st.iq[idx], &mut st.cb[idx]);
+        // Manual split borrow: iq and cb are distinct vectors.
+        apply_transfer_pair(iq, cb, preempt);
+        _path.push(idx);
+        enumerate_input_subphase(cfg, &st, i + 1, _path, out);
+        _path.pop();
+    }
+}
+
+/// All output-subphase decisions (≤1 transfer per output port).
+fn enumerate_output_subphase(
+    cfg: &SwitchConfig,
+    state: &State,
+    j: usize,
+    _path: &mut Vec<usize>,
+    out: &mut Vec<(State, bool)>,
+) {
+    if j == cfg.n_outputs {
+        out.push((state.clone(), !_path.is_empty()));
+        return;
+    }
+    enumerate_output_subphase(cfg, state, j + 1, _path, out);
+    for i in 0..cfg.n_inputs {
+        let idx = i * cfg.n_outputs + j;
+        if state.cb[idx].is_empty() {
+            continue;
+        }
+        let head = state.cb[idx][0];
+        let Some(preempt) = transfer_mode(head, &state.oq[j], cfg.output_capacity) else {
+            continue;
+        };
+        let mut st = state.clone();
+        let head_val = st.cb[idx].remove(0);
+        if preempt {
+            st.oq[j].pop();
+        }
+        insert_sorted(&mut st.oq[j], head_val);
+        _path.push(idx);
+        enumerate_output_subphase(cfg, &st, j + 1, _path, out);
+        _path.pop();
+    }
+}
+
+fn apply_transfer_pair(from: &mut Vec<Value>, to: &mut Vec<Value>, preempt: bool) {
+    apply_transfer(from, to, preempt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::PortId;
+
+    fn trace(tuples: &[(u64, u16, u16, u64)]) -> Trace {
+        Trace::from_tuples(
+            tuples
+                .iter()
+                .map(|&(t, i, j, v)| (t, PortId(i), PortId(j), v)),
+        )
+    }
+
+    fn opt(cfg: &SwitchConfig, tr: &Trace) -> u128 {
+        exact_opt(cfg, tr, BruteForceLimits::default()).unwrap().0
+    }
+
+    #[test]
+    fn empty_instance() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        assert_eq!(opt(&cfg, &Trace::default()), 0);
+    }
+
+    #[test]
+    fn single_packet() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        assert_eq!(opt(&cfg, &trace(&[(0, 0, 1, 7)])), 7);
+    }
+
+    #[test]
+    fn buffer_overflow_keeps_best() {
+        // B(Q_ij)=1, one slot, values 3 and 9 to the same queue.
+        let cfg = SwitchConfig::cioq(1, 1, 1);
+        assert_eq!(opt(&cfg, &trace(&[(0, 0, 0, 3), (0, 0, 0, 9)])), 9);
+    }
+
+    #[test]
+    fn opt_exploits_matching_choice() {
+        // Inputs 0,1 both have packets for output 0; input 0 also for
+        // output 1. Speedup 1, one slot of arrivals. OPT: cycle of slot 0
+        // moves (0->1) and (1->0); slot 1 moves (0->0). All 3 delivered.
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 0, 1, 1), (0, 1, 0, 1)]);
+        assert_eq!(opt(&cfg, &tr), 3);
+    }
+
+    #[test]
+    fn output_queue_capacity_binds() {
+        // 1x1 switch, B_in=3, B_out=1, speedup 3: even with huge fabric
+        // speed, one packet transmits per slot and the output queue holds
+        // only 1 — but input queues retain the rest, so over 3 slots all
+        // 3 unit packets are delivered.
+        let cfg = SwitchConfig::builder(1, 1)
+            .speedup(3)
+            .input_capacity(3)
+            .output_capacity(1)
+            .build()
+            .unwrap();
+        let tr = trace(&[(0, 0, 0, 1), (0, 0, 0, 1), (0, 0, 0, 1)]);
+        assert_eq!(opt(&cfg, &tr), 3);
+    }
+
+    #[test]
+    fn preemption_upgrades_output_queue() {
+        // B_out = 1, speedup 2. Slot 0: value 5 fills the output queue in
+        // cycle 1; cycle 2 can preempt it with the 100 from another input.
+        // OPT instead transfers 100 first and keeps 5 in the input queue:
+        // both delivered (5 one slot later) = 105.
+        let cfg = SwitchConfig::builder(2, 1)
+            .speedup(2)
+            .input_capacity(1)
+            .output_capacity(1)
+            .build()
+            .unwrap();
+        let tr = trace(&[(0, 0, 0, 5), (0, 1, 0, 100)]);
+        assert_eq!(opt(&cfg, &tr), 105);
+    }
+
+    #[test]
+    fn crossbar_exact_opt_runs() {
+        let cfg = SwitchConfig::crossbar(2, 2, 1, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 1, 1, 1), (1, 0, 1, 1)]);
+        assert_eq!(opt(&cfg, &tr), 3);
+    }
+
+    #[test]
+    fn crossbar_buffer_pipelines_contention() {
+        // Both inputs to output 0, B(C)=1, speedup 1: input subphase moves
+        // both packets into their crosspoints in slot 0; output subphase
+        // takes one per slot. All delivered.
+        let cfg = SwitchConfig::crossbar(2, 1, 1, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 1, 0, 1)]);
+        assert_eq!(opt(&cfg, &tr), 2);
+    }
+
+    #[test]
+    fn state_limit_returns_none() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let tr = trace(&[(0, 0, 0, 1), (1, 0, 1, 1), (2, 1, 0, 1), (3, 1, 1, 1)]);
+        let result = exact_opt(&cfg, &tr, BruteForceLimits { max_states: 1 });
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn flood_instance_matches_formula() {
+        // The gm_iq_flood OPT formula (2m-1)*b, checked by brute force on
+        // a small instance: m=2, b=1 -> 3.
+        let cfg = SwitchConfig::iq_model(2, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 1, 0, 1), (1, 1, 0, 1)]);
+        assert_eq!(opt(&cfg, &tr), 3);
+    }
+}

@@ -1,0 +1,325 @@
+//! Time-expanded flow networks for the two OPT relaxations.
+//!
+//! Shared structure (one copy per slot `t`):
+//!
+//! ```text
+//!   packets ─► [IQ chain, cap B_in] ─► fabric stage(s) ─► [OQ chain, cap B_out] ─► sink (1/slot)
+//!                    │ carryover                                  │ carryover
+//!                    ▼ t+1                                        ▼ t+1
+//! ```
+//!
+//! *Per-output* (one network per output `j`): the fabric stage is a single
+//! per-slot aggregate of capacity `ŝ` (at most one packet enters `Q_j` per
+//! cycle). The constraint "input port `i` releases ≤ 1 packet per cycle
+//! *across all outputs*" is dropped — that is the relaxation.
+//!
+//! *Destination-oblivious* (one network for the whole switch): per-slot
+//! input-port nodes (cap `ŝ`) and output-port nodes (cap `ŝ`) are both kept
+//! — by König's edge-colouring theorem a per-slot transfer multiset with
+//! degrees ≤ `ŝ` is exactly realizable as `ŝ` matchings — but the fabric
+//! connects every input-port node to every output-port node, i.e. packets
+//! forget their destination. That is this relaxation.
+//!
+//! Buffered crossbar configs get an extra buffered stage: per-output keeps
+//! per-crosspoint queues `C_ij` exactly; the oblivious network pools row
+//! `i`'s crosspoints into one buffer of capacity `M·B_c` (a further
+//! relaxation, still sound).
+
+use cioq_flow::profit::{max_profit_by_classes, merge_classes, ValueClass};
+use cioq_flow::FlowNetwork;
+use cioq_model::{SwitchConfig, Value};
+use cioq_sim::Trace;
+use std::collections::HashMap;
+
+/// Horizon: arrival slots plus enough drain slots to empty every buffer
+/// through a single output (`B_out + N·B_in (+ N·B_c)`).
+pub(crate) fn horizon(cfg: &SwitchConfig, trace: &Trace) -> u64 {
+    let drain = cfg.output_capacity
+        + cfg.n_inputs * cfg.input_capacity
+        + cfg.n_inputs * cfg.crossbar_capacity.unwrap_or(0);
+    trace.arrival_slots() + drain as u64 + 1
+}
+
+/// The per-output relaxation bound: Σ_j maxprofit(network_j).
+pub(crate) fn per_output_bound(cfg: &SwitchConfig, trace: &Trace) -> u128 {
+    (0..cfg.n_outputs)
+        .map(|j| per_output_single(cfg, trace, j))
+        .sum()
+}
+
+fn per_output_single(cfg: &SwitchConfig, trace: &Trace, j: usize) -> u128 {
+    let h = horizon(cfg, trace) as usize;
+    let n = cfg.n_inputs;
+    let s_hat = cfg.speedup as u64;
+    let has_cb = cfg.crossbar_capacity.is_some();
+    let b_cb = cfg.crossbar_capacity.unwrap_or(0) as u64;
+
+    let mut net = FlowNetwork::new();
+    let source = net.add_node();
+    let sink = net.add_node();
+
+    // Node id helpers (all chains are split into in/out pairs).
+    let iq_base = net.add_nodes(2 * n * h);
+    let iq_in = |i: usize, t: usize| iq_base + 2 * (t * n + i);
+    let iq_out = |i: usize, t: usize| iq_base + 2 * (t * n + i) + 1;
+    let cb_base = if has_cb { net.add_nodes(2 * n * h) } else { 0 };
+    let cb_in = move |i: usize, t: usize| cb_base + 2 * (t * n + i);
+    let cb_out = move |i: usize, t: usize| cb_base + 2 * (t * n + i) + 1;
+    let agg_base = net.add_nodes(2 * h);
+    let agg_in = |t: usize| agg_base + 2 * t;
+    let agg_out = |t: usize| agg_base + 2 * t + 1;
+    let oq_base = net.add_nodes(2 * h);
+    let oq_in = |t: usize| oq_base + 2 * t;
+    let oq_out = |t: usize| oq_base + 2 * t + 1;
+
+    for t in 0..h {
+        for i in 0..n {
+            net.add_arc(iq_in(i, t), iq_out(i, t), cfg.input_capacity as u64);
+            if t + 1 < h {
+                net.add_arc(iq_out(i, t), iq_in(i, t + 1), cfg.input_capacity as u64);
+            }
+            if has_cb {
+                net.add_arc(iq_out(i, t), cb_in(i, t), s_hat);
+                // Through-capacity is B_c + ŝ: insertions (input subphase)
+                // and removals (output subphase) interleave across the ŝ
+                // cycles of a slot, so up to ŝ packets can pass through a
+                // momentarily-full crosspoint on top of its carryover.
+                net.add_arc(cb_in(i, t), cb_out(i, t), b_cb + s_hat);
+                if t + 1 < h {
+                    net.add_arc(cb_out(i, t), cb_in(i, t + 1), b_cb);
+                }
+                net.add_arc(cb_out(i, t), agg_in(t), s_hat);
+            } else {
+                net.add_arc(iq_out(i, t), agg_in(t), s_hat);
+            }
+        }
+        net.add_arc(agg_in(t), agg_out(t), s_hat);
+        net.add_arc(agg_out(t), oq_in(t), s_hat);
+        net.add_arc(oq_in(t), oq_out(t), cfg.output_capacity as u64);
+        if t + 1 < h {
+            net.add_arc(oq_out(t), oq_in(t + 1), cfg.output_capacity as u64);
+        }
+        net.add_arc(oq_out(t), sink, 1);
+    }
+
+    // Value classes: packets destined to output j, grouped by value and
+    // entry node.
+    let mut entries: HashMap<(Value, usize), u64> = HashMap::new();
+    for p in trace.packets() {
+        if p.output.index() != j {
+            continue;
+        }
+        *entries
+            .entry((p.value, iq_in(p.input.index(), p.arrival as usize)))
+            .or_insert(0) += 1;
+    }
+    let classes = merge_classes(
+        entries
+            .into_iter()
+            .map(|((value, node), cap)| ValueClass {
+                value,
+                entries: vec![(node, cap)],
+            })
+            .collect(),
+    );
+    max_profit_by_classes(&mut net, source, sink, classes).profit
+}
+
+/// The destination-oblivious relaxation bound.
+pub(crate) fn oblivious_bound(cfg: &SwitchConfig, trace: &Trace) -> u128 {
+    let h = horizon(cfg, trace) as usize;
+    let n = cfg.n_inputs;
+    let m = cfg.n_outputs;
+    let s_hat = cfg.speedup as u64;
+    let has_cb = cfg.crossbar_capacity.is_some();
+    let b_row = (cfg.crossbar_capacity.unwrap_or(0) * m) as u64;
+
+    let mut net = FlowNetwork::new();
+    let source = net.add_node();
+    let sink = net.add_node();
+
+    let iq_base = net.add_nodes(2 * n * m * h);
+    let iq_in = |i: usize, jj: usize, t: usize| iq_base + 2 * ((t * n + i) * m + jj);
+    let iq_out = |i: usize, jj: usize, t: usize| iq_base + 2 * ((t * n + i) * m + jj) + 1;
+    let ip_base = net.add_nodes(2 * n * h);
+    let ip_in = |i: usize, t: usize| ip_base + 2 * (t * n + i);
+    let ip_out = |i: usize, t: usize| ip_base + 2 * (t * n + i) + 1;
+    let row_base = if has_cb { net.add_nodes(2 * n * h) } else { 0 };
+    let row_in = move |i: usize, t: usize| row_base + 2 * (t * n + i);
+    let row_out = move |i: usize, t: usize| row_base + 2 * (t * n + i) + 1;
+    let op_base = net.add_nodes(2 * m * h);
+    let op_in = |jj: usize, t: usize| op_base + 2 * (t * m + jj);
+    let op_out = |jj: usize, t: usize| op_base + 2 * (t * m + jj) + 1;
+    let oq_base = net.add_nodes(2 * m * h);
+    let oq_in = |jj: usize, t: usize| oq_base + 2 * (t * m + jj);
+    let oq_out = |jj: usize, t: usize| oq_base + 2 * (t * m + jj) + 1;
+
+    for t in 0..h {
+        for i in 0..n {
+            for jj in 0..m {
+                net.add_arc(iq_in(i, jj, t), iq_out(i, jj, t), cfg.input_capacity as u64);
+                if t + 1 < h {
+                    net.add_arc(
+                        iq_out(i, jj, t),
+                        iq_in(i, jj, t + 1),
+                        cfg.input_capacity as u64,
+                    );
+                }
+                net.add_arc(iq_out(i, jj, t), ip_in(i, t), s_hat);
+            }
+            net.add_arc(ip_in(i, t), ip_out(i, t), s_hat);
+            if has_cb {
+                // Pooled crosspoint row buffer (cap M·B_c), then fan out.
+                net.add_arc(ip_out(i, t), row_in(i, t), s_hat);
+                net.add_arc(row_in(i, t), row_out(i, t), b_row + s_hat);
+                if t + 1 < h {
+                    net.add_arc(row_out(i, t), row_in(i, t + 1), b_row);
+                }
+                for jj in 0..m {
+                    net.add_arc(row_out(i, t), op_in(jj, t), s_hat);
+                }
+            } else {
+                for jj in 0..m {
+                    net.add_arc(ip_out(i, t), op_in(jj, t), s_hat);
+                }
+            }
+        }
+        for jj in 0..m {
+            net.add_arc(op_in(jj, t), op_out(jj, t), s_hat);
+            net.add_arc(op_out(jj, t), oq_in(jj, t), s_hat);
+            net.add_arc(oq_in(jj, t), oq_out(jj, t), cfg.output_capacity as u64);
+            if t + 1 < h {
+                net.add_arc(oq_out(jj, t), oq_in(jj, t + 1), cfg.output_capacity as u64);
+            }
+            net.add_arc(oq_out(jj, t), sink, 1);
+        }
+    }
+
+    let mut entries: HashMap<(Value, usize), u64> = HashMap::new();
+    for p in trace.packets() {
+        let node = iq_in(p.input.index(), p.output.index(), p.arrival as usize);
+        *entries.entry((p.value, node)).or_insert(0) += 1;
+    }
+    let classes = merge_classes(
+        entries
+            .into_iter()
+            .map(|((value, node), cap)| ValueClass {
+                value,
+                entries: vec![(node, cap)],
+            })
+            .collect(),
+    );
+    max_profit_by_classes(&mut net, source, sink, classes).profit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::PortId;
+
+    fn trace(tuples: &[(u64, u16, u16, u64)]) -> Trace {
+        Trace::from_tuples(
+            tuples
+                .iter()
+                .map(|&(t, i, j, v)| (t, PortId(i), PortId(j), v)),
+        )
+    }
+
+    #[test]
+    fn single_packet_flows_through() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let tr = trace(&[(0, 0, 1, 5)]);
+        assert_eq!(per_output_bound(&cfg, &tr), 5);
+        assert_eq!(oblivious_bound(&cfg, &tr), 5);
+    }
+
+    #[test]
+    fn transmission_rate_caps_throughput() {
+        // 6 unit packets to one output in one slot, B large: the output
+        // can transmit 1/slot and buffer B; all 6 eventually deliverable.
+        let cfg = SwitchConfig::cioq(2, 8, 1);
+        let tr = trace(&[
+            (0, 0, 0, 1),
+            (0, 0, 0, 1),
+            (0, 0, 0, 1),
+            (0, 1, 0, 1),
+            (0, 1, 0, 1),
+            (0, 1, 0, 1),
+        ]);
+        assert_eq!(per_output_bound(&cfg, &tr), 6);
+        assert_eq!(oblivious_bound(&cfg, &tr), 6);
+    }
+
+    #[test]
+    fn input_buffer_capacity_limits_acceptance() {
+        // B(Q_ij) = 1: three same-slot packets into one queue -> only one
+        // can be accepted (no scheduling happens before the arrival phase
+        // ends... but a same-slot transfer frees nothing DURING arrivals).
+        let cfg = SwitchConfig::cioq(1, 1, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 0, 0, 1), (0, 0, 0, 1)]);
+        assert_eq!(per_output_bound(&cfg, &tr), 1);
+        // Spread over slots they all fit.
+        let tr = trace(&[(0, 0, 0, 1), (1, 0, 0, 1), (2, 0, 0, 1)]);
+        assert_eq!(per_output_bound(&cfg, &tr), 3);
+    }
+
+    #[test]
+    fn weighted_bound_prefers_value() {
+        // B=1 queue, same slot: values 1 and 9 compete for the slot.
+        let cfg = SwitchConfig::cioq(1, 1, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 0, 0, 9)]);
+        assert_eq!(per_output_bound(&cfg, &tr), 9);
+        assert_eq!(oblivious_bound(&cfg, &tr), 9);
+    }
+
+    #[test]
+    fn oblivious_keeps_input_port_coupling() {
+        // One input, two outputs, speedup 1, 2 slots: the input port can
+        // release only 1 packet per cycle, so of the 4 packets (2 per
+        // output, all arriving slot 0, B_in >= 2) only 2 can cross within
+        // 2 slots... they continue draining in later slots though. Use the
+        // *transmission* cap to pin the difference instead: input coupling
+        // means at most `slots` packets total can ever cross the fabric.
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        // Both packets at input 0, different outputs, same slot:
+        let tr = trace(&[(0, 0, 0, 1), (0, 0, 1, 1)]);
+        // Per-output bound decouples: each output sees its own packet ->
+        // bound 2. Oblivious keeps the port cap but packets drain over two
+        // slots -> also 2. Both sound; equality here.
+        assert_eq!(per_output_bound(&cfg, &tr), 2);
+        assert_eq!(oblivious_bound(&cfg, &tr), 2);
+    }
+
+    #[test]
+    fn crossbar_stage_adds_buffering() {
+        // CIOQ with B_in=1: second same-slot packet to the same queue is
+        // lost. A crossbar with B_c=1 cannot help *during* the arrival
+        // phase (transfers happen in the scheduling phase), so the bound
+        // is unchanged here — but a burst across two slots can pipeline.
+        let cioq = SwitchConfig::cioq(1, 1, 1);
+        let xbar = SwitchConfig::crossbar(1, 1, 1, 1);
+        let tr = trace(&[(0, 0, 0, 1), (0, 0, 0, 1)]);
+        assert_eq!(per_output_bound(&cioq, &tr), 1);
+        assert_eq!(per_output_bound(&xbar, &tr), 1);
+        let tr2 = trace(&[(0, 0, 0, 1), (1, 0, 0, 1), (2, 0, 0, 1)]);
+        assert_eq!(per_output_bound(&xbar, &tr2), 3);
+    }
+
+    #[test]
+    fn speedup_relaxes_fabric_not_transmission() {
+        // 4 packets, one output, speedup 4, B_out=4: all cross in slot 0,
+        // but transmission is still 1/slot -> all 4 delivered over 4 slots.
+        let cfg = SwitchConfig::cioq(4, 4, 4);
+        let tr = trace(&[(0, 0, 0, 1), (0, 1, 0, 1), (0, 2, 0, 1), (0, 3, 0, 1)]);
+        assert_eq!(per_output_bound(&cfg, &tr), 4);
+        assert_eq!(oblivious_bound(&cfg, &tr), 4);
+    }
+
+    #[test]
+    fn empty_trace_zero_bound() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let tr = Trace::default();
+        assert_eq!(per_output_bound(&cfg, &tr), 0);
+        assert_eq!(oblivious_bound(&cfg, &tr), 0);
+    }
+}

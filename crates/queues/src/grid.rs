@@ -1,0 +1,150 @@
+//! Dense row-major grid indexed by (input port, output port).
+
+use cioq_model::PortId;
+
+/// An `n_inputs × n_outputs` matrix of `T`, used for the virtual output
+/// queues `Q_ij` and the crossbar queues `C_ij`.
+///
+/// Stored row-major (input-major) in one contiguous allocation, so iterating
+/// a single input port's queues is cache-friendly — that is the access
+/// pattern of every scheduling policy in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid<T> {
+    n_inputs: usize,
+    n_outputs: usize,
+    cells: Vec<T>,
+}
+
+impl<T> Grid<T> {
+    /// Build a grid by calling `f(i, j)` for every cell.
+    pub fn from_fn(n_inputs: usize, n_outputs: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut cells = Vec::with_capacity(n_inputs * n_outputs);
+        for i in 0..n_inputs {
+            for j in 0..n_outputs {
+                cells.push(f(i, j));
+            }
+        }
+        Grid {
+            n_inputs,
+            n_outputs,
+            cells,
+        }
+    }
+
+    /// Number of input-port rows.
+    #[inline]
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of output-port columns.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n_inputs && j < self.n_outputs);
+        i * self.n_outputs + j
+    }
+
+    /// Shared access to cell `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> &T {
+        &self.cells[self.idx(i, j)]
+    }
+
+    /// Mutable access to cell `(i, j)`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut T {
+        let idx = self.idx(i, j);
+        &mut self.cells[idx]
+    }
+
+    /// Shared access via typed port ids.
+    #[inline]
+    pub fn at(&self, input: PortId, output: PortId) -> &T {
+        self.get(input.index(), output.index())
+    }
+
+    /// Mutable access via typed port ids.
+    #[inline]
+    pub fn at_mut(&mut self, input: PortId, output: PortId) -> &mut T {
+        self.get_mut(input.index(), output.index())
+    }
+
+    /// Iterate one input port's row `(j, &cell)`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, &T)> {
+        let start = i * self.n_outputs;
+        self.cells[start..start + self.n_outputs]
+            .iter()
+            .enumerate()
+    }
+
+    /// Iterate one output port's column `(i, &cell)`.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = (usize, &T)> + '_ {
+        (0..self.n_inputs).map(move |i| (i, self.get(i, j)))
+    }
+
+    /// Iterate all cells as `(i, j, &cell)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let n_outputs = self.n_outputs;
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(k, c)| (k / n_outputs, k % n_outputs, c))
+    }
+
+    /// Iterate all cells mutably as `(i, j, &mut cell)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, usize, &mut T)> {
+        let n_outputs = self.n_outputs;
+        self.cells
+            .iter_mut()
+            .enumerate()
+            .map(move |(k, c)| (k / n_outputs, k % n_outputs, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_fills_row_major() {
+        let g = Grid::from_fn(2, 3, |i, j| 10 * i + j);
+        assert_eq!(*g.get(0, 0), 0);
+        assert_eq!(*g.get(0, 2), 2);
+        assert_eq!(*g.get(1, 1), 11);
+        assert_eq!(g.n_inputs(), 2);
+        assert_eq!(g.n_outputs(), 3);
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let g = Grid::from_fn(3, 2, |i, j| (i, j));
+        let row: Vec<_> = g.row(1).map(|(j, &(i2, j2))| (j, i2, j2)).collect();
+        assert_eq!(row, vec![(0, 1, 0), (1, 1, 1)]);
+        let col: Vec<_> = g.column(1).map(|(i, &(i2, j2))| (i, i2, j2)).collect();
+        assert_eq!(col, vec![(0, 0, 1), (1, 1, 1), (2, 2, 1)]);
+    }
+
+    #[test]
+    fn iter_yields_coordinates() {
+        let g = Grid::from_fn(2, 2, |i, j| i + j);
+        let all: Vec<_> = g.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(all, vec![(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 2)]);
+    }
+
+    #[test]
+    fn mutation_through_port_ids() {
+        let mut g = Grid::from_fn(2, 2, |_, _| 0);
+        *g.at_mut(PortId(1), PortId(0)) = 7;
+        assert_eq!(*g.at(PortId(1), PortId(0)), 7);
+        for (_, _, v) in g.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(*g.get(0, 0), 1);
+        assert_eq!(*g.get(1, 0), 8);
+    }
+}

@@ -1,0 +1,289 @@
+//! Bounded value-sorted packet queue.
+
+use cioq_model::{Packet, PacketId, Value};
+
+/// A bounded, non-FIFO packet queue kept sorted by (value desc, id asc).
+///
+/// * `head()` is `g` — the packet with the greatest value (paper notation
+///   `g_ij(t)`), position 1 in the paper's `δ(k, t)` indexing.
+/// * `tail()` is `l` — the packet with the least value (`l_ij(t)` / `l_j(t)`).
+/// * `insert` refuses to overflow: callers decide whether to preempt first
+///   (that decision is algorithm policy, not buffer mechanics).
+///
+/// The queue never allocates after construction: backing storage is reserved
+/// to `capacity` up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedQueue {
+    /// Sorted packets, index 0 = head = greatest value.
+    items: Vec<Packet>,
+    capacity: usize,
+}
+
+impl SortedQueue {
+    /// Create an empty queue with capacity `B ≥ 1`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be >= 1");
+        SortedQueue {
+            items: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity `B(Q)`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of packets currently stored, `|Q(t)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no packets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The packet with the greatest value (`g`), if any.
+    #[inline]
+    pub fn head(&self) -> Option<&Packet> {
+        self.items.first()
+    }
+
+    /// The packet with the least value (`l`), if any.
+    #[inline]
+    pub fn tail(&self) -> Option<&Packet> {
+        self.items.last()
+    }
+
+    /// Value of the head packet, if any.
+    #[inline]
+    pub fn head_value(&self) -> Option<Value> {
+        self.head().map(|p| p.value)
+    }
+
+    /// Value of the tail (least) packet, if any.
+    #[inline]
+    pub fn tail_value(&self) -> Option<Value> {
+        self.tail().map(|p| p.value)
+    }
+
+    /// Packet at paper position `k` (1-based; 1 = head), i.e. `δ(k, t)`.
+    pub fn at_position(&self, k: usize) -> Option<&Packet> {
+        if k == 0 {
+            return None;
+        }
+        self.items.get(k - 1)
+    }
+
+    /// Iterate packets head-to-tail (descending value).
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.items.iter()
+    }
+
+    /// Sum of all stored values (u128 to match benefit accounting).
+    pub fn total_value(&self) -> u128 {
+        self.items.iter().map(|p| p.value as u128).sum()
+    }
+
+    /// Insert a packet, keeping sorted order. Returns `Err(packet)` if the
+    /// queue is full (the caller may preempt and retry).
+    pub fn insert(&mut self, p: Packet) -> Result<(), Packet> {
+        if self.is_full() {
+            return Err(p);
+        }
+        let pos = self.items.partition_point(|q| q.queue_key() <= p.queue_key());
+        self.items.insert(pos, p);
+        Ok(())
+    }
+
+    /// Remove and return the head (greatest-value) packet.
+    pub fn pop_head(&mut self) -> Option<Packet> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+
+    /// Remove and return the tail (least-value) packet — the preemption
+    /// victim `l` in PG/CPG ("if p is accepted while the queue is full,
+    /// l is preempted").
+    pub fn pop_tail(&mut self) -> Option<Packet> {
+        self.items.pop()
+    }
+
+    /// Remove a specific packet by id. O(B).
+    pub fn remove(&mut self, id: PacketId) -> Option<Packet> {
+        let pos = self.items.iter().position(|p| p.id == id)?;
+        Some(self.items.remove(pos))
+    }
+
+    /// Find a packet by id.
+    pub fn get(&self, id: PacketId) -> Option<&Packet> {
+        self.items.iter().find(|p| p.id == id)
+    }
+
+    /// Whether the invariant (sorted by value desc, id asc; within capacity)
+    /// holds. Used by the simulator's validation mode and by property tests.
+    pub fn check_invariants(&self) -> bool {
+        if self.items.len() > self.capacity {
+            return false;
+        }
+        self.items
+            .windows(2)
+            .all(|w| w[0].queue_key() <= w[1].queue_key())
+    }
+
+    /// Drain all packets (used when tearing down a run to account for
+    /// residual buffered value).
+    pub fn drain_all(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::{PacketId, PortId};
+    use proptest::prelude::*;
+
+    fn mk(id: u64, value: Value) -> Packet {
+        Packet::new(PacketId(id), value, 0, PortId(0), PortId(0))
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut q = SortedQueue::new(8);
+        for (id, v) in [(0, 5), (1, 9), (2, 1), (3, 9), (4, 7)] {
+            q.insert(mk(id, v)).unwrap();
+        }
+        let values: Vec<_> = q.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![9, 9, 7, 5, 1]);
+        // Equal values: lower id first (assumption A3 consistency).
+        assert_eq!(q.head().unwrap().id, PacketId(1));
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn full_queue_rejects_insert() {
+        let mut q = SortedQueue::new(2);
+        q.insert(mk(0, 1)).unwrap();
+        q.insert(mk(1, 2)).unwrap();
+        let rejected = q.insert(mk(2, 3)).unwrap_err();
+        assert_eq!(rejected.id, PacketId(2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn preempt_least_then_insert() {
+        let mut q = SortedQueue::new(2);
+        q.insert(mk(0, 1)).unwrap();
+        q.insert(mk(1, 5)).unwrap();
+        let victim = q.pop_tail().unwrap();
+        assert_eq!(victim.value, 1);
+        q.insert(mk(2, 9)).unwrap();
+        assert_eq!(q.head_value(), Some(9));
+        assert_eq!(q.tail_value(), Some(5));
+    }
+
+    #[test]
+    fn head_and_tail_on_empty() {
+        let mut q = SortedQueue::new(1);
+        assert!(q.head().is_none());
+        assert!(q.tail().is_none());
+        assert!(q.pop_head().is_none());
+        assert!(q.pop_tail().is_none());
+    }
+
+    #[test]
+    fn position_is_one_based() {
+        let mut q = SortedQueue::new(4);
+        q.insert(mk(0, 3)).unwrap();
+        q.insert(mk(1, 7)).unwrap();
+        assert_eq!(q.at_position(0), None);
+        assert_eq!(q.at_position(1).unwrap().value, 7);
+        assert_eq!(q.at_position(2).unwrap().value, 3);
+        assert_eq!(q.at_position(3), None);
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut q = SortedQueue::new(4);
+        q.insert(mk(0, 3)).unwrap();
+        q.insert(mk(1, 7)).unwrap();
+        q.insert(mk(2, 5)).unwrap();
+        assert_eq!(q.remove(PacketId(2)).unwrap().value, 5);
+        assert_eq!(q.remove(PacketId(2)), None);
+        assert_eq!(q.len(), 2);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn total_value_sums() {
+        let mut q = SortedQueue::new(4);
+        q.insert(mk(0, 3)).unwrap();
+        q.insert(mk(1, 7)).unwrap();
+        assert_eq!(q.total_value(), 10);
+    }
+
+    proptest! {
+        /// Random insert / pop-head / pop-tail / remove sequences keep the
+        /// queue sorted, within capacity, and consistent with a model
+        /// implemented over a plain sorted Vec.
+        #[test]
+        fn random_ops_preserve_invariants(
+            cap in 1usize..8,
+            ops in prop::collection::vec((0u8..4, 1u64..16), 0..64)
+        ) {
+            let mut q = SortedQueue::new(cap);
+            let mut model: Vec<Packet> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, v) in ops {
+                match op {
+                    0 => {
+                        let p = mk(next_id, v);
+                        next_id += 1;
+                        let res = q.insert(p);
+                        if model.len() < cap {
+                            prop_assert!(res.is_ok());
+                            model.push(p);
+                            model.sort_by_key(|p| p.queue_key());
+                        } else {
+                            prop_assert!(res.is_err());
+                        }
+                    }
+                    1 => {
+                        let got = q.pop_head().map(|p| p.id);
+                        let want = if model.is_empty() { None } else { Some(model.remove(0).id) };
+                        prop_assert_eq!(got, want);
+                    }
+                    2 => {
+                        let got = q.pop_tail().map(|p| p.id);
+                        let want = model.pop().map(|p| p.id);
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        // remove a pseudo-random existing id (if any)
+                        if let Some(p) = model.get((v as usize) % model.len().max(1)).copied() {
+                            let got = q.remove(p.id);
+                            prop_assert!(got.is_some());
+                            model.retain(|m| m.id != p.id);
+                        }
+                    }
+                }
+                prop_assert!(q.check_invariants());
+                prop_assert_eq!(q.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The simulation engine: executes slots phase by phase, validating every
+//! policy decision against the model of §1.3.
+
+use crate::policy::{
+    Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
+    Transfer, TransmitChoice,
+};
+use crate::source::{ArrivalSource, TraceSource};
+use crate::state::SwitchState;
+use crate::stats::{RunReport, StatsRecorder};
+use crate::trace::Trace;
+use crate::validate::check_state_invariants;
+use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig};
+use cioq_queues::SortedQueue;
+
+/// Options controlling a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Arrival slots to simulate; defaults to the source's horizon.
+    pub slots: Option<SlotId>,
+    /// After the arrival slots, keep running (arrival-free) slots until the
+    /// switch is empty or no progress is made, so buffered packets can
+    /// drain. On for benefit comparisons; off for steady-state studies.
+    pub drain: bool,
+    /// Run full structural invariant checks after every phase (slow; meant
+    /// for tests).
+    pub validate: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            slots: None,
+            drain: true,
+            validate: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// Reusable engine: owns the switch state, stats, and all scratch buffers.
+/// One `Engine` runs one simulation; construct a new one per run (cheap).
+pub struct Engine {
+    state: SwitchState,
+    stats: StatsRecorder,
+    options: RunOptions,
+    // Scratch (reused every slot — the hot path never allocates).
+    arrivals: Vec<Packet>,
+    transfers: Vec<Transfer>,
+    in_transfers: Vec<InputTransfer>,
+    out_transfers: Vec<OutputTransfer>,
+    input_used: Vec<bool>,
+    output_used: Vec<bool>,
+}
+
+impl Engine {
+    /// New engine for one run of `config` under `options`.
+    pub fn new(config: SwitchConfig, options: RunOptions) -> Self {
+        let n_outputs = config.n_outputs;
+        let n_inputs = config.n_inputs;
+        Engine {
+            state: SwitchState::new(config),
+            stats: StatsRecorder::new(n_outputs),
+            options,
+            arrivals: Vec::new(),
+            transfers: Vec::new(),
+            in_transfers: Vec::new(),
+            out_transfers: Vec::new(),
+            input_used: vec![false; n_inputs],
+            output_used: vec![false; n_outputs],
+        }
+    }
+
+    /// Run a CIOQ policy against an arrival source.
+    pub fn run_cioq<P: CioqPolicy + ?Sized>(
+        mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<RunReport, PolicyError> {
+        assert!(
+            self.state.config().crossbar_capacity.is_none(),
+            "run_cioq requires a CIOQ config (no crossbar capacity)"
+        );
+        let arrival_slots = self.options.slots.or_else(|| source.horizon()).unwrap_or(0);
+        let speedup = self.state.config().speedup;
+
+        let mut slot: SlotId = 0;
+        let mut idle_slots = 0u32;
+        loop {
+            let in_arrival_window = slot < arrival_slots;
+            if !in_arrival_window {
+                let done = !self.options.drain
+                    || self.state.residual_count() == 0
+                    || idle_slots >= 2;
+                if done {
+                    break;
+                }
+            }
+            self.state.slot = slot;
+            let transmitted_before = self.stats.transmitted;
+            let moved_before = self.stats.transferred + self.stats.transferred_to_crossbar;
+
+            // --- Arrival phase ---
+            if in_arrival_window {
+                self.arrival_phase(policy_admit_cioq(policy), source, slot)?;
+            }
+
+            // --- Scheduling phase: ŝ cycles ---
+            for s in 0..speedup {
+                let cycle = Cycle { slot, index: s };
+                self.transfers.clear();
+                let mut transfers = std::mem::take(&mut self.transfers);
+                policy.schedule(&self.state.view(), cycle, &mut transfers);
+                self.apply_cioq_transfers(&transfers)?;
+                self.transfers = transfers;
+                self.post_phase_check();
+            }
+
+            // --- Transmission phase ---
+            for j in 0..self.state.config().n_outputs {
+                let output = PortId::from(j);
+                let choice = policy.transmit(&self.state.view(), output);
+                self.apply_transmit(output, choice)?;
+            }
+            self.post_phase_check();
+
+            let progressed = self.stats.transmitted != transmitted_before
+                || self.stats.transferred + self.stats.transferred_to_crossbar != moved_before;
+            idle_slots = if progressed { 0 } else { idle_slots + 1 };
+            slot += 1;
+        }
+
+        Ok(self.finish(policy.name().to_string(), slot))
+    }
+
+    /// Run a buffered-crossbar policy against an arrival source.
+    pub fn run_crossbar<P: CrossbarPolicy + ?Sized>(
+        mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<RunReport, PolicyError> {
+        assert!(
+            self.state.config().crossbar_capacity.is_some(),
+            "run_crossbar requires a crossbar config"
+        );
+        let arrival_slots = self.options.slots.or_else(|| source.horizon()).unwrap_or(0);
+        let speedup = self.state.config().speedup;
+
+        let mut slot: SlotId = 0;
+        let mut idle_slots = 0u32;
+        loop {
+            let in_arrival_window = slot < arrival_slots;
+            if !in_arrival_window {
+                let done = !self.options.drain
+                    || self.state.residual_count() == 0
+                    || idle_slots >= 2;
+                if done {
+                    break;
+                }
+            }
+            self.state.slot = slot;
+            let transmitted_before = self.stats.transmitted;
+            let moved_before = self.stats.transferred + self.stats.transferred_to_crossbar;
+
+            // --- Arrival phase ---
+            if in_arrival_window {
+                self.arrival_phase(policy_admit_crossbar(policy), source, slot)?;
+            }
+
+            // --- Scheduling phase: ŝ cycles of (input, output) subphases ---
+            for s in 0..speedup {
+                let cycle = Cycle { slot, index: s };
+
+                self.in_transfers.clear();
+                let mut input_transfers = std::mem::take(&mut self.in_transfers);
+                policy.schedule_input(&self.state.view(), cycle, &mut input_transfers);
+                self.apply_input_subphase(&input_transfers)?;
+                self.in_transfers = input_transfers;
+
+                self.out_transfers.clear();
+                let mut output_transfers = std::mem::take(&mut self.out_transfers);
+                policy.schedule_output(&self.state.view(), cycle, &mut output_transfers);
+                self.apply_output_subphase(&output_transfers)?;
+                self.out_transfers = output_transfers;
+                self.post_phase_check();
+            }
+
+            // --- Transmission phase ---
+            for j in 0..self.state.config().n_outputs {
+                let output = PortId::from(j);
+                let choice = policy.transmit(&self.state.view(), output);
+                self.apply_transmit(output, choice)?;
+            }
+            self.post_phase_check();
+
+            let progressed = self.stats.transmitted != transmitted_before
+                || self.stats.transferred + self.stats.transferred_to_crossbar != moved_before;
+            idle_slots = if progressed { 0 } else { idle_slots + 1 };
+            slot += 1;
+        }
+
+        Ok(self.finish(policy.name().to_string(), slot))
+    }
+
+    // ---- phase mechanics ----
+
+    fn arrival_phase(
+        &mut self,
+        mut admit: impl FnMut(&SwitchState, &Packet) -> Admission,
+        source: &mut dyn ArrivalSource,
+        slot: SlotId,
+    ) -> Result<(), PolicyError> {
+        self.arrivals.clear();
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        source.arrivals(&self.state.view(), slot, &mut arrivals);
+        for p in &arrivals {
+            self.check_ports(p.input, p.output)?;
+            self.stats.on_arrival(p);
+            let decision = admit(&self.state, p);
+            let queue = self.state.input_queues.at_mut(p.input, p.output);
+            match decision {
+                Admission::Reject => self.stats.on_reject(p),
+                Admission::Accept => {
+                    if queue.is_full() {
+                        return Err(PolicyError::QueueFull {
+                            kind: "input",
+                            input: Some(p.input),
+                            output: p.output,
+                        });
+                    }
+                    queue.insert(*p).expect("checked not full");
+                    self.stats.on_accept();
+                }
+                Admission::AcceptPreemptingLeast => {
+                    if !queue.is_full() {
+                        return Err(PolicyError::PreemptOnNonFull {
+                            kind: "input",
+                            input: Some(p.input),
+                            output: p.output,
+                        });
+                    }
+                    let victim = queue.pop_tail().expect("full queue has a tail");
+                    self.stats.on_preempt_input(&victim);
+                    queue.insert(*p).expect("slot freed by preemption");
+                    self.stats.on_accept();
+                }
+            }
+        }
+        self.arrivals = arrivals;
+        self.post_phase_check();
+        Ok(())
+    }
+
+    fn apply_cioq_transfers(&mut self, transfers: &[Transfer]) -> Result<(), PolicyError> {
+        self.begin_matching_check();
+        for t in transfers {
+            self.check_ports(t.input, t.output)?;
+            self.mark_input(t.input)?;
+            self.mark_output(t.output)?;
+        }
+        for t in transfers {
+            let queue = self.state.input_queues.at_mut(t.input, t.output);
+            let packet = take_pick(queue, t.pick).ok_or(match t.pick {
+                PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },
+                _ => PolicyError::EmptyQueue {
+                    kind: "input",
+                    input: Some(t.input),
+                    output: t.output,
+                },
+            })?;
+            let out_queue = &mut self.state.output_queues[t.output.index()];
+            if out_queue.is_full() {
+                if !t.preempt_if_full {
+                    return Err(PolicyError::QueueFull {
+                        kind: "output",
+                        input: Some(t.input),
+                        output: t.output,
+                    });
+                }
+                let victim = out_queue.pop_tail().expect("full queue has a tail");
+                self.stats.on_preempt_output(&victim);
+            }
+            out_queue.insert(packet).expect("space ensured");
+            self.stats.on_transfer();
+        }
+        Ok(())
+    }
+
+    fn apply_input_subphase(&mut self, transfers: &[InputTransfer]) -> Result<(), PolicyError> {
+        self.begin_matching_check();
+        for t in transfers {
+            self.check_ports(t.input, t.output)?;
+            // Input subphase: ≤ 1 transfer per *input port* only.
+            self.mark_input(t.input)?;
+        }
+        for t in transfers {
+            let queue = self.state.input_queues.at_mut(t.input, t.output);
+            let packet = take_pick(queue, t.pick).ok_or(match t.pick {
+                PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },
+                _ => PolicyError::EmptyQueue {
+                    kind: "input",
+                    input: Some(t.input),
+                    output: t.output,
+                },
+            })?;
+            let xbar = self
+                .state
+                .crossbar_queues
+                .as_mut()
+                .expect("crossbar config")
+                .at_mut(t.input, t.output);
+            if xbar.is_full() {
+                if !t.preempt_if_full {
+                    return Err(PolicyError::QueueFull {
+                        kind: "crossbar",
+                        input: Some(t.input),
+                        output: t.output,
+                    });
+                }
+                let victim = xbar.pop_tail().expect("full queue has a tail");
+                self.stats.on_preempt_crossbar(&victim);
+            }
+            xbar.insert(packet).expect("space ensured");
+            self.stats.on_transfer_to_crossbar();
+        }
+        Ok(())
+    }
+
+    fn apply_output_subphase(&mut self, transfers: &[OutputTransfer]) -> Result<(), PolicyError> {
+        self.begin_matching_check();
+        for t in transfers {
+            self.check_ports(t.input, t.output)?;
+            // Output subphase: ≤ 1 transfer per *output port* only.
+            self.mark_output(t.output)?;
+        }
+        for t in transfers {
+            let xbar = self
+                .state
+                .crossbar_queues
+                .as_mut()
+                .expect("crossbar config")
+                .at_mut(t.input, t.output);
+            let packet = take_pick(xbar, t.pick).ok_or(match t.pick {
+                PacketPick::ById(id) if !xbar.is_empty() => PolicyError::NoSuchPacket { id },
+                _ => PolicyError::EmptyQueue {
+                    kind: "crossbar",
+                    input: Some(t.input),
+                    output: t.output,
+                },
+            })?;
+            let out_queue = &mut self.state.output_queues[t.output.index()];
+            if out_queue.is_full() {
+                if !t.preempt_if_full {
+                    return Err(PolicyError::QueueFull {
+                        kind: "output",
+                        input: Some(t.input),
+                        output: t.output,
+                    });
+                }
+                let victim = out_queue.pop_tail().expect("full queue has a tail");
+                self.stats.on_preempt_output(&victim);
+            }
+            out_queue.insert(packet).expect("space ensured");
+            self.stats.on_transfer();
+        }
+        Ok(())
+    }
+
+    fn apply_transmit(&mut self, output: PortId, choice: TransmitChoice) -> Result<(), PolicyError> {
+        match choice {
+            TransmitChoice::Hold => Ok(()),
+            TransmitChoice::Send(pick) => {
+                let slot = self.state.slot;
+                let queue = &mut self.state.output_queues[output.index()];
+                let packet = take_pick(queue, pick).ok_or(match pick {
+                    PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },
+                    _ => PolicyError::TransmitFromEmpty { output },
+                })?;
+                self.stats.on_transmit(&packet, slot, output.index());
+                Ok(())
+            }
+        }
+    }
+
+    // ---- validation helpers ----
+
+    fn check_ports(&self, input: PortId, output: PortId) -> Result<(), PolicyError> {
+        if input.index() >= self.state.config().n_inputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "input",
+                port: input.index(),
+            });
+        }
+        if output.index() >= self.state.config().n_outputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "output",
+                port: output.index(),
+            });
+        }
+        Ok(())
+    }
+
+    fn begin_matching_check(&mut self) {
+        self.input_used.iter_mut().for_each(|b| *b = false);
+        self.output_used.iter_mut().for_each(|b| *b = false);
+    }
+
+    fn mark_input(&mut self, input: PortId) -> Result<(), PolicyError> {
+        let slot = &mut self.input_used[input.index()];
+        if *slot {
+            return Err(PolicyError::DuplicateInput { input });
+        }
+        *slot = true;
+        Ok(())
+    }
+
+    fn mark_output(&mut self, output: PortId) -> Result<(), PolicyError> {
+        let slot = &mut self.output_used[output.index()];
+        if *slot {
+            return Err(PolicyError::DuplicateOutput { output });
+        }
+        *slot = true;
+        Ok(())
+    }
+
+    fn post_phase_check(&self) {
+        if self.options.validate {
+            if let Err(msg) = check_state_invariants(&self.state) {
+                panic!("engine invariant violated: {msg}");
+            }
+        }
+    }
+
+    fn finish(self, policy: String, slots: SlotId) -> RunReport {
+        let residual_count = self.state.residual_count();
+        let residual_value = self.state.residual_value();
+        let report = self
+            .stats
+            .finish(policy, slots, residual_count, residual_value);
+        debug_assert_eq!(report.check_conservation(), Ok(()));
+        report
+    }
+}
+
+fn take_pick(queue: &mut SortedQueue, pick: PacketPick) -> Option<Packet> {
+    match pick {
+        PacketPick::Greatest => queue.pop_head(),
+        PacketPick::Least => queue.pop_tail(),
+        PacketPick::ById(id) => queue.remove(id),
+    }
+}
+
+// Small adapters so `arrival_phase` is shared between both policy families
+// without trait-object gymnastics.
+fn policy_admit_cioq<P: CioqPolicy + ?Sized>(
+    policy: &mut P,
+) -> impl FnMut(&SwitchState, &Packet) -> Admission + '_ {
+    move |state, p| policy.admit(&state.view(), p)
+}
+
+fn policy_admit_crossbar<P: CrossbarPolicy + ?Sized>(
+    policy: &mut P,
+) -> impl FnMut(&SwitchState, &Packet) -> Admission + '_ {
+    move |state, p| policy.admit(&state.view(), p)
+}
+
+/// Run a CIOQ policy over a recorded trace with default options
+/// (drain until empty, validate in debug builds).
+pub fn run_cioq<P: CioqPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    trace: &Trace,
+) -> Result<RunReport, PolicyError> {
+    let mut source = TraceSource::new(trace);
+    Engine::new(config.clone(), RunOptions::default()).run_cioq(policy, &mut source)
+}
+
+/// Run a CIOQ policy against an arbitrary (possibly adaptive) source for
+/// `slots` arrival slots.
+pub fn run_cioq_with_source<P: CioqPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    source: &mut dyn ArrivalSource,
+    slots: SlotId,
+) -> Result<RunReport, PolicyError> {
+    let options = RunOptions {
+        slots: Some(slots),
+        ..RunOptions::default()
+    };
+    Engine::new(config.clone(), options).run_cioq(policy, source)
+}
+
+/// Run a crossbar policy over a recorded trace with default options.
+pub fn run_crossbar<P: CrossbarPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    trace: &Trace,
+) -> Result<RunReport, PolicyError> {
+    let mut source = TraceSource::new(trace);
+    Engine::new(config.clone(), RunOptions::default()).run_crossbar(policy, &mut source)
+}
+
+/// Run a crossbar policy against an arbitrary source for `slots` slots.
+pub fn run_crossbar_with_source<P: CrossbarPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    source: &mut dyn ArrivalSource,
+    slots: SlotId,
+) -> Result<RunReport, PolicyError> {
+    let options = RunOptions {
+        slots: Some(slots),
+        ..RunOptions::default()
+    };
+    Engine::new(config.clone(), options).run_crossbar(policy, source)
+}

@@ -1,0 +1,49 @@
+//! # cioq-sim
+//!
+//! Discrete-event simulator for the switch model of §1.3 of the paper:
+//! slotted time; each slot runs an **arrival phase**, `ŝ` **scheduling
+//! cycles** (the speedup), and a **transmission phase**. Supports both
+//! fabric architectures:
+//!
+//! * **CIOQ** — each scheduling cycle moves a *matching* of packets from
+//!   input queues `Q_ij` to output queues `Q_j` (≤1 packet leaves each input
+//!   port, ≤1 packet enters each output port).
+//! * **Buffered crossbar** — each cycle is an input subphase
+//!   (`Q_ij → C_ij`, ≤1 per input port) followed by an output subphase
+//!   (`C_ij → Q_j`, ≤1 per output port).
+//!
+//! Scheduling policies implement [`CioqPolicy`] or [`CrossbarPolicy`] and
+//! return *decisions*; the engine owns all mechanics, validates every
+//! decision against the model (matching property, capacities, non-empty
+//! queues), and maintains exact benefit/loss accounting. An illegal decision
+//! is a [`PolicyError`], never silent misbehaviour.
+//!
+//! Arrivals come from an [`ArrivalSource`]: either a pre-recorded [`Trace`]
+//! or an *adaptive adversary* that observes the switch state each slot —
+//! exactly the adversary model of competitive analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod policy;
+mod record;
+mod source;
+mod state;
+mod stats;
+mod trace;
+mod validate;
+
+pub use engine::{
+    run_cioq, run_cioq_with_source, run_crossbar, run_crossbar_with_source, Engine, RunOptions,
+};
+pub use policy::{
+    Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
+    Transfer, TransmitChoice,
+};
+pub use record::{RecordedSchedule, Recording};
+pub use source::{ArrivalSource, TraceSource};
+pub use state::{QueueKind, SwitchState, SwitchView};
+pub use stats::{LossBreakdown, RunReport, StatsRecorder};
+pub use trace::{Trace, TraceError};
+pub use validate::check_state_invariants;

@@ -1,0 +1,89 @@
+//! Arrival sources: where the packets of each slot come from.
+//!
+//! Competitive analysis pits an online algorithm against an *adversary* that
+//! may construct the input adaptively, observing every decision the
+//! algorithm makes. `ArrivalSource` models exactly that: each slot it is
+//! shown the current switch state (the algorithm's queues) and emits that
+//! slot's arrivals. Pre-recorded [`Trace`]s are the oblivious special case.
+
+use crate::state::SwitchView;
+use crate::trace::Trace;
+use cioq_model::{Packet, SlotId};
+
+/// A source of arrivals, consulted once per slot by the engine.
+pub trait ArrivalSource {
+    /// Append the packets arriving in `slot` (in arrival order) to `out`.
+    /// `view` is the switch state *before* the arrival phase — adaptive
+    /// adversaries inspect it; oblivious sources ignore it.
+    fn arrivals(&mut self, view: &SwitchView<'_>, slot: SlotId, out: &mut Vec<Packet>);
+
+    /// Number of slots that contain arrivals, when known in advance.
+    /// The engine uses this as the default run length.
+    fn horizon(&self) -> Option<SlotId> {
+        None
+    }
+}
+
+/// Plays back a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    cursor: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Source that replays `trace` from the beginning.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource { trace, cursor: 0 }
+    }
+}
+
+impl ArrivalSource for TraceSource<'_> {
+    fn arrivals(&mut self, _view: &SwitchView<'_>, slot: SlotId, out: &mut Vec<Packet>) {
+        let packets = self.trace.packets();
+        debug_assert!(
+            packets.get(self.cursor).is_none_or(|p| p.arrival >= slot),
+            "engine must consume slots in order"
+        );
+        while let Some(p) = packets.get(self.cursor) {
+            if p.arrival != slot {
+                break;
+            }
+            out.push(*p);
+            self.cursor += 1;
+        }
+    }
+
+    fn horizon(&self) -> Option<SlotId> {
+        Some(self.trace.arrival_slots())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SwitchState;
+    use cioq_model::{PortId, SwitchConfig};
+
+    #[test]
+    fn trace_source_slices_by_slot() {
+        let trace = Trace::from_tuples([
+            (0, PortId(0), PortId(0), 1),
+            (0, PortId(1), PortId(0), 2),
+            (2, PortId(0), PortId(1), 3),
+        ]);
+        let st = SwitchState::new(SwitchConfig::cioq(2, 2, 1));
+        let mut src = TraceSource::new(&trace);
+        let mut out = Vec::new();
+
+        src.arrivals(&st.view(), 0, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        src.arrivals(&st.view(), 1, &mut out);
+        assert!(out.is_empty());
+        src.arrivals(&st.view(), 2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 3);
+        assert_eq!(src.horizon(), Some(3));
+    }
+}

@@ -1,0 +1,305 @@
+//! Benefit and loss accounting for a simulation run.
+
+use cioq_model::{Benefit, Packet, SlotId};
+
+/// Where lost packets were lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossBreakdown {
+    /// Rejected on arrival (count).
+    pub rejected: u64,
+    /// Rejected on arrival (total value).
+    pub rejected_value: u128,
+    /// Preempted from an input queue.
+    pub preempted_input: u64,
+    /// Value preempted from input queues.
+    pub preempted_input_value: u128,
+    /// Preempted from a crossbar queue.
+    pub preempted_crossbar: u64,
+    /// Value preempted from crossbar queues.
+    pub preempted_crossbar_value: u128,
+    /// Preempted from an output queue.
+    pub preempted_output: u64,
+    /// Value preempted from output queues.
+    pub preempted_output_value: u128,
+}
+
+impl LossBreakdown {
+    /// Total lost packets.
+    pub fn total_count(&self) -> u64 {
+        self.rejected + self.preempted_input + self.preempted_crossbar + self.preempted_output
+    }
+
+    /// Total lost value.
+    pub fn total_value(&self) -> u128 {
+        self.rejected_value
+            + self.preempted_input_value
+            + self.preempted_crossbar_value
+            + self.preempted_output_value
+    }
+}
+
+/// Mutable statistics recorder owned by the engine during a run.
+#[derive(Debug, Clone, Default)]
+pub struct StatsRecorder {
+    /// Packets that arrived (offered load).
+    pub arrived: u64,
+    /// Total offered value.
+    pub arrived_value: u128,
+    /// Packets accepted into input queues.
+    pub accepted: u64,
+    /// CIOQ fabric transfers / crossbar output-subphase transfers.
+    pub transferred: u64,
+    /// Crossbar input-subphase transfers (0 for CIOQ).
+    pub transferred_to_crossbar: u64,
+    /// Packets transmitted out of the switch.
+    pub transmitted: u64,
+    /// Benefit: total transmitted value (the objective of the paper).
+    pub benefit: Benefit,
+    /// Loss accounting.
+    pub losses: LossBreakdown,
+    /// Sum of per-packet latency (transmission slot − arrival slot), for
+    /// transmitted packets.
+    pub latency_sum: u64,
+    /// Histogram of latencies in power-of-two buckets: index k counts
+    /// latencies in `[2^(k-1), 2^k)`, index 0 counts latency 0.
+    pub latency_histogram: [u64; 24],
+    /// Per-output transmitted packet counts.
+    pub per_output_transmitted: Vec<u64>,
+}
+
+impl StatsRecorder {
+    /// New recorder for a switch with `n_outputs` output ports.
+    pub fn new(n_outputs: usize) -> Self {
+        StatsRecorder {
+            per_output_transmitted: vec![0; n_outputs],
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn on_arrival(&mut self, p: &Packet) {
+        self.arrived += 1;
+        self.arrived_value += p.value as u128;
+    }
+
+    pub(crate) fn on_accept(&mut self) {
+        self.accepted += 1;
+    }
+
+    pub(crate) fn on_reject(&mut self, p: &Packet) {
+        self.losses.rejected += 1;
+        self.losses.rejected_value += p.value as u128;
+    }
+
+    pub(crate) fn on_preempt_input(&mut self, p: &Packet) {
+        self.losses.preempted_input += 1;
+        self.losses.preempted_input_value += p.value as u128;
+    }
+
+    pub(crate) fn on_preempt_crossbar(&mut self, p: &Packet) {
+        self.losses.preempted_crossbar += 1;
+        self.losses.preempted_crossbar_value += p.value as u128;
+    }
+
+    pub(crate) fn on_preempt_output(&mut self, p: &Packet) {
+        self.losses.preempted_output += 1;
+        self.losses.preempted_output_value += p.value as u128;
+    }
+
+    pub(crate) fn on_transfer(&mut self) {
+        self.transferred += 1;
+    }
+
+    pub(crate) fn on_transfer_to_crossbar(&mut self) {
+        self.transferred_to_crossbar += 1;
+    }
+
+    pub(crate) fn on_transmit(&mut self, p: &Packet, slot: SlotId, output: usize) {
+        self.transmitted += 1;
+        self.benefit.add(p.value);
+        let latency = slot.saturating_sub(p.arrival);
+        self.latency_sum += latency;
+        let bucket = if latency == 0 {
+            0
+        } else {
+            (64 - (latency.leading_zeros() as usize)).min(self.latency_histogram.len() - 1)
+        };
+        self.latency_histogram[bucket] += 1;
+        self.per_output_transmitted[output] += 1;
+    }
+
+    /// Freeze into a report, folding in what is still buffered at the end.
+    pub fn finish(
+        self,
+        policy: String,
+        slots: SlotId,
+        residual_count: u64,
+        residual_value: u128,
+    ) -> RunReport {
+        RunReport {
+            policy,
+            slots,
+            arrived: self.arrived,
+            arrived_value: self.arrived_value,
+            accepted: self.accepted,
+            transferred: self.transferred,
+            transferred_to_crossbar: self.transferred_to_crossbar,
+            transmitted: self.transmitted,
+            benefit: self.benefit,
+            losses: self.losses,
+            latency_sum: self.latency_sum,
+            latency_histogram: self.latency_histogram,
+            per_output_transmitted: self.per_output_transmitted,
+            residual_count,
+            residual_value,
+        }
+    }
+}
+
+/// Immutable summary of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy name.
+    pub policy: String,
+    /// Number of slots simulated.
+    pub slots: SlotId,
+    /// Offered packets.
+    pub arrived: u64,
+    /// Offered value.
+    pub arrived_value: u128,
+    /// Packets accepted at input queues.
+    pub accepted: u64,
+    /// Fabric transfers into output queues.
+    pub transferred: u64,
+    /// Crossbar input-subphase transfers.
+    pub transferred_to_crossbar: u64,
+    /// Packets transmitted.
+    pub transmitted: u64,
+    /// Total transmitted value — the objective.
+    pub benefit: Benefit,
+    /// Loss accounting.
+    pub losses: LossBreakdown,
+    /// Sum of latencies of transmitted packets.
+    pub latency_sum: u64,
+    /// Power-of-two latency histogram.
+    pub latency_histogram: [u64; 24],
+    /// Per-output transmitted counts.
+    pub per_output_transmitted: Vec<u64>,
+    /// Packets still buffered when the run ended.
+    pub residual_count: u64,
+    /// Value still buffered when the run ended.
+    pub residual_value: u128,
+}
+
+impl RunReport {
+    /// Fraction of offered packets transmitted.
+    pub fn throughput(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            self.transmitted as f64 / self.arrived as f64
+        }
+    }
+
+    /// Fraction of offered value transmitted.
+    pub fn value_throughput(&self) -> f64 {
+        if self.arrived_value == 0 {
+            1.0
+        } else {
+            self.benefit.0 as f64 / self.arrived_value as f64
+        }
+    }
+
+    /// Mean latency of transmitted packets in slots.
+    pub fn mean_latency(&self) -> f64 {
+        if self.transmitted == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.transmitted as f64
+        }
+    }
+
+    /// Conservation law every legal run satisfies:
+    /// `arrived == transmitted + lost + residual` (counts), and likewise for
+    /// value. Returns `Err` with a description on violation.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let count_rhs = self.transmitted + self.losses.total_count() + self.residual_count;
+        if self.arrived != count_rhs {
+            return Err(format!(
+                "packet conservation violated: arrived {} != transmitted {} + lost {} + residual {}",
+                self.arrived,
+                self.transmitted,
+                self.losses.total_count(),
+                self.residual_count
+            ));
+        }
+        let value_rhs = self.benefit.0 + self.losses.total_value() + self.residual_value;
+        if self.arrived_value != value_rhs {
+            return Err(format!(
+                "value conservation violated: arrived {} != benefit {} + lost {} + residual {}",
+                self.arrived_value,
+                self.benefit.0,
+                self.losses.total_value(),
+                self.residual_value
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::{PacketId, PortId};
+
+    fn pkt(id: u64, value: u64, arrival: SlotId) -> Packet {
+        Packet::new(PacketId(id), value, arrival, PortId(0), PortId(0))
+    }
+
+    #[test]
+    fn accounting_flows_to_report() {
+        let mut s = StatsRecorder::new(2);
+        let a = pkt(0, 5, 0);
+        let b = pkt(1, 3, 0);
+        let c = pkt(2, 2, 1);
+        s.on_arrival(&a);
+        s.on_arrival(&b);
+        s.on_arrival(&c);
+        s.on_accept();
+        s.on_accept();
+        s.on_reject(&c);
+        s.on_transfer();
+        s.on_transmit(&a, 4, 1);
+        let r = s.finish("test".into(), 5, 1, 3);
+        assert_eq!(r.arrived, 3);
+        assert_eq!(r.benefit, Benefit(5));
+        assert_eq!(r.losses.rejected, 1);
+        assert_eq!(r.per_output_transmitted, vec![0, 1]);
+        assert!(r.check_conservation().is_ok());
+        assert!((r.throughput() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_latency() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_catches_mismatch() {
+        let mut s = StatsRecorder::new(1);
+        s.on_arrival(&pkt(0, 5, 0));
+        // Packet vanished: never accepted/rejected/transmitted.
+        let r = s.finish("bad".into(), 1, 0, 0);
+        assert!(r.check_conservation().is_err());
+    }
+
+    #[test]
+    fn latency_histogram_buckets() {
+        let mut s = StatsRecorder::new(1);
+        for (arr, now) in [(0u64, 0u64), (0, 1), (0, 2), (0, 8)] {
+            let p = pkt(arr, 1, arr);
+            s.on_arrival(&p);
+            s.on_transmit(&p, now, 0);
+        }
+        // latencies 0,1,2,8 -> buckets 0,1,2,4
+        assert_eq!(s.latency_histogram[0], 1);
+        assert_eq!(s.latency_histogram[1], 1);
+        assert_eq!(s.latency_histogram[2], 1);
+        assert_eq!(s.latency_histogram[4], 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Structural invariant checking for switch state.
+
+use crate::state::SwitchState;
+
+/// Verify every queue in the switch: within capacity and correctly sorted
+/// (value descending, id ascending — assumption A3). Returns a description
+/// of the first violation.
+///
+/// These invariants are maintained by construction (`SortedQueue` enforces
+/// them locally); this whole-state check exists so tests and the engine's
+/// `validate` mode can prove it after every phase.
+pub fn check_state_invariants(state: &SwitchState) -> Result<(), String> {
+    for (i, j, q) in state.input_queues.iter() {
+        if !q.check_invariants() {
+            return Err(format!("input queue Q[{i}][{j}] violates invariants"));
+        }
+    }
+    if let Some(xq) = &state.crossbar_queues {
+        for (i, j, q) in xq.iter() {
+            if !q.check_invariants() {
+                return Err(format!("crossbar queue C[{i}][{j}] violates invariants"));
+            }
+        }
+    }
+    for (j, q) in state.output_queues.iter().enumerate() {
+        if !q.check_invariants() {
+            return Err(format!("output queue Q[{j}] violates invariants"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::SwitchConfig;
+
+    #[test]
+    fn fresh_state_is_valid() {
+        let st = SwitchState::new(SwitchConfig::crossbar(3, 2, 1, 2));
+        assert_eq!(check_state_invariants(&st), Ok(()));
+    }
+}

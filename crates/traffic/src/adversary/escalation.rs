@@ -1,0 +1,99 @@
+//! Geometric value escalation against the weighted algorithms.
+
+use cioq_model::{PortId, SlotId, Value};
+use cioq_sim::Trace;
+
+/// Parameters for [`escalation_bait`].
+#[derive(Debug, Clone, Copy)]
+pub struct EscalationParams {
+    /// Number of input ports (IQ model: outputs = 1).
+    pub m: usize,
+    /// Input queue capacity the instance is designed for.
+    pub b: usize,
+    /// Value growth factor per phase (γ > 1; γ slightly above PG's β
+    /// maximizes preemption-chain losses, γ below β maximizes displacement
+    /// losses — the two terms of Theorem 2's bound).
+    pub gamma: f64,
+    /// Number of escalation phases.
+    pub phases: usize,
+}
+
+/// Build a bait-and-switch escalation instance on an `m × 1` switch.
+///
+/// Phase `k` (slots `k·b .. (k+1)·b`) delivers `b` packets of value
+/// `⌈γ^k⌉` to queue `k mod m`, *plus* one value-1 packet per slot to every
+/// other queue. A greedy weighted policy chases the escalating heads,
+/// starving the low-value queues until they overflow; the optimum
+/// interleaves so that (almost) the entire offered value is deliverable.
+/// The measured ratio grows with `γ` toward the weighted greedy lower
+/// bounds cited in §1.2 (asymptotically 3 for TLH-style policies on the IQ
+/// model).
+pub fn escalation_bait(params: EscalationParams) -> Trace {
+    let EscalationParams { m, b, gamma, phases } = params;
+    assert!(m >= 2 && b >= 1 && gamma > 1.0 && phases >= 1);
+    let mut tuples: Vec<(SlotId, PortId, PortId, Value)> = Vec::new();
+    for k in 0..phases {
+        let value = (gamma.powi(k as i32)).ceil() as Value;
+        let hot = k % m;
+        for s in 0..b {
+            let slot = (k * b + s) as SlotId;
+            // The escalating burst into the hot queue.
+            tuples.push((slot, PortId::from(hot), PortId(0), value.max(1)));
+            // Background unit packets pressuring every other queue.
+            for q in 0..m {
+                if q != hot {
+                    tuples.push((slot, PortId::from(q), PortId(0), 1));
+                }
+            }
+        }
+    }
+    Trace::from_tuples(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::SwitchConfig;
+
+    #[test]
+    fn escalation_values_grow_geometrically() {
+        let t = escalation_bait(EscalationParams {
+            m: 3,
+            b: 2,
+            gamma: 2.0,
+            phases: 4,
+        });
+        // Hot values per phase: 1, 2, 4, 8.
+        let max_per_phase: Vec<Value> = (0..4)
+            .map(|k| {
+                t.packets()
+                    .iter()
+                    .filter(|p| (p.arrival / 2) as usize == k)
+                    .map(|p| p.value)
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(max_per_phase, vec![1, 2, 4, 8]);
+        assert!(t.validate_for(&SwitchConfig::iq_model(3, 2)).is_ok());
+    }
+
+    #[test]
+    fn every_slot_pressures_all_queues() {
+        let t = escalation_bait(EscalationParams {
+            m: 4,
+            b: 3,
+            gamma: 1.5,
+            phases: 2,
+        });
+        for slot in 0..6u64 {
+            let inputs: std::collections::BTreeSet<_> = t
+                .packets()
+                .iter()
+                .filter(|p| p.arrival == slot)
+                .map(|p| p.input.index())
+                .collect();
+            assert_eq!(inputs.len(), 4, "all queues receive traffic each slot");
+        }
+    }
+}

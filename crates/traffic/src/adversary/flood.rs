@@ -1,0 +1,72 @@
+//! The oblivious IQ-model flood against lexicographic greedy service.
+
+use cioq_model::{PortId, SlotId};
+use cioq_sim::Trace;
+
+/// Build the flood instance for an `m × 1` switch (IQ model,
+/// [`cioq_model::SwitchConfig::iq_model`]) with input-queue capacity `b`:
+///
+/// * Slot 0: `b` unit packets to every queue `Q_{i,0}`, `i = 0..m`.
+/// * Slots `1 ..= (m−1)·b`: one unit packet per slot to queue `m−1`.
+///
+/// **Why this pins GM to `2 − 1/m`.** GM (insertion-order greedy) serves the
+/// lowest-indexed non-empty queue, so queue `m−1` stays full until slot
+/// `(m−1)·b` and every flood packet is rejected: GM delivers exactly the
+/// `m·b` initial packets. The optimum instead serves queue `m−1` first and
+/// keeps serving it during the flood (its occupancy never exceeds `b`), so
+/// it accepts and eventually delivers *all* `(2m−1)·b` packets. The ratio
+/// is `(2m−1)/m = 2 − 1/m`, matching the deterministic IQ lower bound of
+/// Azar & Richter cited in §1.2.
+pub fn gm_iq_flood(m: usize, b: usize) -> Trace {
+    assert!(m >= 1 && b >= 1);
+    let mut tuples = Vec::with_capacity(m * b + (m - 1) * b);
+    for i in 0..m {
+        for _ in 0..b {
+            tuples.push((0u64, PortId::from(i), PortId(0), 1u64));
+        }
+    }
+    let flood_len = ((m - 1) * b) as SlotId;
+    for slot in 1..=flood_len {
+        tuples.push((slot, PortId::from(m - 1), PortId(0), 1));
+    }
+    Trace::from_tuples(tuples)
+}
+
+/// The exact offline optimum on [`gm_iq_flood`]`(m, b)`: every packet is
+/// deliverable, so `OPT = (2m − 1) · b`.
+pub fn gm_iq_flood_opt_benefit(m: usize, b: usize) -> u128 {
+    ((2 * m - 1) * b) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::SwitchConfig;
+
+    #[test]
+    fn instance_shape() {
+        let t = gm_iq_flood(3, 2);
+        assert_eq!(t.len(), 3 * 2 + 2 * 2);
+        assert_eq!(t.total_value(), 10);
+        assert!(t.validate_for(&SwitchConfig::iq_model(3, 2)).is_ok());
+        // All flood packets target the last queue.
+        assert!(t
+            .packets()
+            .iter()
+            .filter(|p| p.arrival > 0)
+            .all(|p| p.input == PortId(2)));
+    }
+
+    #[test]
+    fn opt_formula() {
+        assert_eq!(gm_iq_flood_opt_benefit(3, 2), 10);
+        assert_eq!(gm_iq_flood_opt_benefit(8, 4), 60);
+    }
+
+    #[test]
+    fn degenerate_single_queue() {
+        let t = gm_iq_flood(1, 4);
+        assert_eq!(t.len(), 4, "no flood with m = 1");
+        assert_eq!(gm_iq_flood_opt_benefit(1, 4), 4);
+    }
+}

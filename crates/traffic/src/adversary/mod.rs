@@ -1,0 +1,28 @@
+//! Adversarial instances: the lower-bound side of competitive analysis.
+//!
+//! §1.2 of the paper surveys the known lower bounds that carry over from
+//! the IQ model (N×1 switches): 2 − 1/m for any deterministic algorithm /
+//! asymptotically 2 for the greedy family in the unit-value case, and 3 for
+//! the greedy weighted family. These constructions regenerate them:
+//!
+//! * [`gm_iq_flood`] — an *oblivious* trace that pins GM (lexicographic
+//!   service order) to exactly `ratio = 2 − 1/m`: every queue is filled,
+//!   then the queue GM serves last is flooded while it is still full.
+//! * [`AdaptiveFloodSource`] — the same attack as an *adaptive* adversary
+//!   that watches the actual queues each slot, so it works against any
+//!   tie-breaking variant (GM-rotate, iSLIP, maximum matching...).
+//! * [`escalation_bait`] — geometric value escalation against the weighted
+//!   algorithms (PG), exercising the preemption-chain and displacement loss
+//!   terms of Theorem 2's analysis.
+
+mod adaptive;
+mod escalation;
+mod flood;
+mod weighted_flood;
+
+pub use adaptive::AdaptiveFloodSource;
+pub use escalation::{escalation_bait, EscalationParams};
+pub use flood::{gm_iq_flood, gm_iq_flood_opt_benefit};
+pub use weighted_flood::{
+    pg_weighted_flood, pg_weighted_flood_alg_benefit, pg_weighted_flood_opt_benefit,
+};

@@ -1,0 +1,91 @@
+//! Bernoulli i.i.d. uniform traffic — the canonical smooth workload.
+
+use crate::gen::TrafficGen;
+use crate::values::ValueDist;
+use cioq_model::{PortId, SlotId, SwitchConfig};
+use cioq_sim::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Each slot, every input port independently receives a packet with
+/// probability `load`, destined to a uniformly random output port.
+/// Offered load per output is therefore `load · N/M` (equal to `load` on a
+/// square switch).
+#[derive(Debug, Clone)]
+pub struct BernoulliUniform {
+    /// Per-input arrival probability per slot, in `[0, 1]`.
+    pub load: f64,
+    /// Value distribution.
+    pub values: ValueDist,
+}
+
+impl BernoulliUniform {
+    /// New generator with the given per-input load.
+    pub fn new(load: f64, values: ValueDist) -> Self {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+        BernoulliUniform { load, values }
+    }
+}
+
+impl TrafficGen for BernoulliUniform {
+    fn name(&self) -> String {
+        format!("bernoulli(load={:.2},{})", self.load, self.values.name())
+    }
+
+    fn generate(&self, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampler = self.values.sampler();
+        let mut tuples = Vec::new();
+        for slot in 0..slots {
+            for i in 0..cfg.n_inputs {
+                if rng.gen::<f64>() < self.load {
+                    let j = rng.gen_range(0..cfg.n_outputs);
+                    let v = sampler.sample(&mut rng);
+                    tuples.push((slot, PortId::from(i), PortId::from(j), v));
+                }
+            }
+        }
+        Trace::from_tuples(tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_respected_on_average() {
+        let cfg = SwitchConfig::cioq(8, 8, 1);
+        let gen = BernoulliUniform::new(0.5, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 1000, 1);
+        let expected = 0.5 * 8.0 * 1000.0;
+        let got = trace.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn outputs_are_roughly_uniform() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = BernoulliUniform::new(1.0, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 2000, 3);
+        let mut counts = [0usize; 4];
+        for p in trace.packets() {
+            counts[p.output.index()] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for c in counts {
+            let frac = c as f64 / total as f64;
+            assert!((frac - 0.25).abs() < 0.05, "output share {frac}");
+        }
+    }
+
+    #[test]
+    fn zero_load_is_empty() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = BernoulliUniform::new(0.0, ValueDist::Unit);
+        assert!(gen.generate(&cfg, 100, 1).is_empty());
+    }
+}

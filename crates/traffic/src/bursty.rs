@@ -1,0 +1,146 @@
+//! On/off (Markov-modulated) bursty traffic — the non-Poisson regime the
+//! paper's introduction cites as the reason for worst-case analysis.
+
+use crate::gen::TrafficGen;
+use crate::values::ValueDist;
+use cioq_model::{PortId, SlotId, SwitchConfig};
+use cioq_sim::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Each input port is an independent two-state (ON/OFF) Markov source.
+/// While ON it emits one packet per slot to a destination held fixed for
+/// the duration of the burst (bursts are flows). Mean burst length is
+/// `mean_burst`, and `load` fixes the stationary ON probability, giving
+/// mean OFF period `mean_burst · (1 − load) / load`.
+#[derive(Debug, Clone)]
+pub struct OnOffBursty {
+    /// Long-run fraction of slots each input is ON, in `(0, 1)`.
+    pub load: f64,
+    /// Mean burst (ON period) length in slots, ≥ 1.
+    pub mean_burst: f64,
+    /// Value distribution (sampled per packet).
+    pub values: ValueDist,
+}
+
+impl OnOffBursty {
+    /// New bursty generator.
+    pub fn new(load: f64, mean_burst: f64, values: ValueDist) -> Self {
+        assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
+        assert!(mean_burst >= 1.0);
+        OnOffBursty {
+            load,
+            mean_burst,
+            values,
+        }
+    }
+}
+
+impl TrafficGen for OnOffBursty {
+    fn name(&self) -> String {
+        format!(
+            "onoff(load={:.2},burst={:.1},{})",
+            self.load,
+            self.mean_burst,
+            self.values.name()
+        )
+    }
+
+    fn generate(&self, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampler = self.values.sampler();
+        // Geometric state holding: P(leave ON) = 1/mean_burst;
+        // stationary load = on_time/(on_time+off_time) => P(leave OFF).
+        let p_off = 1.0 / self.mean_burst;
+        let mean_off = self.mean_burst * (1.0 - self.load) / self.load;
+        let p_on = 1.0 / mean_off.max(1e-9);
+
+        #[derive(Clone, Copy)]
+        struct SourceState {
+            on: bool,
+            dest: usize,
+        }
+        let mut state: Vec<SourceState> = (0..cfg.n_inputs)
+            .map(|_| SourceState {
+                on: rng.gen::<f64>() < self.load,
+                dest: rng.gen_range(0..cfg.n_outputs),
+            })
+            .collect();
+
+        let mut tuples = Vec::new();
+        for slot in 0..slots {
+            for (i, s) in state.iter_mut().enumerate() {
+                if s.on {
+                    let v = sampler.sample(&mut rng);
+                    tuples.push((slot, PortId::from(i), PortId::from(s.dest), v));
+                    if rng.gen::<f64>() < p_off {
+                        s.on = false;
+                    }
+                } else if rng.gen::<f64>() < p_on {
+                    s.on = true;
+                    s.dest = rng.gen_range(0..cfg.n_outputs);
+                }
+            }
+        }
+        Trace::from_tuples(tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_run_load_matches() {
+        let cfg = SwitchConfig::cioq(8, 8, 1);
+        let gen = OnOffBursty::new(0.6, 10.0, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 4000, 11);
+        let got = trace.len() as f64 / (8.0 * 4000.0);
+        assert!((got - 0.6).abs() < 0.08, "load {got}");
+    }
+
+    #[test]
+    fn bursts_hold_destination() {
+        let cfg = SwitchConfig::cioq(1, 8, 1);
+        let gen = OnOffBursty::new(0.5, 20.0, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 2000, 3);
+        // Consecutive-slot packets from the single input share destination:
+        let mut changes_within_burst = 0;
+        let mut consecutive = 0;
+        for w in trace.packets().windows(2) {
+            if w[1].arrival == w[0].arrival + 1 {
+                consecutive += 1;
+                if w[1].output != w[0].output {
+                    changes_within_burst += 1;
+                }
+            }
+        }
+        assert!(consecutive > 100, "bursts must produce consecutive slots");
+        assert_eq!(
+            changes_within_burst, 0,
+            "destination must be constant within a burst"
+        );
+    }
+
+    #[test]
+    fn burstier_traffic_has_longer_runs() {
+        let cfg = SwitchConfig::cioq(1, 4, 1);
+        let run_lengths = |burst: f64| -> f64 {
+            let gen = OnOffBursty::new(0.5, burst, ValueDist::Unit);
+            let trace = gen.generate(&cfg, 8000, 9);
+            let mut runs = Vec::new();
+            let mut current = 1u64;
+            for w in trace.packets().windows(2) {
+                if w[1].arrival == w[0].arrival + 1 {
+                    current += 1;
+                } else {
+                    runs.push(current);
+                    current = 1;
+                }
+            }
+            runs.push(current);
+            runs.iter().sum::<u64>() as f64 / runs.len() as f64
+        };
+        assert!(run_lengths(16.0) > 2.0 * run_lengths(1.5));
+    }
+}

@@ -1,0 +1,95 @@
+//! Hotspot (non-uniform destination) traffic.
+
+use crate::gen::TrafficGen;
+use crate::values::ValueDist;
+use cioq_model::{PortId, SlotId, SwitchConfig};
+use cioq_sim::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bernoulli arrivals where a fraction of the traffic converges on one hot
+/// output port — the classic stress case for output contention, where the
+/// per-cycle matching constraint (one packet into each output per cycle)
+/// actually binds.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    /// Per-input arrival probability per slot.
+    pub load: f64,
+    /// Probability that a packet targets the hot output (the rest are
+    /// uniform over all outputs).
+    pub hot_fraction: f64,
+    /// Index of the hot output port.
+    pub hot_output: usize,
+    /// Value distribution.
+    pub values: ValueDist,
+}
+
+impl Hotspot {
+    /// New hotspot generator.
+    pub fn new(load: f64, hot_fraction: f64, hot_output: usize, values: ValueDist) -> Self {
+        assert!((0.0..=1.0).contains(&load));
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        Hotspot {
+            load,
+            hot_fraction,
+            hot_output,
+            values,
+        }
+    }
+}
+
+impl TrafficGen for Hotspot {
+    fn name(&self) -> String {
+        format!(
+            "hotspot(load={:.2},hot={:.2}->out{},{})",
+            self.load,
+            self.hot_fraction,
+            self.hot_output,
+            self.values.name()
+        )
+    }
+
+    fn generate(&self, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
+        assert!(self.hot_output < cfg.n_outputs, "hot output out of range");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampler = self.values.sampler();
+        let mut tuples = Vec::new();
+        for slot in 0..slots {
+            for i in 0..cfg.n_inputs {
+                if rng.gen::<f64>() < self.load {
+                    let j = if rng.gen::<f64>() < self.hot_fraction {
+                        self.hot_output
+                    } else {
+                        rng.gen_range(0..cfg.n_outputs)
+                    };
+                    let v = sampler.sample(&mut rng);
+                    tuples.push((slot, PortId::from(i), PortId::from(j), v));
+                }
+            }
+        }
+        Trace::from_tuples(tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_output_dominates() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = Hotspot::new(1.0, 0.8, 2, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 1000, 5);
+        let hot = trace.packets().iter().filter(|p| p.output.index() == 2).count();
+        let frac = hot as f64 / trace.len() as f64;
+        // 0.8 direct + 0.2 * 1/4 uniform residue = 0.85 expected.
+        assert!((frac - 0.85).abs() < 0.05, "hot share {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot output out of range")]
+    fn bad_hot_output_panics() {
+        let cfg = SwitchConfig::cioq(2, 8, 1);
+        Hotspot::new(0.5, 0.5, 7, ValueDist::Unit).generate(&cfg, 10, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Incast traffic: synchronized fan-in events.
+
+use crate::gen::TrafficGen;
+use crate::values::ValueDist;
+use cioq_model::{PortId, SlotId, SwitchConfig};
+use cioq_sim::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every `period` slots, *all* input ports simultaneously send `burst_size`
+/// packets to one target output (rotating across outputs per event), on top
+/// of light uniform background traffic. This is the datacenter
+/// partition/aggregate pattern and the worst case for output-queue
+/// capacity: `N · burst_size` packets compete for one output's `ŝ`-per-slot
+/// admission.
+#[derive(Debug, Clone)]
+pub struct Incast {
+    /// Slots between incast events (≥ 1).
+    pub period: u64,
+    /// Packets each input contributes per event.
+    pub burst_size: usize,
+    /// Background per-input Bernoulli load between events.
+    pub background_load: f64,
+    /// Value distribution.
+    pub values: ValueDist,
+}
+
+impl Incast {
+    /// New incast generator.
+    pub fn new(period: u64, burst_size: usize, background_load: f64, values: ValueDist) -> Self {
+        assert!(period >= 1);
+        assert!((0.0..=1.0).contains(&background_load));
+        Incast {
+            period,
+            burst_size,
+            background_load,
+            values,
+        }
+    }
+}
+
+impl TrafficGen for Incast {
+    fn name(&self) -> String {
+        format!(
+            "incast(period={},burst={},bg={:.2},{})",
+            self.period,
+            self.burst_size,
+            self.background_load,
+            self.values.name()
+        )
+    }
+
+    fn generate(&self, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampler = self.values.sampler();
+        let mut tuples = Vec::new();
+        for slot in 0..slots {
+            if slot % self.period == 0 {
+                let target = ((slot / self.period) as usize) % cfg.n_outputs;
+                for i in 0..cfg.n_inputs {
+                    for _ in 0..self.burst_size {
+                        let v = sampler.sample(&mut rng);
+                        tuples.push((slot, PortId::from(i), PortId::from(target), v));
+                    }
+                }
+            }
+            for i in 0..cfg.n_inputs {
+                if rng.gen::<f64>() < self.background_load {
+                    let j = rng.gen_range(0..cfg.n_outputs);
+                    let v = sampler.sample(&mut rng);
+                    tuples.push((slot, PortId::from(i), PortId::from(j), v));
+                }
+            }
+        }
+        Trace::from_tuples(tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_events_converge_on_one_output() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = Incast::new(10, 2, 0.0, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 30, 1);
+        // Events at slots 0, 10, 20 targeting outputs 0, 1, 2.
+        assert_eq!(trace.len(), 3 * 4 * 2);
+        for p in trace.packets() {
+            let event = p.arrival / 10;
+            assert_eq!(p.arrival % 10, 0);
+            assert_eq!(p.output.index() as u64, event % 4);
+        }
+    }
+
+    #[test]
+    fn background_fills_between_events() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = Incast::new(50, 1, 0.5, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 100, 1);
+        let background = trace
+            .packets()
+            .iter()
+            .filter(|p| p.arrival % 50 != 0)
+            .count();
+        assert!(background > 100, "background traffic expected, got {background}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Live competitive analysis: run the lower-bound adversaries against GM
+//! and PG and report *exact* competitive ratios (IQ-model configurations,
+//! where the flow bound is provably exact OPT).
+//!
+//! ```sh
+//! cargo run --release --example adversarial_attack
+//! ```
+
+use cioq_switch::prelude::*;
+
+fn main() {
+    println!("== Oblivious flood vs GM (theory: ratio = 2 - 1/m) ==");
+    let b = 4;
+    for m in [2usize, 4, 8, 16] {
+        let cfg = SwitchConfig::iq_model(m, b);
+        let trace = gm_iq_flood(m, b);
+        let report = run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap();
+        let opt = gm_iq_flood_opt_benefit(m, b);
+        // Cross-check the closed form against the flow machinery.
+        assert_eq!(opt_upper_bound(&cfg, &trace).best(), opt);
+        println!(
+            "  m={m:<3} GM={:<5} OPT={:<5} ratio={:.4} (theory {:.4})",
+            report.benefit.0,
+            opt,
+            opt as f64 / report.benefit.0 as f64,
+            2.0 - 1.0 / m as f64
+        );
+    }
+
+    println!("\n== Adaptive flood vs GM(rotate): adversary watches the queues ==");
+    for m in [4usize, 8, 16] {
+        let cfg = SwitchConfig::iq_model(m, b);
+        let mut adversary = AdaptiveFloodSource::new(m, b, None);
+        let slots = adversary.horizon_slots();
+        let mut gm = GreedyMatching::with_edge_policy(GmEdgePolicy::RotateByCycle);
+        let report = run_cioq_with_source(&cfg, &mut gm, &mut adversary, slots).unwrap();
+        let trace = adversary.emitted_trace();
+        let opt = opt_upper_bound(&cfg, &trace).best();
+        println!(
+            "  m={m:<3} GM(rotate)={:<5} OPT={:<5} ratio={:.4}",
+            report.benefit.0,
+            opt,
+            opt as f64 / report.benefit.0 as f64
+        );
+    }
+
+    println!("\n== Weighted flood vs PG (limit 2 - 1/m for large base value) ==");
+    for m in [2usize, 4, 8, 16] {
+        let cfg = SwitchConfig::iq_model(m, b);
+        let trace = pg_weighted_flood(m, b, 1000);
+        let report = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+        let opt = opt_upper_bound(&cfg, &trace).best();
+        println!(
+            "  m={m:<3} PG={:<9} OPT={:<9} ratio={:.4} (limit {:.4})",
+            report.benefit.0,
+            opt,
+            opt as f64 / report.benefit.0 as f64,
+            2.0 - 1.0 / m as f64
+        );
+    }
+
+    println!("\nAll measured ratios sit below the theorems' guarantees (3 and 5.83),");
+    println!("and the flood families approach the known IQ-model lower bound of 2.");
+}

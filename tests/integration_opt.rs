@@ -1,0 +1,121 @@
+//! Soundness of the offline-optimum machinery against the live algorithms:
+//! no algorithm may ever beat an upper bound on OPT, and the flood
+//! adversaries' closed-form optima must match the flow computation.
+
+use cioq_switch::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn flood_closed_form_matches_flow_bound() {
+    for m in [2usize, 3, 5, 9] {
+        for b in [1usize, 2, 5] {
+            let cfg = SwitchConfig::iq_model(m, b);
+            let trace = gm_iq_flood(m, b);
+            let bounds = opt_upper_bound(&cfg, &trace);
+            assert_eq!(
+                bounds.per_output,
+                gm_iq_flood_opt_benefit(m, b),
+                "m={m} b={b}"
+            );
+            assert!(bounds.oblivious >= bounds.per_output.min(bounds.oblivious));
+        }
+    }
+}
+
+#[test]
+fn gm_achieves_exactly_two_minus_one_over_m_on_flood() {
+    for m in [2usize, 4, 8] {
+        let b = 3;
+        let cfg = SwitchConfig::iq_model(m, b);
+        let trace = gm_iq_flood(m, b);
+        let report = run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap();
+        assert_eq!(report.benefit.0, (m * b) as u128, "GM keeps only the fill");
+        let ratio = gm_iq_flood_opt_benefit(m, b) as f64 / report.benefit.0 as f64;
+        assert!(
+            (ratio - (2.0 - 1.0 / m as f64)).abs() < 1e-9,
+            "m={m}: ratio {ratio}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The certified bounds dominate every algorithm's achieved benefit on
+    /// random CIOQ workloads — for all policies, configs, and seeds.
+    #[test]
+    fn no_policy_beats_the_upper_bound(
+        seed in 0u64..400,
+        load in 0.2f64..1.0,
+        n in 1usize..4,
+        b in 1usize..3,
+        speedup in 1u32..3,
+    ) {
+        let cfg = SwitchConfig::cioq(n, b, speedup);
+        let gen = BernoulliUniform::new(load, ValueDist::Zipf { max: 16, exponent: 1.0 });
+        let trace = gen_trace(&gen, &cfg, 40, seed);
+        let bounds = opt_upper_bound(&cfg, &trace);
+        let best = bounds.best();
+
+        let gm = run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap();
+        prop_assert!(gm.benefit.0 <= best, "GM {} beats UB {}", gm.benefit.0, best);
+        let pg = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+        prop_assert!(pg.benefit.0 <= best, "PG {} beats UB {}", pg.benefit.0, best);
+        let kr = run_cioq(&cfg, &mut MaxWeightMatching::new(), &trace).unwrap();
+        prop_assert!(kr.benefit.0 <= best, "KRW {} beats UB {}", kr.benefit.0, best);
+    }
+
+    /// Same soundness for crossbar policies and crossbar bounds.
+    #[test]
+    fn no_crossbar_policy_beats_the_upper_bound(
+        seed in 0u64..400,
+        load in 0.2f64..1.0,
+        n in 1usize..4,
+        bc in 1usize..3,
+    ) {
+        let cfg = SwitchConfig::crossbar(n, 2, bc, 1);
+        let gen = BernoulliUniform::new(load, ValueDist::Zipf { max: 16, exponent: 1.0 });
+        let trace = gen_trace(&gen, &cfg, 40, seed);
+        let best = opt_upper_bound(&cfg, &trace).best();
+
+        let cgu = run_crossbar(&cfg, &mut CrossbarGreedyUnit::new(), &trace).unwrap();
+        prop_assert!(cgu.benefit.0 <= best);
+        let cpg = run_crossbar(&cfg, &mut CrossbarPreemptiveGreedy::new(), &trace).unwrap();
+        prop_assert!(cpg.benefit.0 <= best);
+    }
+
+    /// Certified ratio is consistent: ratio * benefit >= UB (by definition)
+    /// and never below 1 when the bound is achieved.
+    #[test]
+    fn certified_ratio_definition(
+        seed in 0u64..200,
+        n in 1usize..4,
+    ) {
+        let cfg = SwitchConfig::cioq(n, 2, 1);
+        let gen = BernoulliUniform::new(0.7, ValueDist::Unit);
+        let trace = gen_trace(&gen, &cfg, 30, seed);
+        let report = run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap();
+        let ratio = certified_ratio(&cfg, &trace, report.benefit);
+        if report.benefit.0 > 0 {
+            prop_assert!(ratio >= 1.0 - 1e-12);
+        }
+    }
+
+    /// The exact brute force agrees with the flow bound from above and any
+    /// policy from below on random tiny weighted instances.
+    #[test]
+    fn exact_opt_sandwiched(
+        packets in proptest::collection::vec(
+            (0u64..3, 0usize..2, 0usize..2, 1u64..8), 0..=5),
+    ) {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let trace = Trace::from_tuples(
+            packets.into_iter().map(|(t, i, j, v)| (t, PortId::from(i), PortId::from(j), v)),
+        );
+        let opt = exact_opt(&cfg, &trace, BruteForceLimits::default()).unwrap().0;
+        let ub = opt_upper_bound(&cfg, &trace).best();
+        prop_assert!(ub >= opt);
+        let pg = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+        prop_assert!(pg.benefit.0 <= opt, "no online algorithm beats OPT");
+    }
+}

