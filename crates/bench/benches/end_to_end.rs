@@ -11,7 +11,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     let slots = 512u64;
     let cioq = SwitchConfig::cioq(16, 8, 2);
     let xbar = SwitchConfig::crossbar(16, 8, 2, 2);
-    let gen = OnOffBursty::new(0.8, 10.0, ValueDist::Zipf { max: 32, exponent: 1.0 });
+    let gen = OnOffBursty::new(
+        0.8,
+        10.0,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.0,
+        },
+    );
     let cioq_trace = gen_trace(&gen, &cioq, slots, 3);
     let xbar_trace = gen_trace(&gen, &xbar, slots, 3);
 

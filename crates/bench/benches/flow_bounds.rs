@@ -13,17 +13,27 @@ fn bench_bounds(c: &mut Criterion) {
         let cfg = SwitchConfig::cioq(n, 4, 1);
         let unit = gen_trace(&BernoulliUniform::new(0.8, ValueDist::Unit), &cfg, slots, 1);
         let zipf = gen_trace(
-            &BernoulliUniform::new(0.8, ValueDist::Zipf { max: 32, exponent: 1.0 }),
+            &BernoulliUniform::new(
+                0.8,
+                ValueDist::Zipf {
+                    max: 32,
+                    exponent: 1.0,
+                },
+            ),
             &cfg,
             slots,
             1,
         );
-        group.bench_with_input(BenchmarkId::new("unit", format!("{n}x{n}x{slots}")), &(), |b, _| {
-            b.iter(|| opt_upper_bound(&cfg, &unit))
-        });
-        group.bench_with_input(BenchmarkId::new("zipf", format!("{n}x{n}x{slots}")), &(), |b, _| {
-            b.iter(|| opt_upper_bound(&cfg, &zipf))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unit", format!("{n}x{n}x{slots}")),
+            &(),
+            |b, _| b.iter(|| opt_upper_bound(&cfg, &unit)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zipf", format!("{n}x{n}x{slots}")),
+            &(),
+            |b, _| b.iter(|| opt_upper_bound(&cfg, &zipf)),
+        );
     }
     group.finish();
 }

@@ -14,7 +14,13 @@ fn bench_cycles(c: &mut Criterion) {
     for &n in &[8usize, 16, 32, 64] {
         let cfg = SwitchConfig::cioq(n, 8, 1);
         let trace = gen_trace(
-            &BernoulliUniform::new(0.9, ValueDist::Zipf { max: 64, exponent: 1.1 }),
+            &BernoulliUniform::new(
+                0.9,
+                ValueDist::Zipf {
+                    max: 64,
+                    exponent: 1.1,
+                },
+            ),
             &cfg,
             slots,
             7,

@@ -70,7 +70,8 @@ mod tests {
     fn islip_delivers_uniform_traffic() {
         let cfg = SwitchConfig::cioq(4, 8, 1);
         let trace = Trace::from_tuples(
-            (0..8u64).flat_map(|t| (0..4).map(move |i| (t, PortId(i), PortId((i + t as u16) % 4), 1))),
+            (0..8u64)
+                .flat_map(|t| (0..4).map(move |i| (t, PortId(i), PortId((i + t as u16) % 4), 1))),
         );
         let report = run_cioq(&cfg, &mut IslipPolicy::new(2), &trace).unwrap();
         assert_eq!(report.transmitted, 32);

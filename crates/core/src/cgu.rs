@@ -3,9 +3,7 @@
 //! 3-competitive (previously 4) by the paper's improved analysis.
 
 use cioq_model::{Cycle, Packet, PortId};
-use cioq_sim::{
-    Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, SwitchView,
-};
+use cioq_sim::{Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, SwitchView};
 
 /// How CGU resolves the paper's "choose an arbitrary queue" steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +92,9 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
         for i in 0..view.n_inputs() {
             let start = match self.selection {
                 SelectionOrder::FirstFit => 0,
-                SelectionOrder::RoundRobin => Self::pick_start(&mut self.input_ptr, i, view.n_inputs()),
+                SelectionOrder::RoundRobin => {
+                    Self::pick_start(&mut self.input_ptr, i, view.n_inputs())
+                }
             };
             let chosen = (0..m).map(|k| (start + k) % m).find(|&j| {
                 let input = PortId::from(i);
@@ -134,7 +134,9 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
                 }
             };
             let chosen = (0..n).map(|k| (start + k) % n).find(|&i| {
-                !view.crossbar_queue(PortId::from(i), PortId::from(j)).is_empty()
+                !view
+                    .crossbar_queue(PortId::from(i), PortId::from(j))
+                    .is_empty()
             });
             if let Some(i) = chosen {
                 out.push(OutputTransfer {
@@ -160,10 +162,8 @@ mod tests {
     #[test]
     fn cgu_moves_packets_through_both_subphases() {
         let cfg = SwitchConfig::crossbar(2, 4, 1, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(1), 1),
-            (0, PortId(1), PortId(0), 1),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(1), 1), (0, PortId(1), PortId(0), 1)]);
         let report = run_crossbar(&cfg, &mut CrossbarGreedyUnit::new(), &trace).unwrap();
         assert_eq!(report.transmitted, 2);
         assert_eq!(report.transferred_to_crossbar, 2);
@@ -198,9 +198,16 @@ mod tests {
     #[test]
     fn first_fit_vs_round_robin_both_deliver() {
         let cfg = SwitchConfig::crossbar(3, 4, 2, 1);
-        let trace = Trace::from_tuples(
-            (0..3u64).flat_map(|t| (0..3).map(move |i| (t, PortId(i), PortId((i as usize + t as usize) as u16 % 3), 1))),
-        );
+        let trace = Trace::from_tuples((0..3u64).flat_map(|t| {
+            (0..3).map(move |i| {
+                (
+                    t,
+                    PortId(i),
+                    PortId((i as usize + t as usize) as u16 % 3),
+                    1,
+                )
+            })
+        }));
         let a = run_crossbar(&cfg, &mut CrossbarGreedyUnit::new(), &trace).unwrap();
         let b = run_crossbar(
             &cfg,

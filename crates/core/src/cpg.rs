@@ -6,9 +6,7 @@
 
 use crate::params::{cpg_alpha_star, cpg_beta_star};
 use cioq_model::{exceeds_factor, Cycle, Packet, PortId, Value};
-use cioq_sim::{
-    Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, SwitchView,
-};
+use cioq_sim::{Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, SwitchView};
 
 /// The Crossbar Preemptive Greedy algorithm with parameters β, α ≥ 1.
 ///
@@ -193,10 +191,8 @@ mod tests {
             .unwrap();
         // Input 0 has packets for outputs 0 (value 3) and 1 (value 9): the
         // input subphase must choose output 1 first.
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 3),
-            (0, PortId(0), PortId(1), 9),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 3), (0, PortId(0), PortId(1), 9)]);
         let report = run_crossbar(&cfg, &mut CrossbarPreemptiveGreedy::new(), &trace).unwrap();
         assert_eq!(report.benefit.0, 12, "both delivered across two slots");
         // per-output counts: output 1 got its packet.
@@ -206,10 +202,8 @@ mod tests {
     #[test]
     fn cpg_output_subphase_picks_heaviest_crosspoint() {
         let cfg = SwitchConfig::crossbar(2, 2, 2, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 5),
-            (0, PortId(1), PortId(0), 8),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 5), (0, PortId(1), PortId(0), 8)]);
         // Cycle: both inputs forward into C_00 and C_10; output subphase
         // picks the 8 first. Transmission sends 8 in slot 0, 5 in slot 1.
         let report = run_crossbar(&cfg, &mut CrossbarPreemptiveGreedy::new(), &trace).unwrap();
@@ -248,6 +242,9 @@ mod tests {
     #[test]
     fn optimal_parameters_are_distinct() {
         let p = CrossbarPreemptiveGreedy::new();
-        assert!(p.alpha() > p.beta(), "paper: alpha* (~2.84) > beta* (~1.84)");
+        assert!(
+            p.alpha() > p.beta(),
+            "paper: alpha* (~2.84) > beta* (~1.84)"
+        );
     }
 }

@@ -142,12 +142,7 @@ mod tests {
         // one packet per slot and nothing is wasted.
         let cfg = SwitchConfig::cioq(2, 8, 1);
         let trace = Trace::from_tuples(
-            (0..4).flat_map(|t| {
-                [
-                    (t, PortId(0), PortId(0), 1),
-                    (t, PortId(1), PortId(0), 1),
-                ]
-            }),
+            (0..4).flat_map(|t| [(t, PortId(0), PortId(0), 1), (t, PortId(1), PortId(0), 1)]),
         );
         let report = run_cioq(&cfg, &mut GreedyMatching::new(), &trace).unwrap();
         assert_eq!(report.transmitted, 8, "all packets fit in B=8 buffers");
@@ -167,9 +162,7 @@ mod tests {
         // Heavy single-slot burst to one output from 4 inputs.
         let cfg_s1 = SwitchConfig::cioq(4, 4, 1);
         let cfg_s4 = SwitchConfig::cioq(4, 4, 4);
-        let trace = Trace::from_tuples(
-            (0..4).map(|i| (0u64, PortId(i), PortId(0), 1u64)),
-        );
+        let trace = Trace::from_tuples((0..4).map(|i| (0u64, PortId(i), PortId(0), 1u64)));
         let r1 = run_cioq(&cfg_s1, &mut GreedyMatching::new(), &trace).unwrap();
         let r4 = run_cioq(&cfg_s4, &mut GreedyMatching::new(), &trace).unwrap();
         assert_eq!(r1.transmitted, 4);

@@ -19,7 +19,10 @@ pub fn pg_ratio(beta: f64) -> f64 {
 /// CPG's competitive ratio as a function of (β, α), both > 1 (§3.2):
 /// `αβ + (2αβ + αβ(β−1)) / ((α−1)(β−1))`.
 pub fn cpg_ratio(beta: f64, alpha: f64) -> f64 {
-    assert!(beta > 1.0 && alpha > 1.0, "cpg ratio requires alpha, beta > 1");
+    assert!(
+        beta > 1.0 && alpha > 1.0,
+        "cpg ratio requires alpha, beta > 1"
+    );
     let ab = alpha * beta;
     ab + (2.0 * ab + ab * (beta - 1.0)) / ((alpha - 1.0) * (beta - 1.0))
 }

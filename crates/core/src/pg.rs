@@ -134,10 +134,8 @@ mod tests {
         // Two inputs compete for one output with speedup 1: the heavier
         // head must win the (greedy, weight-descending) matching.
         let cfg = SwitchConfig::cioq(2, 2, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 3),
-            (0, PortId(1), PortId(0), 9),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 3), (0, PortId(1), PortId(0), 9)]);
         let report = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
         // Both eventually delivered (B=2 output queue, drain mode).
         assert_eq!(report.benefit.0, 12);
@@ -204,10 +202,8 @@ mod tests {
             .output_capacity(1)
             .build()
             .unwrap();
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 10),
-            (0, PortId(0), PortId(0), 30),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 10), (0, PortId(0), PortId(0), 30)]);
         // T[1]: head 30 moves to the output queue. T[2]: head 10 vs full
         // queue holding 30 -> ineligible. Transmission sends 30; slot 1
         // moves and sends the 10.
@@ -218,15 +214,16 @@ mod tests {
     #[test]
     fn no_preempt_ablation_never_preempts() {
         let cfg = SwitchConfig::cioq(1, 1, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 1),
-            (0, PortId(0), PortId(0), 100),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 1), (0, PortId(0), PortId(0), 100)]);
         let mut pg = PreemptiveGreedy::without_preemption();
         let report = run_cioq(&cfg, &mut pg, &trace).unwrap();
         assert_eq!(report.losses.preempted_input, 0);
         assert_eq!(report.losses.rejected, 1);
-        assert_eq!(report.losses.rejected_value, 100, "the valuable one is lost");
+        assert_eq!(
+            report.losses.rejected_value, 100,
+            "the valuable one is lost"
+        );
         assert_eq!(report.benefit.0, 1);
     }
 
@@ -241,10 +238,8 @@ mod tests {
             .build()
             .unwrap();
         // T[1] moves value 5; T[2]: head 6 > 1.0*5 -> preempts the 5.
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 5),
-            (0, PortId(0), PortId(0), 6),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 5), (0, PortId(0), PortId(0), 6)]);
         // Sorted queue: head 6 moves in T[1]; T[2]: head 5 vs full(6):
         // 5 > 6? no. So again no preemption; benefit 11. (Sortedness makes
         // self-preemption from one queue impossible — a real invariant.)

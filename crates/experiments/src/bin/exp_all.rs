@@ -8,7 +8,8 @@ fn main() {
     let quick = cioq_experiments::quick_mode();
     let markdown = std::env::args().any(|a| a == "--markdown");
     let start = Instant::now();
-    let experiments: Vec<(&str, fn(bool) -> Vec<Table>)> = vec![
+    type Experiment = (&'static str, fn(bool) -> Vec<Table>);
+    let experiments: Vec<Experiment> = vec![
         ("T1", suite::t1_summary),
         ("F3", suite::f3_gm_load),
         ("F4", suite::f4_pg_beta),
@@ -24,7 +25,11 @@ fn main() {
     for (id, run) in experiments {
         let t0 = Instant::now();
         let tables = run(quick);
-        eprintln!("[{:>8.1?}] experiment {id} done in {:.1?}", start.elapsed(), t0.elapsed());
+        eprintln!(
+            "[{:>8.1?}] experiment {id} done in {:.1?}",
+            start.elapsed(),
+            t0.elapsed()
+        );
         for table in tables {
             if markdown {
                 println!("{}", table.to_markdown());

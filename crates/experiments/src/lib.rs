@@ -2,8 +2,8 @@
 //!
 //! The experiment harness behind every table and figure in EXPERIMENTS.md:
 //! policy registry, competitive-ratio measurement against the certified OPT
-//! bounds of `cioq-opt`, a parallel sweep runner (crossbeam scoped
-//! threads), and plain-text/markdown table rendering.
+//! bounds of `cioq-opt`, a parallel sweep runner (std scoped threads),
+//! and plain-text/markdown table rendering.
 //!
 //! Each experiment is a binary (`src/bin/exp_*.rs`); `exp_all` runs the
 //! whole suite. Binaries accept `--quick` for a reduced-scale run.

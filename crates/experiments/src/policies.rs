@@ -126,9 +126,11 @@ pub fn run_policy(
             &mut CrossbarPreemptiveGreedy::with_params(beta, alpha),
             trace,
         ),
-        PolicyKind::CpgSingleParam => {
-            run_crossbar(cfg, &mut CrossbarPreemptiveGreedy::single_parameter(), trace)
-        }
+        PolicyKind::CpgSingleParam => run_crossbar(
+            cfg,
+            &mut CrossbarPreemptiveGreedy::single_parameter(),
+            trace,
+        ),
     }
 }
 
@@ -163,10 +165,8 @@ mod tests {
     #[test]
     fn registry_runs_every_crossbar_policy() {
         let cfg = SwitchConfig::crossbar(2, 4, 2, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(1), 3),
-            (0, PortId(1), PortId(0), 5),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(1), 3), (0, PortId(1), PortId(0), 5)]);
         for kind in [
             PolicyKind::Cgu,
             PolicyKind::CguRoundRobin,

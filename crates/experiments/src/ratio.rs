@@ -82,10 +82,8 @@ mod tests {
     #[test]
     fn measures_exact_on_tiny_instances() {
         let cfg = SwitchConfig::cioq(2, 2, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 1),
-            (0, PortId(1), PortId(1), 1),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 1), (0, PortId(1), PortId(1), 1)]);
         let row = measure_ratio(PolicyKind::Gm, &cfg, &trace, true);
         assert!(row.exact);
         assert_eq!(row.benefit, 2);

@@ -1,12 +1,12 @@
-//! Parallel sweep execution over crossbeam scoped threads.
+//! Parallel sweep execution over std scoped threads.
 //!
 //! One simulation is inherently sequential (slot after slot), but a sweep —
 //! many (policy, config, workload) points — is embarrassingly parallel.
 //! Workers pull indices from a shared atomic counter so uneven point costs
 //! (OPT bounds are much heavier than simulations) balance automatically.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every item, in parallel, preserving order of results.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -25,21 +25,21 @@ where
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..n_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {
                     break;
                 }
                 let r = f(&items[idx]);
-                results.lock()[idx] = Some(r);
+                results.lock().expect("sweep worker panicked")[idx] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("all indices processed"))
         .collect()

@@ -19,9 +19,7 @@ use cioq_traffic::adversary::{
     escalation_bait, gm_iq_flood, gm_iq_flood_opt_benefit, pg_weighted_flood,
     pg_weighted_flood_opt_benefit, AdaptiveFloodSource, EscalationParams,
 };
-use cioq_traffic::{
-    gen_trace, BernoulliUniform, Hotspot, Incast, OnOffBursty, ValueDist,
-};
+use cioq_traffic::{gen_trace, BernoulliUniform, Hotspot, Incast, OnOffBursty, ValueDist};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -74,13 +72,24 @@ pub fn t1_summary(quick: bool) -> Vec<Table> {
         phases: if quick { 6 } else { 12 },
     });
     let bursty_zipf = gen_trace(
-        &OnOffBursty::new(0.9, 12.0, ValueDist::Zipf { max: 64, exponent: 1.1 }),
+        &OnOffBursty::new(
+            0.9,
+            12.0,
+            ValueDist::Zipf {
+                max: 64,
+                exponent: 1.1,
+            },
+        ),
         &cioq_cfg,
         t,
         SEED,
     );
 
-    let unit_policies = [PolicyKind::Gm, PolicyKind::KrMaxMatching, PolicyKind::Islip(2)];
+    let unit_policies = [
+        PolicyKind::Gm,
+        PolicyKind::KrMaxMatching,
+        PolicyKind::Islip(2),
+    ];
     let weighted_policies = [
         PolicyKind::pg_default(),
         PolicyKind::KrMaxWeight(cioq_core::params::PG_BETA),
@@ -93,7 +102,14 @@ pub fn t1_summary(quick: bool) -> Vec<Table> {
         SEED,
     );
     let xbar_bursty_zipf = gen_trace(
-        &OnOffBursty::new(0.9, 12.0, ValueDist::Zipf { max: 64, exponent: 1.1 }),
+        &OnOffBursty::new(
+            0.9,
+            12.0,
+            ValueDist::Zipf {
+                max: 64,
+                exponent: 1.1,
+            },
+        ),
         &xbar_cfg,
         t,
         SEED,
@@ -107,16 +123,56 @@ pub fn t1_summary(quick: bool) -> Vec<Table> {
     }
     let mut points = Vec::new();
     for &kind in &unit_policies {
-        points.push(Point { kind, cfg: iq_cfg.clone(), trace: flood.clone(), workload: "flood" });
-        points.push(Point { kind, cfg: cioq_cfg.clone(), trace: bursty_unit.clone(), workload: "bursty-unit" });
-        points.push(Point { kind, cfg: cioq_cfg.clone(), trace: hot.clone(), workload: "hotspot" });
+        points.push(Point {
+            kind,
+            cfg: iq_cfg.clone(),
+            trace: flood.clone(),
+            workload: "flood",
+        });
+        points.push(Point {
+            kind,
+            cfg: cioq_cfg.clone(),
+            trace: bursty_unit.clone(),
+            workload: "bursty-unit",
+        });
+        points.push(Point {
+            kind,
+            cfg: cioq_cfg.clone(),
+            trace: hot.clone(),
+            workload: "hotspot",
+        });
     }
     for &kind in &weighted_policies {
-        points.push(Point { kind, cfg: iq_cfg.clone(), trace: flood.clone(), workload: "flood" });
-        points.push(Point { kind, cfg: iq_cfg.clone(), trace: wflood.clone(), workload: "weighted-flood" });
-        points.push(Point { kind, cfg: iq_cfg.clone(), trace: esc.clone(), workload: "escalation" });
-        points.push(Point { kind, cfg: cioq_cfg.clone(), trace: bursty_zipf.clone(), workload: "bursty-zipf" });
-        points.push(Point { kind, cfg: cioq_cfg.clone(), trace: hot.clone(), workload: "hotspot" });
+        points.push(Point {
+            kind,
+            cfg: iq_cfg.clone(),
+            trace: flood.clone(),
+            workload: "flood",
+        });
+        points.push(Point {
+            kind,
+            cfg: iq_cfg.clone(),
+            trace: wflood.clone(),
+            workload: "weighted-flood",
+        });
+        points.push(Point {
+            kind,
+            cfg: iq_cfg.clone(),
+            trace: esc.clone(),
+            workload: "escalation",
+        });
+        points.push(Point {
+            kind,
+            cfg: cioq_cfg.clone(),
+            trace: bursty_zipf.clone(),
+            workload: "bursty-zipf",
+        });
+        points.push(Point {
+            kind,
+            cfg: cioq_cfg.clone(),
+            trace: hot.clone(),
+            workload: "hotspot",
+        });
     }
     points.push(Point {
         kind: PolicyKind::Cgu,
@@ -144,7 +200,13 @@ pub fn t1_summary(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "T1 — measured worst ratios vs theorem bounds",
-        &["policy", "theorem", "worst measured ratio", "worst workload", "verdict"],
+        &[
+            "policy",
+            "theorem",
+            "worst measured ratio",
+            "worst workload",
+            "verdict",
+        ],
     );
     for &kind in cioq_policies.iter().chain(&xbar_policies) {
         let worst = rows
@@ -157,7 +219,11 @@ pub fn t1_summary(quick: bool) -> Vec<Table> {
             .theoretical
             .map(|v| format!("{v:.3}"))
             .unwrap_or_else(|| "none".into());
-        let verdict = if row.within_theorem() { "ok" } else { "VIOLATION" };
+        let verdict = if row.within_theorem() {
+            "ok"
+        } else {
+            "VIOLATION"
+        };
         table.push(vec![
             row.policy.clone(),
             theorem,
@@ -251,7 +317,13 @@ pub fn f4_pg_beta(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "F4 — PG beta sweep (theory: ratio(beta) = beta + 2*beta/(beta-1), optimum 1+sqrt(2))",
-        &["beta", "theory bound", "escalation (IQ, exact)", "incast uniform (<=)", "incast benefit"],
+        &[
+            "beta",
+            "theory bound",
+            "escalation (IQ, exact)",
+            "incast uniform (<=)",
+            "incast benefit",
+        ],
     );
     for (beta, esc_row, stress_row) in rows {
         table.push(vec![
@@ -268,7 +340,11 @@ pub fn f4_pg_beta(quick: bool) -> Vec<Table> {
 /// F5 — throughput/ratio vs speedup ŝ = 1..6 for all algorithms.
 pub fn f5_speedup(quick: bool) -> Vec<Table> {
     let t = slots(256, quick);
-    let speedups: Vec<u32> = if quick { vec![1, 2, 4] } else { vec![1, 2, 3, 4, 6] };
+    let speedups: Vec<u32> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 3, 4, 6]
+    };
     let policies = [
         PolicyKind::Gm,
         PolicyKind::pg_default(),
@@ -293,12 +369,7 @@ pub fn f5_speedup(quick: bool) -> Vec<Table> {
         };
         // Same seed across speedups: every point sees the same arrivals,
         // so the speedup axis is the only thing varying.
-        let trace = gen_trace(
-            &BernoulliUniform::new(1.0, ValueDist::Unit),
-            &cfg,
-            t,
-            SEED,
-        );
+        let trace = gen_trace(&BernoulliUniform::new(1.0, ValueDist::Unit), &cfg, t, SEED);
         let row = measure_ratio(kind, &cfg, &trace, false);
         let frac = row.benefit as f64 / trace.len().max(1) as f64;
         (s, kind, frac, row)
@@ -330,7 +401,15 @@ pub fn f6_matching_cost(quick: bool) -> Vec<Table> {
 
     let mut table = Table::new(
         "F6 — scheduling cost per cycle (dense random graphs, microseconds)",
-        &["N", "edges", "greedy (GM)", "greedy-w (PG)", "Hopcroft-Karp", "Hungarian", "iSLIP-2"],
+        &[
+            "N",
+            "edges",
+            "greedy (GM)",
+            "greedy-w (PG)",
+            "Hopcroft-Karp",
+            "Hungarian",
+            "iSLIP-2",
+        ],
     );
     for &n in &sizes {
         let mut rng = SmallRng::seed_from_u64(SEED + n as u64);
@@ -388,7 +467,11 @@ pub fn f6_matching_cost(quick: bool) -> Vec<Table> {
 /// F7 — crossbar buffer size sweep: what the crosspoint buffers buy.
 pub fn f7_crossbar_buffer(quick: bool) -> Vec<Table> {
     let t = slots(256, quick);
-    let caps: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 3, 4, 6, 8] };
+    let caps: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 3, 4, 6, 8]
+    };
     let mut points = Vec::new();
     for &bc in &caps {
         for kind in [PolicyKind::Cgu, PolicyKind::cpg_default()] {
@@ -398,7 +481,15 @@ pub fn f7_crossbar_buffer(quick: bool) -> Vec<Table> {
     let rows = parallel_map(&points, |&(bc, kind)| {
         let cfg = SwitchConfig::crossbar(8, 4, bc, 1);
         let trace = gen_trace(
-            &Incast::new(8, 2, 0.4, ValueDist::Zipf { max: 16, exponent: 1.0 }),
+            &Incast::new(
+                8,
+                2,
+                0.4,
+                ValueDist::Zipf {
+                    max: 16,
+                    exponent: 1.0,
+                },
+            ),
             &cfg,
             t,
             SEED,
@@ -409,7 +500,15 @@ pub fn f7_crossbar_buffer(quick: bool) -> Vec<Table> {
     // Reference: plain CIOQ with the same traffic.
     let cioq_cfg = SwitchConfig::cioq(8, 4, 1);
     let cioq_trace = gen_trace(
-        &Incast::new(8, 2, 0.4, ValueDist::Zipf { max: 16, exponent: 1.0 }),
+        &Incast::new(
+            8,
+            2,
+            0.4,
+            ValueDist::Zipf {
+                max: 16,
+                exponent: 1.0,
+            },
+        ),
         &cioq_cfg,
         t,
         SEED,
@@ -447,7 +546,11 @@ pub fn f7_crossbar_buffer(quick: bool) -> Vec<Table> {
 /// F8 — the lower-bound constructions: measured ratios approaching the
 /// known bounds (2 for greedy unit on IQ; escalation for weighted).
 pub fn f8_adversarial(quick: bool) -> Vec<Table> {
-    let ms: Vec<usize> = if quick { vec![2, 4, 8] } else { vec![2, 4, 8, 16, 32] };
+    let ms: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    };
     let b = if quick { 2 } else { 4 };
 
     let flood_rows = parallel_map(&ms, |&m| {
@@ -479,10 +582,11 @@ pub fn f8_adversarial(quick: bool) -> Vec<Table> {
     let adaptive_rows = parallel_map(&ms, |&m| {
         let cfg = SwitchConfig::iq_model(m, b);
         let mut adversary = AdaptiveFloodSource::new(m, b, None);
-        let mut gm = cioq_core::GreedyMatching::with_edge_policy(cioq_core::GmEdgePolicy::RotateByCycle);
+        let mut gm =
+            cioq_core::GreedyMatching::with_edge_policy(cioq_core::GmEdgePolicy::RotateByCycle);
         let slots = adversary.horizon_slots();
-        let report = run_cioq_with_source(&cfg, &mut gm, &mut adversary, slots)
-            .expect("adaptive run");
+        let report =
+            run_cioq_with_source(&cfg, &mut gm, &mut adversary, slots).expect("adaptive run");
         let trace = adversary.emitted_trace();
         let opt = opt_upper_bound(&cfg, &trace).best();
         let exact = opt_upper_bound_is_exact(&cfg);
@@ -557,8 +661,14 @@ pub fn t2_value_distributions(quick: bool) -> Vec<Table> {
     let dists = [
         ValueDist::Unit,
         ValueDist::Uniform { max: 64 },
-        ValueDist::Zipf { max: 64, exponent: 1.1 },
-        ValueDist::Bimodal { high: 100, p_high: 0.1 },
+        ValueDist::Zipf {
+            max: 64,
+            exponent: 1.1,
+        },
+        ValueDist::Bimodal {
+            high: 100,
+            p_high: 0.1,
+        },
     ];
     let loads = [0.5, 0.9];
     let policies = [
@@ -631,7 +741,13 @@ pub fn t3_bursty(quick: bool) -> Vec<Table> {
     });
     let mut table = Table::new(
         "T3 — burstiness sweep (load 0.7, N=8, B=8, unit values)",
-        &["mean burst", "policy", "delivered frac", "dropped", "mean latency"],
+        &[
+            "mean burst",
+            "policy",
+            "delivered frac",
+            "dropped",
+            "mean latency",
+        ],
     );
     for (mb, kind, report, offered) in rows {
         table.push(vec![
@@ -663,7 +779,13 @@ pub fn t4_asymmetric(quick: bool) -> Vec<Table> {
             .build()
             .expect("valid");
         let trace = gen_trace(
-            &BernoulliUniform::new(0.8, ValueDist::Zipf { max: 16, exponent: 1.0 }),
+            &BernoulliUniform::new(
+                0.8,
+                ValueDist::Zipf {
+                    max: 16,
+                    exponent: 1.0,
+                },
+            ),
             &cfg,
             t,
             SEED + (n * 100 + m) as u64,
@@ -691,7 +813,14 @@ pub fn t5_ablation(quick: bool) -> Vec<Table> {
     let t = slots(256, quick);
     let cioq_cfg = SwitchConfig::cioq(8, 4, 1);
     let weighted: Trace = gen_trace(
-        &OnOffBursty::new(0.85, 10.0, ValueDist::Bimodal { high: 50, p_high: 0.2 }),
+        &OnOffBursty::new(
+            0.85,
+            10.0,
+            ValueDist::Bimodal {
+                high: 50,
+                p_high: 0.2,
+            },
+        ),
         &cioq_cfg,
         t,
         SEED,
@@ -704,7 +833,14 @@ pub fn t5_ablation(quick: bool) -> Vec<Table> {
     );
     let xbar_cfg = SwitchConfig::crossbar(8, 4, 2, 1);
     let xbar_weighted: Trace = gen_trace(
-        &OnOffBursty::new(0.85, 10.0, ValueDist::Bimodal { high: 50, p_high: 0.2 }),
+        &OnOffBursty::new(
+            0.85,
+            10.0,
+            ValueDist::Bimodal {
+                high: 50,
+                p_high: 0.2,
+            },
+        ),
         &xbar_cfg,
         t,
         SEED,

@@ -323,8 +323,8 @@ mod tests {
                 balance[u] -= fl;
                 balance[v] += fl;
             }
-            for node in 1..n - 1 {
-                prop_assert_eq!(balance[node], 0, "interior node {} unbalanced", node);
+            for (node, &bal) in balance.iter().enumerate().take(n - 1).skip(1) {
+                prop_assert_eq!(bal, 0, "interior node {} unbalanced", node);
             }
             prop_assert!(balance[0] <= 0 && balance[n - 1] >= 0);
             prop_assert_eq!(-balance[0], balance[n - 1]);

@@ -54,7 +54,7 @@ pub fn max_profit_by_classes(
     sink: NodeId,
     mut classes: Vec<ValueClass>,
 ) -> ProfitResult {
-    classes.sort_by(|a, b| b.value.cmp(&a.value));
+    classes.sort_by_key(|c| std::cmp::Reverse(c.value));
     debug_assert!(
         classes.windows(2).all(|w| w[0].value != w[1].value),
         "value classes must be distinct; merge duplicate values first"
@@ -75,7 +75,7 @@ pub fn max_profit_by_classes(
 /// Merge classes sharing the same value (convenience for callers that
 /// collect packets one by one).
 pub fn merge_classes(mut classes: Vec<ValueClass>) -> Vec<ValueClass> {
-    classes.sort_by(|a, b| b.value.cmp(&a.value));
+    classes.sort_by_key(|c| std::cmp::Reverse(c.value));
     let mut merged: Vec<ValueClass> = Vec::new();
     for c in classes {
         match merged.last_mut() {

@@ -126,7 +126,12 @@ mod tests {
                 dl[l] += 1;
                 dr[r] += 1;
             }
-            dl.iter().chain(dr.iter()).copied().max().unwrap_or(0).max(1)
+            dl.iter()
+                .chain(dr.iter())
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(1)
         };
         assert_eq!(colors.len(), edges.len());
         for &c in colors {

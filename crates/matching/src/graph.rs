@@ -118,12 +118,18 @@ impl Matching {
 
     /// The right vertex matched to `left`, if any. O(|M|).
     pub fn right_of(&self, left: usize) -> Option<usize> {
-        self.pairs.iter().find(|&&(l, _)| l == left).map(|&(_, r)| r)
+        self.pairs
+            .iter()
+            .find(|&&(l, _)| l == left)
+            .map(|&(_, r)| r)
     }
 
     /// The left vertex matched to `right`, if any. O(|M|).
     pub fn left_of(&self, right: usize) -> Option<usize> {
-        self.pairs.iter().find(|&&(_, r)| r == right).map(|&(l, _)| l)
+        self.pairs
+            .iter()
+            .find(|&&(_, r)| r == right)
+            .map(|&(l, _)| l)
     }
 
     /// Verify the matching property (no shared endpoints) and that every

@@ -87,7 +87,8 @@ fn dfs(
     for k in 0..adj[l].len() {
         let r = adj[l][k];
         let next = match_right[r];
-        if next == NIL || (dist[next] == dist[l] + 1 && dfs(next, adj, match_left, match_right, dist))
+        if next == NIL
+            || (dist[next] == dist[l] + 1 && dfs(next, adj, match_left, match_right, dist))
         {
             match_left[l] = r;
             match_right[r] = l;

@@ -86,8 +86,7 @@ pub fn hungarian_max_weight(g: &BipartiteGraph) -> Matching {
     }
 
     let mut pairs = Vec::new();
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i == 0 {
             continue;
         }

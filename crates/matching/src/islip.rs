@@ -64,9 +64,8 @@ impl Islip {
                 if output_matched[j] || requests[j].is_empty() {
                     continue;
                 }
-                grants[j] = round_robin_pick(&requests[j], self.grant_ptr[j], |i| {
-                    !input_matched[i]
-                });
+                grants[j] =
+                    round_robin_pick(&requests[j], self.grant_ptr[j], |i| !input_matched[i]);
             }
 
             // Accept phase: each input accepts the first granting output at
@@ -104,8 +103,16 @@ impl Islip {
 
 /// First element of `candidates` (sorted ascending) at or cyclically after
 /// `start` that satisfies `ok`.
-fn round_robin_pick(candidates: &[usize], start: usize, ok: impl Fn(usize) -> bool) -> Option<usize> {
-    let later = candidates.iter().copied().filter(|&c| c >= start && ok(c)).min();
+fn round_robin_pick(
+    candidates: &[usize],
+    start: usize,
+    ok: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let later = candidates
+        .iter()
+        .copied()
+        .filter(|&c| c >= start && ok(c))
+        .min();
     later.or_else(|| candidates.iter().copied().filter(|&c| ok(c)).min())
 }
 
@@ -146,14 +153,15 @@ mod tests {
         let mut islip = Islip::new(3, 3, 3);
         let m = islip.match_cycle(&g);
         assert!(m.is_valid_for(&g));
-        assert!(m.is_maximal_in(&g), "k iterations should reach maximality here");
+        assert!(
+            m.is_maximal_in(&g),
+            "k iterations should reach maximality here"
+        );
     }
 
     #[test]
     fn full_crossbar_perfect_matching_under_iterations() {
-        let edges: Vec<_> = (0..4)
-            .flat_map(|i| (0..4).map(move |j| (i, j)))
-            .collect();
+        let edges: Vec<_> = (0..4).flat_map(|i| (0..4).map(move |j| (i, j))).collect();
         let g = graph(4, &edges);
         let mut islip = Islip::new(4, 4, 4);
         let m = islip.match_cycle(&g);

@@ -57,7 +57,7 @@ mod tests {
         let a = mk(1, 10);
         let b = mk(2, 10);
         let c = mk(3, 5);
-        let mut v = vec![c, b, a];
+        let mut v = [c, b, a];
         v.sort_by_key(|p| p.queue_key());
         assert_eq!(
             v.iter().map(|p| p.id.0).collect::<Vec<_>>(),

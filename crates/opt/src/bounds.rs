@@ -53,10 +53,7 @@ mod tests {
     #[test]
     fn bounds_and_ratio() {
         let cfg = SwitchConfig::cioq(2, 2, 1);
-        let tr = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 4),
-            (0, PortId(1), PortId(1), 6),
-        ]);
+        let tr = Trace::from_tuples([(0, PortId(0), PortId(0), 4), (0, PortId(1), PortId(1), 6)]);
         let b = opt_upper_bound(&cfg, &tr);
         assert_eq!(b.best(), 10);
         assert_eq!(certified_ratio(&cfg, &tr, Benefit(5)), 2.0);

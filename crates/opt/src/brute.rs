@@ -152,7 +152,11 @@ impl<'a> Search<'a> {
         let mut st = state.clone();
         if !past_arrivals {
             for &(i, j, v) in &self.per_slot[slot as usize].clone() {
-                admit(&mut st.iq[i * self.cfg.n_outputs + j], self.cfg.input_capacity, v);
+                admit(
+                    &mut st.iq[i * self.cfg.n_outputs + j],
+                    self.cfg.input_capacity,
+                    v,
+                );
             }
         }
 
@@ -180,7 +184,12 @@ impl<'a> Search<'a> {
                 let mut after_output = Vec::new();
                 enumerate_output_subphase(self.cfg, &st1, 0, &mut Vec::new(), &mut after_output);
                 for (st2, moved_out) in after_output {
-                    let b = self.run_cycles(&st2, slot, cycle + 1, progressed || moved_in || moved_out)?;
+                    let b = self.run_cycles(
+                        &st2,
+                        slot,
+                        cycle + 1,
+                        progressed || moved_in || moved_out,
+                    )?;
                     best = best.max(b);
                 }
             }

@@ -167,7 +167,12 @@ pub fn gm_lemma1_machinery(
                 }
                 // opt: recorded admission, feasible a fortiori (its queues
                 // only ever shrank under the modifications).
-                if schedule.admissions.get(next_packet).copied().unwrap_or(false) {
+                if schedule
+                    .admissions
+                    .get(next_packet)
+                    .copied()
+                    .unwrap_or(false)
+                {
                     debug_assert!(opt.iq[idx] < b_in, "recorded accept must stay feasible");
                     if opt.iq[idx] < b_in {
                         opt.iq[idx] += 1;
@@ -183,19 +188,19 @@ pub fn gm_lemma1_machinery(
             // GM's greedy maximal matching in lexicographic order.
             alg_from.iter_mut().for_each(|x| *x = None);
             alg_into.iter_mut().for_each(|x| *x = false);
-            for i in 0..alg.n {
-                for j in 0..alg.m {
-                    if alg_from[i].is_none()
-                        && !alg_into[j]
-                        && alg.iq_at(i, j) > 0
-                        && alg.oq[j] < b_out
-                    {
-                        alg_from[i] = Some(j);
-                        alg_into[j] = true;
+            for (i, from) in alg_from.iter_mut().enumerate() {
+                for (j, into) in alg_into.iter_mut().enumerate() {
+                    if from.is_none() && !*into && alg.iq_at(i, j) > 0 && alg.oq[j] < b_out {
+                        *from = Some(j);
+                        *into = true;
                     }
                 }
             }
-            for (i, j) in alg_from.iter().enumerate().filter_map(|(i, j)| j.map(|j| (i, j))) {
+            for (i, j) in alg_from
+                .iter()
+                .enumerate()
+                .filter_map(|(i, j)| j.map(|j| (i, j)))
+            {
                 alg.iq[i * alg.m + j] -= 1;
                 alg.oq[j] += 1;
             }
@@ -203,10 +208,7 @@ pub fn gm_lemma1_machinery(
             // opt: recorded transfers for this cycle (skipping any whose
             // source queue the modifications already drained).
             let empty = Vec::new();
-            let recorded = schedule
-                .transfers
-                .get(cycle_idx)
-                .unwrap_or(&empty);
+            let recorded = schedule.transfers.get(cycle_idx).unwrap_or(&empty);
             let mut opt_from: Vec<bool> = vec![false; alg.n];
             for &(i16, j16) in recorded {
                 let (i, j) = (i16 as usize, j16 as usize);
@@ -228,7 +230,11 @@ pub fn gm_lemma1_machinery(
             // Modification 2.1.1: GM transferred from Q_ij, opt did not
             // transfer from input port... the paper's condition is per
             // queue Q_ij: opt transferred no packet from Q*_ij this cycle.
-            for (i, j) in alg_from.iter().enumerate().filter_map(|(i, j)| j.map(|j| (i, j))) {
+            for (i, j) in alg_from
+                .iter()
+                .enumerate()
+                .filter_map(|(i, j)| j.map(|j| (i, j)))
+            {
                 let opt_used_same_queue = recorded
                     .iter()
                     .any(|&(ri, rj)| ri as usize == i && rj as usize == j);
@@ -267,10 +273,8 @@ mod tests {
     #[test]
     fn trivial_instance_all_inequalities_hold() {
         let cfg = SwitchConfig::cioq(2, 2, 1);
-        let trace = Trace::from_tuples([
-            (0, PortId(0), PortId(0), 1),
-            (0, PortId(1), PortId(1), 1),
-        ]);
+        let trace =
+            Trace::from_tuples([(0, PortId(0), PortId(0), 1), (0, PortId(1), PortId(1), 1)]);
         // Offline schedule: accept both, transfer both in cycle 0.
         let schedule = RecordedSchedule {
             admissions: vec![true, true],

@@ -17,7 +17,11 @@ pub struct Grid<T> {
 
 impl<T> Grid<T> {
     /// Build a grid by calling `f(i, j)` for every cell.
-    pub fn from_fn(n_inputs: usize, n_outputs: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        n_inputs: usize,
+        n_outputs: usize,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> Self {
         let mut cells = Vec::with_capacity(n_inputs * n_outputs);
         for i in 0..n_inputs {
             for j in 0..n_outputs {
@@ -77,9 +81,7 @@ impl<T> Grid<T> {
     /// Iterate one input port's row `(j, &cell)`.
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, &T)> {
         let start = i * self.n_outputs;
-        self.cells[start..start + self.n_outputs]
-            .iter()
-            .enumerate()
+        self.cells[start..start + self.n_outputs].iter().enumerate()
     }
 
     /// Iterate one output port's column `(i, &cell)`.

@@ -101,7 +101,9 @@ impl SortedQueue {
         if self.is_full() {
             return Err(p);
         }
-        let pos = self.items.partition_point(|q| q.queue_key() <= p.queue_key());
+        let pos = self
+            .items
+            .partition_point(|q| q.queue_key() <= p.queue_key());
         self.items.insert(pos, p);
         Ok(())
     }

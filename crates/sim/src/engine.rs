@@ -88,9 +88,8 @@ impl Engine {
         loop {
             let in_arrival_window = slot < arrival_slots;
             if !in_arrival_window {
-                let done = !self.options.drain
-                    || self.state.residual_count() == 0
-                    || idle_slots >= 2;
+                let done =
+                    !self.options.drain || self.state.residual_count() == 0 || idle_slots >= 2;
                 if done {
                     break;
                 }
@@ -150,9 +149,8 @@ impl Engine {
         loop {
             let in_arrival_window = slot < arrival_slots;
             if !in_arrival_window {
-                let done = !self.options.drain
-                    || self.state.residual_count() == 0
-                    || idle_slots >= 2;
+                let done =
+                    !self.options.drain || self.state.residual_count() == 0 || idle_slots >= 2;
                 if done {
                     break;
                 }
@@ -365,7 +363,11 @@ impl Engine {
         Ok(())
     }
 
-    fn apply_transmit(&mut self, output: PortId, choice: TransmitChoice) -> Result<(), PolicyError> {
+    fn apply_transmit(
+        &mut self,
+        output: PortId,
+        choice: TransmitChoice,
+    ) -> Result<(), PolicyError> {
         match choice {
             TransmitChoice::Hold => Ok(()),
             TransmitChoice::Send(pick) => {

@@ -36,7 +36,9 @@ impl SwitchState {
             SortedQueue::new(config.input_capacity)
         });
         let crossbar_queues = config.crossbar_capacity.map(|bc| {
-            Grid::from_fn(config.n_inputs, config.n_outputs, |_, _| SortedQueue::new(bc))
+            Grid::from_fn(config.n_inputs, config.n_outputs, |_, _| {
+                SortedQueue::new(bc)
+            })
         });
         let output_queues = (0..config.n_outputs)
             .map(|_| SortedQueue::new(config.output_capacity))
@@ -94,11 +96,19 @@ impl SwitchState {
 
     /// Total number of packets still buffered anywhere in the switch.
     pub fn residual_count(&self) -> u64 {
-        let mut total: u64 = self.input_queues.iter().map(|(_, _, q)| q.len() as u64).sum();
+        let mut total: u64 = self
+            .input_queues
+            .iter()
+            .map(|(_, _, q)| q.len() as u64)
+            .sum();
         if let Some(xq) = &self.crossbar_queues {
             total += xq.iter().map(|(_, _, q)| q.len() as u64).sum::<u64>();
         }
-        total += self.output_queues.iter().map(|q| q.len() as u64).sum::<u64>();
+        total += self
+            .output_queues
+            .iter()
+            .map(|q| q.len() as u64)
+            .sum::<u64>();
         total
     }
 }

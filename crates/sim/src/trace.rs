@@ -108,7 +108,9 @@ impl Trace {
 
     /// Validate every packet against a switch configuration.
     pub fn validate_for(&self, config: &SwitchConfig) -> Result<(), ModelError> {
-        self.packets.iter().try_for_each(|p| config.validate_packet(p))
+        self.packets
+            .iter()
+            .try_for_each(|p| config.validate_packet(p))
     }
 
     /// Write the trace in the `cioq-trace v1` line format:
@@ -172,7 +174,11 @@ mod tests {
         ]);
         assert_eq!(t.len(), 3);
         assert_eq!(t.packets()[0].arrival, 0);
-        assert_eq!(t.packets()[0].value, 3, "stable sort keeps intra-slot order");
+        assert_eq!(
+            t.packets()[0].value,
+            3,
+            "stable sort keeps intra-slot order"
+        );
         assert_eq!(t.packets()[2].arrival, 2);
         let ids: Vec<_> = t.packets().iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);

@@ -138,10 +138,13 @@ mod tests {
         let cfg = SwitchConfig::iq_model(m, b);
         let mut adversary = AdaptiveFloodSource::new(m, b, None);
         let slots = adversary.horizon_slots();
-        let report = Engine::new(cfg, RunOptions {
-            slots: Some(slots),
-            ..RunOptions::default()
-        })
+        let report = Engine::new(
+            cfg,
+            RunOptions {
+                slots: Some(slots),
+                ..RunOptions::default()
+            },
+        )
         .run_cioq(&mut FirstFit, &mut adversary)
         .unwrap();
 

@@ -29,7 +29,12 @@ pub struct EscalationParams {
 /// bounds cited in §1.2 (asymptotically 3 for TLH-style policies on the IQ
 /// model).
 pub fn escalation_bait(params: EscalationParams) -> Trace {
-    let EscalationParams { m, b, gamma, phases } = params;
+    let EscalationParams {
+        m,
+        b,
+        gamma,
+        phases,
+    } = params;
     assert!(m >= 2 && b >= 1 && gamma > 1.0 && phases >= 1);
     let mut tuples: Vec<(SlotId, PortId, PortId, Value)> = Vec::new();
     for k in 0..phases {

@@ -80,7 +80,11 @@ mod tests {
         let cfg = SwitchConfig::cioq(4, 8, 1);
         let gen = Hotspot::new(1.0, 0.8, 2, ValueDist::Unit);
         let trace = gen.generate(&cfg, 1000, 5);
-        let hot = trace.packets().iter().filter(|p| p.output.index() == 2).count();
+        let hot = trace
+            .packets()
+            .iter()
+            .filter(|p| p.output.index() == 2)
+            .count();
         let frac = hot as f64 / trace.len() as f64;
         // 0.8 direct + 0.2 * 1/4 uniform residue = 0.85 expected.
         assert!((frac - 0.85).abs() < 0.05, "hot share {frac}");

@@ -104,6 +104,9 @@ mod tests {
             .iter()
             .filter(|p| p.arrival % 50 != 0)
             .count();
-        assert!(background > 100, "background traffic expected, got {background}");
+        assert!(
+            background > 100,
+            "background traffic expected, got {background}"
+        );
     }
 }

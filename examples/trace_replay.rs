@@ -10,11 +10,7 @@ use std::io::BufReader;
 
 fn main() {
     let cfg = SwitchConfig::cioq(4, 8, 2);
-    let gen = OnOffBursty::new(
-        0.7,
-        8.0,
-        ValueDist::Uniform { max: 16 },
-    );
+    let gen = OnOffBursty::new(0.7, 8.0, ValueDist::Uniform { max: 16 });
     let trace = gen_trace(&gen, &cfg, 200, 2024);
 
     // Record.
@@ -22,11 +18,7 @@ fn main() {
     let mut file = std::fs::File::create(&path).expect("create trace file");
     trace.write_to(&mut file).expect("write trace");
     drop(file);
-    println!(
-        "recorded {} packets to {}",
-        trace.len(),
-        path.display()
-    );
+    println!("recorded {} packets to {}", trace.len(), path.display());
 
     // Replay.
     let file = std::fs::File::open(&path).expect("open trace file");

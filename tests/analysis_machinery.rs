@@ -9,7 +9,11 @@ use cioq_switch::prelude::*;
 use cioq_switch::sim::Recording;
 use proptest::prelude::*;
 
-fn record<P: CioqPolicy>(cfg: &SwitchConfig, trace: &Trace, policy: P) -> (RunReport, cioq_switch::sim::RecordedSchedule) {
+fn record<P: CioqPolicy>(
+    cfg: &SwitchConfig,
+    trace: &Trace,
+    policy: P,
+) -> (RunReport, cioq_switch::sim::RecordedSchedule) {
     let mut rec = Recording::new(policy);
     let report = run_cioq(cfg, &mut rec, trace).expect("run");
     (report, rec.into_schedule())
@@ -18,15 +22,27 @@ fn record<P: CioqPolicy>(cfg: &SwitchConfig, trace: &Trace, policy: P) -> (RunRe
 fn run_machinery(cfg: &SwitchConfig, trace: &Trace) -> Vec<(String, RunReport, Lemma1Report)> {
     let mut results = Vec::new();
     let (r1, s1) = record(cfg, trace, MaxMatching::new());
-    results.push(("max-matching".to_string(), r1, gm_lemma1_machinery(cfg, trace, &s1)));
+    results.push((
+        "max-matching".to_string(),
+        r1,
+        gm_lemma1_machinery(cfg, trace, &s1),
+    ));
     let (r2, s2) = record(cfg, trace, IslipPolicy::new(2));
-    results.push(("islip".to_string(), r2, gm_lemma1_machinery(cfg, trace, &s2)));
+    results.push((
+        "islip".to_string(),
+        r2,
+        gm_lemma1_machinery(cfg, trace, &s2),
+    ));
     let (r3, s3) = record(
         cfg,
         trace,
         GreedyMatching::with_edge_policy(GmEdgePolicy::RotateByCycle),
     );
-    results.push(("gm-rotate".to_string(), r3, gm_lemma1_machinery(cfg, trace, &s3)));
+    results.push((
+        "gm-rotate".to_string(),
+        r3,
+        gm_lemma1_machinery(cfg, trace, &s3),
+    ));
     results
 }
 

@@ -7,7 +7,9 @@ use proptest::prelude::*;
 fn policies() -> Vec<Box<dyn CioqPolicy>> {
     vec![
         Box::new(GreedyMatching::new()),
-        Box::new(GreedyMatching::with_edge_policy(GmEdgePolicy::RotateByCycle)),
+        Box::new(GreedyMatching::with_edge_policy(
+            GmEdgePolicy::RotateByCycle,
+        )),
         Box::new(PreemptiveGreedy::new()),
         Box::new(PreemptiveGreedy::with_beta(1.5)),
         Box::new(PreemptiveGreedy::without_preemption()),
@@ -142,10 +144,7 @@ impl CioqPolicy for IllegalDoubleInput {
 #[test]
 fn engine_rejects_matching_violations() {
     let cfg = SwitchConfig::cioq(2, 4, 1);
-    let trace = Trace::from_tuples([
-        (0, PortId(0), PortId(0), 1),
-        (0, PortId(0), PortId(1), 1),
-    ]);
+    let trace = Trace::from_tuples([(0, PortId(0), PortId(0), 1), (0, PortId(0), PortId(1), 1)]);
     let err = run_cioq(&cfg, &mut IllegalDoubleInput, &trace).unwrap_err();
     assert!(matches!(
         err,

@@ -1,0 +1,341 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendor crate implements the API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`] macros
+//! — with real wall-clock measurement but none of real criterion's
+//! statistics, plotting, or HTML reports.
+//!
+//! Measurement model: each benchmark warms up for ~20 ms, then runs timed
+//! batches for a ~150 ms budget and reports the **minimum** per-iteration
+//! time across batches (the minimum is the standard low-noise estimator for
+//! micro-benchmarks). Results print in a `name ... time: [x ns]` format
+//! and, when the `CRITERION_BASELINE_JSON` environment variable names a
+//! file, are appended to it as JSON lines for regression tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark: a function name plus an input parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("algo", n)` renders as `algo/n`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id with no function name, only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher {
+    /// Minimum observed nanoseconds per iteration, filled in by `iter`.
+    min_ns_per_iter: f64,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Aim for ~10 batches inside the measurement budget.
+        let budget = self.measure.as_secs_f64();
+        let batch = ((budget / 10.0 / est_per_iter).ceil() as u64).max(1);
+
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.measure;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / batch as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.min_ns_per_iter = best * 1e9;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BenchResult {
+    group: String,
+    name: String,
+    ns_per_iter: f64,
+    throughput: Option<Throughput>,
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            warmup: Duration::from_millis(20),
+            measure: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(String::new(), id.into_id(), None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: String, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            min_ns_per_iter: f64::NAN,
+            warmup: self.warmup,
+            measure: self.measure,
+        };
+        f(&mut b);
+        let label = if group.is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{}", group, name)
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 / b.min_ns_per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / b.min_ns_per_iter * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("{label:<50} time: [{}]{rate}", format_ns(b.min_ns_per_iter));
+        self.results.push(BenchResult {
+            group,
+            name,
+            ns_per_iter: b.min_ns_per_iter,
+            throughput,
+        });
+    }
+
+    fn write_baseline(&self) {
+        let Ok(path) = std::env::var("CRITERION_BASELINE_JSON") else {
+            return;
+        };
+        let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("criterion stand-in: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let thrpt = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+                Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                file,
+                "{{\"group\":\"{}\",\"name\":\"{}\",\"ns_per_iter\":{:.1}{}}}",
+                r.group, r.name, r.ns_per_iter, thrpt
+            );
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_baseline();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in is time-budgeted, so the
+    /// requested sample count does not change measurement.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let tp = self.throughput;
+        self.criterion
+            .run_one(self.name.clone(), id.into_id(), tp, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let tp = self.throughput;
+        self.criterion
+            .run_one(self.name.clone(), id.into_id(), tp, |b| f(b, input));
+        self
+    }
+
+    /// End the group (drops it; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("push", |b| b.iter(|| vec![1u8; 64]));
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.ns_per_iter > 0.0));
+    }
+}

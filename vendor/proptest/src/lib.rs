@@ -1,0 +1,454 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendor crate supplies the subset of proptest the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! integer-range and tuple strategies, [`collection::vec`], the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in the
+//!   assertion message instead of a minimised counterexample.
+//! * **Deterministic by construction.** Each test's RNG is seeded from a hash
+//!   of the test function's name (optionally overridden by the
+//!   `PROPTEST_SEED` environment variable), so a run is exactly reproducible
+//!   — which the workspace's tier-1 gate requires anyway.
+//!
+//! The strategy grammar and macro syntax are source-compatible with real
+//! proptest for everything in this repository, so swapping the real crate
+//! back in (when a registry is reachable) is a one-line Cargo.toml change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The doc example for `proptest!` necessarily shows `#[test]` inside the
+// macro invocation — that is the macro's real grammar, not a doctest bug.
+#![allow(clippy::test_attr_in_doctest)]
+
+use core::ops::{Range, RangeInclusive};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. A thin wrapper so the public API does not
+/// commit to a generator type.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Create a runner from an explicit 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive the seed for a named test: `PROPTEST_SEED` if set, else a
+    /// stable FNV-1a hash of the test name.
+    ///
+    /// # Panics
+    ///
+    /// If `PROPTEST_SEED` is set but is not a decimal `u64` — silently
+    /// falling back would make a "reproduction" run use the wrong stream.
+    pub fn for_test(name: &str) -> Self {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            let seed = s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a decimal u64, got {s:?}"));
+            return TestRunner::from_seed(seed);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner::from_seed(h)
+    }
+
+    /// Access the underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Strategies are sampled through a shared `&self`, so one strategy value can
+/// produce every case of a test run.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns for it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns true (re-sampling a bounded
+    /// number of times, then panicking like real proptest's rejection cap).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.sample(runner)).sample(runner)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.sample(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Size bounds for [`collection::vec`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{SizeRange, Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate a `Vec` whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    pub mod prop {
+        //! Re-exports of the crate's strategy modules (`prop::collection::…`).
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+///
+/// Unlike real proptest this panics immediately (no shrinking), which is
+/// enough to fail the test with the offending inputs in the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let strategy = ( $($strategy,)+ );
+                for __case in 0..config.cases {
+                    let ( $($pat,)+ ) =
+                        $crate::Strategy::sample(&strategy, &mut runner);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_runs() {
+        let strat = (0u64..100, 1usize..=5);
+        let mut a = crate::TestRunner::from_seed(9);
+        let mut b = crate::TestRunner::from_seed(9);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_and_bounds() {
+        let strat = prop::collection::vec((0usize..5, 1u64..10), 2..=7);
+        let mut r = crate::TestRunner::from_seed(3);
+        for _ in 0..200 {
+            let v = strat.sample(&mut r);
+            assert!((2..=7).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((1..10).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let strat = (1usize..4)
+            .prop_flat_map(|n| prop::collection::vec(0..n, 1..3).prop_map(move |v| (n, v)));
+        let mut r = crate::TestRunner::from_seed(11);
+        for _ in 0..200 {
+            let (n, v) = strat.sample(&mut r);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, config, multiple args.
+        #[test]
+        fn macro_smoke((a, b) in (0u64..10, 0u64..10), c in 1usize..=3) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!((1..=3).contains(&c));
+        }
+    }
+}
