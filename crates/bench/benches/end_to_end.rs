@@ -35,6 +35,31 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.bench_function("xbar_cpg_16x16_s2", |b| {
         b.iter(|| run_crossbar(&xbar, &mut CrossbarPreemptiveGreedy::new(), &xbar_trace).unwrap())
     });
+
+    // Large fabrics (the incremental core's target): fewer slots so one
+    // iteration stays well inside the measurement budget.
+    for &n in &[128usize, 256] {
+        let slots = 64u64;
+        let cioq = SwitchConfig::cioq(n, 8, 2);
+        let xbar = SwitchConfig::crossbar(n, 8, 2, 2);
+        let cioq_trace = gen_trace(&gen, &cioq, slots, 3);
+        let xbar_trace = gen_trace(&gen, &xbar, slots, 3);
+        group.throughput(Throughput::Elements(slots));
+        group.bench_function(format!("cioq_gm_{n}x{n}_s2"), |b| {
+            b.iter(|| run_cioq(&cioq, &mut GreedyMatching::new(), &cioq_trace).unwrap())
+        });
+        group.bench_function(format!("cioq_pg_{n}x{n}_s2"), |b| {
+            b.iter(|| run_cioq(&cioq, &mut PreemptiveGreedy::new(), &cioq_trace).unwrap())
+        });
+        group.bench_function(format!("xbar_cgu_{n}x{n}_s2"), |b| {
+            b.iter(|| run_crossbar(&xbar, &mut CrossbarGreedyUnit::new(), &xbar_trace).unwrap())
+        });
+        group.bench_function(format!("xbar_cpg_{n}x{n}_s2"), |b| {
+            b.iter(|| {
+                run_crossbar(&xbar, &mut CrossbarPreemptiveGreedy::new(), &xbar_trace).unwrap()
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,159 @@
+//! Compare two benchmark baseline snapshots (JSON-lines, as written by the
+//! harness under `CRITERION_BASELINE_JSON`) and fail on regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <candidate.json> \
+//!     [--threshold 1.25] [--groups matching,scheduling_cycle]
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = at least one benchmark in a guarded
+//! group regressed beyond the threshold, 2 = usage / parse error.
+//!
+//! Benchmarks present in only one snapshot are reported but never fail the
+//! run (new benchmarks appear, baselines age); only a guarded benchmark
+//! measured in **both** snapshots can regress. The parser handles exactly
+//! the flat `{"group":…,"name":…,"ns_per_iter":…}` records our harness
+//! writes — not general JSON.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sample {
+    ns_per_iter: f64,
+}
+
+fn parse_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next().map(str::trim)
+    }
+}
+
+fn parse_snapshot(path: &str) -> Result<BTreeMap<String, Sample>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let group = parse_field(line, "group")
+            .ok_or_else(|| format!("{path}:{}: missing \"group\"", lineno + 1))?;
+        let name = parse_field(line, "name")
+            .ok_or_else(|| format!("{path}:{}: missing \"name\"", lineno + 1))?;
+        let ns: f64 = parse_field(line, "ns_per_iter")
+            .ok_or_else(|| format!("{path}:{}: missing \"ns_per_iter\"", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("{path}:{}: bad ns_per_iter: {e}", lineno + 1))?;
+        // Last write wins: appended snapshots override earlier runs.
+        out.insert(format!("{group}/{name}"), Sample { ns_per_iter: ns });
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 1.25_f64;
+    let mut groups: Vec<String> = vec!["matching".into(), "scheduling_cycle".into()];
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold = v,
+                None => {
+                    eprintln!("--threshold needs a float argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--groups" => match it.next() {
+                Some(v) => groups = v.split(',').map(|s| s.trim().to_string()).collect(),
+                None => {
+                    eprintln!("--groups needs a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(arg.clone()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <candidate.json> \
+             [--threshold 1.25] [--groups matching,scheduling_cycle]"
+        );
+        return ExitCode::from(2);
+    }
+    let (baseline, candidate) = match (parse_snapshot(&paths[0]), parse_snapshot(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let guarded = |key: &str| groups.iter().any(|g| key.starts_with(&format!("{g}/")));
+    let mut regressions = 0u32;
+    println!(
+        "{:<50} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "candidate", "ratio"
+    );
+    for (key, base) in &baseline {
+        let Some(cand) = candidate.get(key) else {
+            println!(
+                "{key:<50} {:>12.1} {:>12} {:>8}",
+                base.ns_per_iter, "absent", "-"
+            );
+            continue;
+        };
+        let ratio = cand.ns_per_iter / base.ns_per_iter;
+        let verdict = if guarded(key) && ratio > threshold {
+            regressions += 1;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{key:<50} {:>12.1} {:>12.1} {ratio:>7.2}x{verdict}",
+            base.ns_per_iter, cand.ns_per_iter
+        );
+    }
+    for key in candidate.keys() {
+        if !baseline.contains_key(key) {
+            println!("{key:<50} {:>12} (new benchmark)", "-");
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "{regressions} benchmark(s) regressed more than {:.0}% in guarded groups {:?}",
+            (threshold - 1.0) * 100.0,
+            groups
+        );
+        ExitCode::from(1)
+    } else {
+        println!("no regressions beyond {threshold:.2}x in guarded groups {groups:?}");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_our_jsonl_records() {
+        let line =
+            r#"{"group":"matching","name":"greedy_maximal/16","ns_per_iter":260.2,"elements":120}"#;
+        assert_eq!(parse_field(line, "group"), Some("matching"));
+        assert_eq!(parse_field(line, "name"), Some("greedy_maximal/16"));
+        assert_eq!(parse_field(line, "ns_per_iter"), Some("260.2"));
+        // Trailing field without a comma terminator.
+        let tail = r#"{"group":"opt_bounds","name":"unit/4x4x128","ns_per_iter":3292836.4}"#;
+        assert_eq!(parse_field(tail, "ns_per_iter"), Some("3292836.4"));
+    }
+}

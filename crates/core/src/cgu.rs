@@ -2,6 +2,7 @@
 //! policy of Kesselman, Kogan & Segal for buffered crossbars, shown
 //! 3-competitive (previously 4) by the paper's improved analysis.
 
+use crate::incremental::{BuildMode, CguCache};
 use cioq_model::{Cycle, Packet, PortId};
 use cioq_sim::{Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, SwitchView};
 
@@ -26,9 +27,15 @@ pub enum SelectionOrder {
 ///
 /// CGU never preempts; every packet it moves into the fabric is eventually
 /// delivered (the fact its analysis hinges on).
+///
+/// By default the per-port eligibility masks are maintained incrementally
+/// from the engine's change log ([`BuildMode::Incremental`]); decisions are
+/// identical to the from-scratch [`BuildMode::Rescan`] reference.
 #[derive(Debug)]
 pub struct CrossbarGreedyUnit {
     selection: SelectionOrder,
+    mode: BuildMode,
+    cache: CguCache,
     /// Round-robin pointers (used by [`SelectionOrder::RoundRobin`]).
     input_ptr: Vec<usize>,
     output_ptr: Vec<usize>,
@@ -49,10 +56,18 @@ impl CrossbarGreedyUnit {
         };
         CrossbarGreedyUnit {
             selection,
+            mode: BuildMode::default(),
+            cache: CguCache::new(),
             input_ptr: Vec::new(),
             output_ptr: Vec::new(),
             name,
         }
+    }
+
+    /// Select how the eligibility masks are maintained (see [`BuildMode`]).
+    pub fn build_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     fn pick_start(ptr: &mut Vec<usize>, port: usize, len: usize) -> usize {
@@ -89,6 +104,9 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
         out: &mut Vec<InputTransfer>,
     ) {
         let m = view.n_outputs();
+        if self.mode == BuildMode::Incremental {
+            self.cache.sync(view);
+        }
         for i in 0..view.n_inputs() {
             let start = match self.selection {
                 SelectionOrder::FirstFit => 0,
@@ -96,12 +114,15 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
                     Self::pick_start(&mut self.input_ptr, i, view.n_inputs())
                 }
             };
-            let chosen = (0..m).map(|k| (start + k) % m).find(|&j| {
-                let input = PortId::from(i);
-                let output = PortId::from(j);
-                !view.input_queue(input, output).is_empty()
-                    && !view.crossbar_queue(input, output).is_full()
-            });
+            let chosen = match self.mode {
+                BuildMode::Incremental => self.cache.in_ok.first_set_cyclic(i, start),
+                BuildMode::Rescan => (0..m).map(|k| (start + k) % m).find(|&j| {
+                    let input = PortId::from(i);
+                    let output = PortId::from(j);
+                    !view.input_queue(input, output).is_empty()
+                        && !view.crossbar_queue(input, output).is_full()
+                }),
+            };
             if let Some(j) = chosen {
                 out.push(InputTransfer {
                     input: PortId::from(i),
@@ -123,6 +144,9 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
         out: &mut Vec<OutputTransfer>,
     ) {
         let n = view.n_inputs();
+        if self.mode == BuildMode::Incremental {
+            self.cache.sync(view);
+        }
         for j in 0..view.n_outputs() {
             if view.output_queue(PortId::from(j)).is_full() {
                 continue;
@@ -133,11 +157,14 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
                     Self::pick_start(&mut self.output_ptr, j, view.n_outputs())
                 }
             };
-            let chosen = (0..n).map(|k| (start + k) % n).find(|&i| {
-                !view
-                    .crossbar_queue(PortId::from(i), PortId::from(j))
-                    .is_empty()
-            });
+            let chosen = match self.mode {
+                BuildMode::Incremental => self.cache.out_ok.first_set_cyclic(j, start),
+                BuildMode::Rescan => (0..n).map(|k| (start + k) % n).find(|&i| {
+                    !view
+                        .crossbar_queue(PortId::from(i), PortId::from(j))
+                        .is_empty()
+                }),
+            };
             if let Some(i) = chosen {
                 out.push(OutputTransfer {
                     input: PortId::from(i),

@@ -4,6 +4,7 @@
 //! Kogan & Segal [21]; the paper's improvement is exactly the freedom to
 //! pick α ≠ β.
 
+use crate::incremental::{BuildMode, CpgCache};
 use crate::params::{cpg_alpha_star, cpg_beta_star};
 use cioq_model::{exceeds_factor, Cycle, Packet, PortId, Value};
 use cioq_sim::{Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, SwitchView};
@@ -23,6 +24,8 @@ use cioq_sim::{Admission, CrossbarPolicy, InputTransfer, OutputTransfer, PacketP
 pub struct CrossbarPreemptiveGreedy {
     beta: f64,
     alpha: f64,
+    mode: BuildMode,
+    cache: CpgCache,
     name: String,
 }
 
@@ -39,8 +42,17 @@ impl CrossbarPreemptiveGreedy {
         CrossbarPreemptiveGreedy {
             beta,
             alpha,
+            mode: BuildMode::default(),
+            cache: CpgCache::new(),
             name: format!("CPG(beta={beta:.3},alpha={alpha:.3})"),
         }
+    }
+
+    /// Select how the per-port candidates are maintained (see
+    /// [`BuildMode`]).
+    pub fn build_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// The prior single-parameter algorithm of Kesselman et al. [21]
@@ -102,6 +114,23 @@ impl CrossbarPolicy for CrossbarPreemptiveGreedy {
         _cycle: Cycle,
         out: &mut Vec<InputTransfer>,
     ) {
+        if self.mode == BuildMode::Incremental {
+            // Only rows with a dirtied `Q_ij` or `C_ij` cell are rescanned;
+            // the argmax of an untouched row cannot have changed.
+            self.cache.sync(view);
+            self.cache.refresh_rows(view, self.beta);
+            for (i, best) in self.cache.row_best.iter().enumerate() {
+                if let Some((_, j)) = *best {
+                    out.push(InputTransfer {
+                        input: PortId::from(i),
+                        output: PortId::from(j),
+                        pick: PacketPick::Greatest,
+                        preempt_if_full: true,
+                    });
+                }
+            }
+            return;
+        }
         for i in 0..view.n_inputs() {
             let input = PortId::from(i);
             let mut best: Option<(Value, usize)> = None;
@@ -142,6 +171,32 @@ impl CrossbarPolicy for CrossbarPreemptiveGreedy {
         _cycle: Cycle,
         out: &mut Vec<OutputTransfer>,
     ) {
+        if self.mode == BuildMode::Incremental {
+            self.cache.sync(view);
+            self.cache.refresh_cols(view);
+            for (j, best) in self.cache.col_best.iter().enumerate() {
+                let Some((gc, i)) = *best else { continue };
+                let output = PortId::from(j);
+                // The α threshold involves the output queue, which changes
+                // every transmission — evaluated fresh, never cached.
+                let oq = view.output_queue(output);
+                let eligible = !oq.is_full()
+                    || exceeds_factor(
+                        gc,
+                        self.alpha,
+                        oq.tail_value().expect("full queue has a tail"),
+                    );
+                if eligible {
+                    out.push(OutputTransfer {
+                        input: PortId::from(i),
+                        output,
+                        pick: PacketPick::Greatest,
+                        preempt_if_full: true,
+                    });
+                }
+            }
+            return;
+        }
         for j in 0..view.n_outputs() {
             let output = PortId::from(j);
             // Pick i maximizing v(gc_ij) among non-empty crossbar queues

@@ -2,7 +2,10 @@
 //! CIOQ switches, at greedy-maximal-matching cost.
 
 use crate::common::build_unit_graph;
-use cioq_matching::{greedy_maximal_with, BipartiteGraph, EdgeOrder, GreedyScratch};
+use crate::incremental::{BuildMode, VoqCache};
+use cioq_matching::{
+    greedy_maximal_cells, greedy_maximal_with, BipartiteGraph, CellVisit, EdgeOrder, GreedyScratch,
+};
 use cioq_model::{Cycle, Packet, PortId};
 use cioq_sim::{Admission, CioqPolicy, PacketPick, SwitchView, Transfer};
 
@@ -24,10 +27,16 @@ pub enum GmEdgePolicy {
 ///   `(u_i, v_j)` whenever `Q_ij` is non-empty and `Q_j` is not full; the
 ///   head packet of each matched `Q_ij` is transferred.
 /// * Transmission: send the head of every non-empty output queue.
+///
+/// By default the scheduling graph is maintained incrementally from the
+/// engine's change log ([`BuildMode::Incremental`]); the decisions are
+/// identical to the from-scratch [`BuildMode::Rescan`] reference.
 #[derive(Debug)]
 pub struct GreedyMatching {
     edge_policy: GmEdgePolicy,
+    mode: BuildMode,
     graph: BipartiteGraph,
+    cache: VoqCache,
     scratch: GreedyScratch,
     name: String,
 }
@@ -46,10 +55,18 @@ impl GreedyMatching {
         };
         GreedyMatching {
             edge_policy,
+            mode: BuildMode::default(),
             graph: BipartiteGraph::default(),
+            cache: VoqCache::new(false),
             scratch: GreedyScratch::default(),
             name,
         }
+    }
+
+    /// Select how the scheduling graph is maintained (see [`BuildMode`]).
+    pub fn build_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -73,14 +90,33 @@ impl CioqPolicy for GreedyMatching {
     }
 
     fn schedule(&mut self, view: &SwitchView<'_>, cycle: Cycle, out: &mut Vec<Transfer>) {
-        build_unit_graph(view, &mut self.graph);
-        let order = match self.edge_policy {
-            GmEdgePolicy::Lexicographic => EdgeOrder::Insertion,
-            GmEdgePolicy::RotateByCycle => {
-                EdgeOrder::Rotated(cycle.sequence(view.config().speedup) as usize)
+        let matching = match self.mode {
+            BuildMode::Incremental => {
+                self.cache.sync(view);
+                let visit = match self.edge_policy {
+                    GmEdgePolicy::Lexicographic => CellVisit::Lex,
+                    GmEdgePolicy::RotateByCycle => {
+                        CellVisit::Rotated(cycle.sequence(view.config().speedup) as usize)
+                    }
+                };
+                greedy_maximal_cells(
+                    &self.cache.graph,
+                    visit,
+                    |_, j, _| !self.cache.out_full[j],
+                    &mut self.scratch,
+                )
+            }
+            BuildMode::Rescan => {
+                build_unit_graph(view, &mut self.graph);
+                let order = match self.edge_policy {
+                    GmEdgePolicy::Lexicographic => EdgeOrder::Insertion,
+                    GmEdgePolicy::RotateByCycle => {
+                        EdgeOrder::Rotated(cycle.sequence(view.config().speedup) as usize)
+                    }
+                };
+                greedy_maximal_with(&self.graph, order, &mut self.scratch)
             }
         };
-        let matching = greedy_maximal_with(&self.graph, order, &mut self.scratch);
         for (i, j) in matching.pairs {
             out.push(Transfer {
                 input: PortId::from(i),

@@ -1,0 +1,410 @@
+//! Shared incremental schedule-state builders.
+//!
+//! All four policies derive their per-cycle decisions from queue state that
+//! one slot barely changes: a slot dirties at most O(N·ŝ) of the N² VOQs.
+//! The caches here consume the engine's change log
+//! ([`cioq_sim::ChangeLog`]) and refresh only the dirtied cells, turning the
+//! per-cycle rebuild from O(N²) (plus an O(E log E) sort for the weighted
+//! policies) into O(changes) (plus an O(E) order repair).
+//!
+//! ## The consistency handshake
+//!
+//! The engine flushes the change log after *every* policy scheduling call,
+//! so the log a policy sees at call `k` holds exactly the queues dirtied
+//! since its call `k − 1` — provided the policy consumed every previous
+//! flush of this engine. Each cache records the flush count it expects
+//! next; on any mismatch (first call, policy reused across runs, resized
+//! switch) it falls back to a full rebuild. Correctness therefore never
+//! depends on the handshake — only the cost does.
+//!
+//! ## Cell-locality
+//!
+//! Cached state is strictly *cell-local* (VOQ heads, crossbar fullness):
+//! eligibility rules that involve output queues (fullness, the β/α
+//! preemption thresholds) are re-evaluated each cycle in O(N) and applied
+//! as filters at match time, so an output queue changing never invalidates
+//! a whole column of cached cells.
+
+use cioq_matching::{CachedWeightOrder, IncrementalGraph};
+use cioq_model::{PortId, Value};
+use cioq_sim::SwitchView;
+
+/// How a policy maintains its per-cycle scheduling structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildMode {
+    /// Refresh only the queues the engine reports as dirtied since the
+    /// previous scheduling call — O(changes) per cycle. The default.
+    #[default]
+    Incremental,
+    /// Rebuild from scratch by scanning all N² queues every cycle — the
+    /// reference implementation the incremental path is tested against.
+    Rescan,
+}
+
+/// Sentinel flush count meaning "never synced" — forces a full rebuild on
+/// first use and after any reuse across engine runs.
+const UNSYNCED: u64 = u64::MAX;
+
+/// Incrementally-maintained VOQ head graph: an edge per non-empty `Q_ij`
+/// weighted by `v(g_ij)`, shared by GM (weights ignored) and PG (plus a
+/// cached descending-weight visit order).
+#[derive(Debug, Default)]
+pub(crate) struct VoqCache {
+    pub(crate) graph: IncrementalGraph,
+    pub(crate) order: Option<CachedWeightOrder>,
+    expected_flush: u64,
+    /// Last-seen [`cioq_queues::SortedQueue::epoch`] per cell: a dirty
+    /// mark whose queue epoch is unchanged is a no-op and skipped, so the
+    /// cache stays O(real changes) even under conservative over-marking.
+    epochs: Vec<u64>,
+    /// Per-output `|Q_j| = B(Q_j)`, refreshed each cycle in O(N).
+    pub(crate) out_full: Vec<bool>,
+    /// Per-output `v(l_j)` where full (0 otherwise), refreshed with
+    /// `out_full`.
+    pub(crate) out_tail: Vec<Value>,
+}
+
+impl VoqCache {
+    pub(crate) fn new(weighted: bool) -> Self {
+        VoqCache {
+            graph: IncrementalGraph::default(),
+            order: weighted.then(CachedWeightOrder::default),
+            expected_flush: UNSYNCED,
+            epochs: Vec::new(),
+            out_full: Vec::new(),
+            out_tail: Vec::new(),
+        }
+    }
+
+    /// Bring the head graph (and weight order, if any) up to date with the
+    /// view, then refresh the per-output eligibility inputs.
+    pub(crate) fn sync(&mut self, view: &SwitchView<'_>) {
+        let (n, m) = (view.n_inputs(), view.n_outputs());
+        let changes = view.changes();
+        let in_sync = self.expected_flush == changes.flush_count()
+            && self.graph.n_left() == n
+            && self.graph.n_right() == m;
+        if in_sync {
+            for &cell in changes.dirty_voqs() {
+                let (i, j) = (cell as usize / m, cell as usize % m);
+                if self.refresh_cell(view, i, j) {
+                    if let Some(order) = &mut self.order {
+                        order.mark(cell as usize);
+                    }
+                }
+            }
+            if let Some(order) = &mut self.order {
+                order.repair(&self.graph);
+            }
+        } else {
+            self.graph.reset(n, m);
+            self.epochs.clear();
+            self.epochs.resize(n * m, u64::MAX);
+            for i in 0..n {
+                for j in 0..m {
+                    self.refresh_cell(view, i, j);
+                }
+            }
+            if let Some(order) = &mut self.order {
+                order.rebuild(&self.graph);
+            }
+        }
+        self.expected_flush = changes.flush_count() + 1;
+
+        self.out_full.clear();
+        self.out_full.resize(m, false);
+        self.out_tail.clear();
+        self.out_tail.resize(m, 0);
+        for j in 0..m {
+            let oq = view.output_queue(PortId::from(j));
+            if oq.is_full() {
+                self.out_full[j] = true;
+                self.out_tail[j] = oq.tail_value().expect("full queue has a tail");
+            }
+        }
+    }
+
+    /// Re-read one VOQ into the graph; returns whether the queue actually
+    /// changed since the last read (by its modification epoch).
+    #[inline]
+    fn refresh_cell(&mut self, view: &SwitchView<'_>, i: usize, j: usize) -> bool {
+        let queue = view.input_queue(PortId::from(i), PortId::from(j));
+        let cell = i * self.graph.n_right() + j;
+        if self.epochs[cell] == queue.epoch() {
+            return false;
+        }
+        self.epochs[cell] = queue.epoch();
+        match queue.head_value() {
+            Some(g) => self.graph.set_edge(i, j, g),
+            None => self.graph.clear_edge(i, j),
+        }
+        true
+    }
+}
+
+/// A dense bit matrix with per-row cyclic first-set scans — the eligibility
+/// masks CGU's "first eligible index from the round-robin pointer" scans
+/// run over.
+#[derive(Debug, Default)]
+pub(crate) struct BitGrid {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.words_per_row = cols.div_ceil(64);
+        self.words.clear();
+        self.words.resize(rows * self.words_per_row, 0);
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, row: usize, col: usize, value: bool) {
+        debug_assert!(row < self.rows && col < self.cols);
+        let word = row * self.words_per_row + col / 64;
+        let bit = 1u64 << (col % 64);
+        if value {
+            self.words[word] |= bit;
+        } else {
+            self.words[word] &= !bit;
+        }
+    }
+
+    /// First set column of `row` scanning cyclically from `start`
+    /// (i.e. `start, start+1, …, cols-1, 0, …, start-1`).
+    pub(crate) fn first_set_cyclic(&self, row: usize, start: usize) -> Option<usize> {
+        debug_assert!(start < self.cols);
+        let words = &self.words[row * self.words_per_row..(row + 1) * self.words_per_row];
+        let scan = |from: usize, to: usize| -> Option<usize> {
+            // Scan bit range [from, to) left to right.
+            let mut w = from / 64;
+            while w * 64 < to {
+                let mut word = words[w];
+                if w == from / 64 {
+                    word &= !0u64 << (from % 64);
+                }
+                if word != 0 {
+                    let col = w * 64 + word.trailing_zeros() as usize;
+                    if col < to {
+                        return Some(col);
+                    }
+                    // First set bit is already past `to`: nothing in range.
+                }
+                w += 1;
+            }
+            None
+        };
+        scan(start, self.cols).or_else(|| scan(0, start))
+    }
+}
+
+/// CGU's incremental eligibility masks.
+///
+/// `in_ok[i][j]` ⇔ `|Q_ij| > 0 ∧ |C_ij| < B(C_ij)` (input subphase);
+/// `out_ok[j][i]` ⇔ `|C_ij| > 0` (output subphase, stored transposed so a
+/// per-output scan is one contiguous row).
+#[derive(Debug, Default)]
+pub(crate) struct CguCache {
+    pub(crate) in_ok: BitGrid,
+    pub(crate) out_ok: BitGrid,
+    expected_flush: u64,
+    dims: (usize, usize),
+}
+
+impl CguCache {
+    pub(crate) fn new() -> Self {
+        CguCache {
+            expected_flush: UNSYNCED,
+            ..CguCache::default()
+        }
+    }
+
+    pub(crate) fn sync(&mut self, view: &SwitchView<'_>) {
+        let (n, m) = (view.n_inputs(), view.n_outputs());
+        let changes = view.changes();
+        let in_sync = self.expected_flush == changes.flush_count() && self.dims == (n, m);
+        if in_sync {
+            for &cell in changes.dirty_voqs() {
+                let (i, j) = (cell as usize / m, cell as usize % m);
+                self.refresh_in(view, i, j);
+            }
+            for &cell in changes.dirty_xbars() {
+                let (i, j) = (cell as usize / m, cell as usize % m);
+                self.refresh_in(view, i, j);
+                self.refresh_out(view, i, j);
+            }
+        } else {
+            self.dims = (n, m);
+            self.in_ok.reset(n, m);
+            self.out_ok.reset(m, n);
+            for i in 0..n {
+                for j in 0..m {
+                    self.refresh_in(view, i, j);
+                    self.refresh_out(view, i, j);
+                }
+            }
+        }
+        self.expected_flush = changes.flush_count() + 1;
+    }
+
+    #[inline]
+    fn refresh_in(&mut self, view: &SwitchView<'_>, i: usize, j: usize) {
+        let (input, output) = (PortId::from(i), PortId::from(j));
+        let ok = !view.input_queue(input, output).is_empty()
+            && !view.crossbar_queue(input, output).is_full();
+        self.in_ok.set(i, j, ok);
+    }
+
+    #[inline]
+    fn refresh_out(&mut self, view: &SwitchView<'_>, i: usize, j: usize) {
+        let ok = !view
+            .crossbar_queue(PortId::from(i), PortId::from(j))
+            .is_empty();
+        self.out_ok.set(j, i, ok);
+    }
+}
+
+/// CPG's cached per-row / per-column argmax candidates.
+///
+/// `row_best[i]` is the input-subphase choice for input `i` — the eligible
+/// `j` maximising `v(g_ij)` (ties to the smallest `j`); its inputs (`Q_ij`
+/// heads, `C_ij` fullness/tails, β) are all row-local, so it is recomputed
+/// only when a cell of row `i` is dirtied. `col_best[j]` is the
+/// output-subphase candidate — the `i` maximising `v(gc_ij)` over non-empty
+/// `C_ij` — and is column-local likewise. The output-side α threshold is
+/// *not* cached; the caller evaluates it fresh per output each cycle.
+#[derive(Debug, Default)]
+pub(crate) struct CpgCache {
+    pub(crate) row_best: Vec<Option<(Value, usize)>>,
+    pub(crate) col_best: Vec<Option<(Value, usize)>>,
+    row_stale: Vec<bool>,
+    col_stale: Vec<bool>,
+    expected_flush: u64,
+    dims: (usize, usize),
+}
+
+impl CpgCache {
+    pub(crate) fn new() -> Self {
+        CpgCache {
+            expected_flush: UNSYNCED,
+            ..CpgCache::default()
+        }
+    }
+
+    /// Consume the change log, marking affected rows/columns stale. Called
+    /// at the top of both subphases; the recompute helpers below clear the
+    /// staleness they resolve.
+    pub(crate) fn sync(&mut self, view: &SwitchView<'_>) {
+        let (n, m) = (view.n_inputs(), view.n_outputs());
+        let changes = view.changes();
+        let in_sync = self.expected_flush == changes.flush_count() && self.dims == (n, m);
+        if in_sync {
+            for &cell in changes.dirty_voqs() {
+                self.row_stale[cell as usize / m] = true;
+            }
+            for &cell in changes.dirty_xbars() {
+                self.row_stale[cell as usize / m] = true;
+                self.col_stale[cell as usize % m] = true;
+            }
+        } else {
+            self.dims = (n, m);
+            self.row_best.clear();
+            self.row_best.resize(n, None);
+            self.col_best.clear();
+            self.col_best.resize(m, None);
+            self.row_stale.clear();
+            self.row_stale.resize(n, true);
+            self.col_stale.clear();
+            self.col_stale.resize(m, true);
+        }
+        self.expected_flush = changes.flush_count() + 1;
+    }
+
+    /// Recompute stale input-subphase candidates (the paper's
+    /// `J = { j : |Q_ij| > 0 ∧ (|C_ij| < B(C_ij) ∨ v(g_ij) > β·v(lc_ij)) }`
+    /// argmax) and clear their staleness.
+    pub(crate) fn refresh_rows(&mut self, view: &SwitchView<'_>, beta: f64) {
+        for i in 0..self.dims.0 {
+            if !self.row_stale[i] {
+                continue;
+            }
+            self.row_stale[i] = false;
+            let input = PortId::from(i);
+            let mut best: Option<(Value, usize)> = None;
+            for j in 0..self.dims.1 {
+                let output = PortId::from(j);
+                let Some(g_ij) = view.input_queue(input, output).head_value() else {
+                    continue;
+                };
+                let xbar = view.crossbar_queue(input, output);
+                let eligible = !xbar.is_full()
+                    || cioq_model::exceeds_factor(
+                        g_ij,
+                        beta,
+                        xbar.tail_value().expect("full queue has a tail"),
+                    );
+                if eligible && best.is_none_or(|(bv, _)| g_ij > bv) {
+                    best = Some((g_ij, j));
+                }
+            }
+            self.row_best[i] = best;
+        }
+    }
+
+    /// Recompute stale output-subphase candidates (argmax of `v(gc_ij)`
+    /// over non-empty `C_ij`, ties to the smallest `i`) and clear their
+    /// staleness.
+    pub(crate) fn refresh_cols(&mut self, view: &SwitchView<'_>) {
+        for j in 0..self.dims.1 {
+            if !self.col_stale[j] {
+                continue;
+            }
+            self.col_stale[j] = false;
+            let output = PortId::from(j);
+            let mut best: Option<(Value, usize)> = None;
+            for i in 0..self.dims.0 {
+                let Some(gc_ij) = view.crossbar_queue(PortId::from(i), output).head_value() else {
+                    continue;
+                };
+                if best.is_none_or(|(bv, _)| gc_ij > bv) {
+                    best = Some((gc_ij, i));
+                }
+            }
+            self.col_best[j] = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitgrid_cyclic_scan_wraps() {
+        let mut g = BitGrid::default();
+        g.reset(2, 70);
+        g.set(0, 3, true);
+        g.set(0, 68, true);
+        assert_eq!(g.first_set_cyclic(0, 0), Some(3));
+        assert_eq!(g.first_set_cyclic(0, 4), Some(68));
+        assert_eq!(g.first_set_cyclic(0, 69), Some(3), "wraps past the end");
+        assert_eq!(g.first_set_cyclic(1, 0), None, "rows are independent");
+        g.set(0, 68, false);
+        assert_eq!(g.first_set_cyclic(0, 4), Some(3), "wraps to the start");
+    }
+
+    #[test]
+    fn bitgrid_scan_respects_start_within_word() {
+        let mut g = BitGrid::default();
+        g.reset(1, 8);
+        g.set(0, 1, true);
+        g.set(0, 5, true);
+        assert_eq!(g.first_set_cyclic(0, 2), Some(5));
+        assert_eq!(g.first_set_cyclic(0, 6), Some(1));
+        assert_eq!(g.first_set_cyclic(0, 1), Some(1));
+    }
+}

@@ -17,6 +17,14 @@
 //! All policies implement the [`cioq_sim::CioqPolicy`] /
 //! [`cioq_sim::CrossbarPolicy`] traits and never allocate per cycle after
 //! warm-up.
+//!
+//! Since PR 2 every policy maintains its per-cycle scheduling structures
+//! **incrementally** from the engine's change log ([`BuildMode`], default
+//! [`BuildMode::Incremental`]): one slot dirties at most O(N·ŝ) queues, so
+//! refreshing only those replaces the former O(N²) rescan (plus the
+//! weighted policies' O(E log E) re-sort) with O(changes) bookkeeping. The
+//! from-scratch path is kept as [`BuildMode::Rescan`] and property tests
+//! prove both produce identical decisions cycle by cycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,10 +34,12 @@ mod cgu;
 mod common;
 mod cpg;
 mod gm;
+mod incremental;
 pub mod params;
 mod pg;
 
 pub use cgu::{CrossbarGreedyUnit, SelectionOrder};
 pub use cpg::CrossbarPreemptiveGreedy;
 pub use gm::{GmEdgePolicy, GreedyMatching};
+pub use incremental::BuildMode;
 pub use pg::PreemptiveGreedy;

@@ -3,9 +3,12 @@
 //! matchings instead of the maximum-weight matchings of prior work.
 
 use crate::common::build_weighted_graph;
+use crate::incremental::{BuildMode, VoqCache};
 use crate::params::PG_BETA;
-use cioq_matching::{greedy_maximal_with, BipartiteGraph, EdgeOrder, GreedyScratch};
-use cioq_model::{Cycle, Packet, PortId};
+use cioq_matching::{
+    greedy_maximal_cells, greedy_maximal_with, BipartiteGraph, CellVisit, EdgeOrder, GreedyScratch,
+};
+use cioq_model::{exceeds_factor, Cycle, Packet, PortId};
 use cioq_sim::{Admission, CioqPolicy, PacketPick, SwitchView, Transfer};
 
 /// The Preemptive Greedy algorithm with threshold parameter β ≥ 1.
@@ -22,7 +25,9 @@ use cioq_sim::{Admission, CioqPolicy, PacketPick, SwitchView, Transfer};
 pub struct PreemptiveGreedy {
     beta: f64,
     preemption_enabled: bool,
+    mode: BuildMode,
     graph: BipartiteGraph,
+    cache: VoqCache,
     scratch: GreedyScratch,
     name: String,
 }
@@ -39,7 +44,9 @@ impl PreemptiveGreedy {
         PreemptiveGreedy {
             beta,
             preemption_enabled: true,
+            mode: BuildMode::default(),
             graph: BipartiteGraph::default(),
+            cache: VoqCache::new(true),
             scratch: GreedyScratch::default(),
             name: format!("PG(beta={beta:.3})"),
         }
@@ -52,10 +59,18 @@ impl PreemptiveGreedy {
         PreemptiveGreedy {
             beta: f64::INFINITY,
             preemption_enabled: false,
+            mode: BuildMode::default(),
             graph: BipartiteGraph::default(),
+            cache: VoqCache::new(true),
             scratch: GreedyScratch::default(),
             name: "PG(no-preempt)".to_string(),
         }
+    }
+
+    /// Select how the scheduling graph is maintained (see [`BuildMode`]).
+    pub fn build_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// The configured β.
@@ -89,9 +104,29 @@ impl CioqPolicy for PreemptiveGreedy {
     }
 
     fn schedule(&mut self, view: &SwitchView<'_>, _cycle: Cycle, out: &mut Vec<Transfer>) {
-        build_weighted_graph(view, self.beta, &mut self.graph);
-        let matching =
-            greedy_maximal_with(&self.graph, EdgeOrder::WeightDescending, &mut self.scratch);
+        let matching = match self.mode {
+            BuildMode::Incremental => {
+                self.cache.sync(view);
+                // The cached order spans *every* non-empty VOQ; the paper's
+                // output-side eligibility (`|Q_j| < B(Q_j) ∨ v(g_ij) >
+                // β·v(l_j)`) is applied as a filter in visit order, which
+                // preserves the relative order of the eligible edges.
+                let beta = self.beta;
+                let order = self.cache.order.as_ref().expect("weighted cache");
+                greedy_maximal_cells(
+                    &self.cache.graph,
+                    CellVisit::Ordered(order),
+                    |_, j, w| {
+                        !self.cache.out_full[j] || exceeds_factor(w, beta, self.cache.out_tail[j])
+                    },
+                    &mut self.scratch,
+                )
+            }
+            BuildMode::Rescan => {
+                build_weighted_graph(view, self.beta, &mut self.graph);
+                greedy_maximal_with(&self.graph, EdgeOrder::WeightDescending, &mut self.scratch)
+            }
+        };
         for (i, j) in matching.pairs {
             out.push(Transfer {
                 input: PortId::from(i),

@@ -1,0 +1,330 @@
+//! Equivalence of the incremental scheduling core and the from-scratch
+//! reference, proven *per cycle*, not just per run.
+//!
+//! A lockstep wrapper runs one engine with the [`BuildMode::Incremental`]
+//! policy driving the switch while the [`BuildMode::Rescan`] twin is asked
+//! for its decision against the *same* view every cycle; any divergence in
+//! any admission, transfer set (content **and** order), or subphase choice
+//! panics on the spot. Since both twins see identical views at every call,
+//! this is exactly the ISSUE's "incremental graph after each slot ≡
+//! from-scratch rebuild" property, observed through the decisions the
+//! graphs produce.
+//!
+//! A second pass runs the two modes in *separate* engines over the same
+//! trace and compares the full run reports, covering the accounting path
+//! end to end.
+
+use cioq_core::{
+    BuildMode, CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GmEdgePolicy, GreedyMatching,
+    PreemptiveGreedy, SelectionOrder,
+};
+use cioq_model::{Cycle, Packet, PortId, SwitchConfig};
+use cioq_sim::{
+    run_cioq, run_crossbar, Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer,
+    RunReport, SwitchView, Trace, Transfer, TransmitChoice,
+};
+use proptest::prelude::*;
+
+// ---- lockstep wrappers ----
+
+struct LockstepCioq {
+    primary: Box<dyn CioqPolicy>,
+    reference: Box<dyn CioqPolicy>,
+    scratch: Vec<Transfer>,
+}
+
+impl CioqPolicy for LockstepCioq {
+    fn name(&self) -> &str {
+        self.primary.name()
+    }
+
+    fn admit(&mut self, view: &SwitchView<'_>, packet: &Packet) -> Admission {
+        let a = self.primary.admit(view, packet);
+        let b = self.reference.admit(view, packet);
+        assert_eq!(a, b, "admission diverged for {packet:?}");
+        a
+    }
+
+    fn schedule(&mut self, view: &SwitchView<'_>, cycle: Cycle, out: &mut Vec<Transfer>) {
+        self.primary.schedule(view, cycle, out);
+        self.scratch.clear();
+        self.reference.schedule(view, cycle, &mut self.scratch);
+        assert_eq!(
+            *out, self.scratch,
+            "transfer sets diverged at slot {} cycle {}",
+            cycle.slot, cycle.index
+        );
+    }
+
+    fn transmit(&mut self, view: &SwitchView<'_>, output: PortId) -> TransmitChoice {
+        let a = self.primary.transmit(view, output);
+        let b = self.reference.transmit(view, output);
+        assert_eq!(a, b, "transmit choice diverged at output {output}");
+        a
+    }
+}
+
+struct LockstepCrossbar {
+    primary: Box<dyn CrossbarPolicy>,
+    reference: Box<dyn CrossbarPolicy>,
+    in_scratch: Vec<InputTransfer>,
+    out_scratch: Vec<OutputTransfer>,
+}
+
+impl CrossbarPolicy for LockstepCrossbar {
+    fn name(&self) -> &str {
+        self.primary.name()
+    }
+
+    fn admit(&mut self, view: &SwitchView<'_>, packet: &Packet) -> Admission {
+        let a = self.primary.admit(view, packet);
+        let b = self.reference.admit(view, packet);
+        assert_eq!(a, b, "admission diverged for {packet:?}");
+        a
+    }
+
+    fn schedule_input(
+        &mut self,
+        view: &SwitchView<'_>,
+        cycle: Cycle,
+        out: &mut Vec<InputTransfer>,
+    ) {
+        self.primary.schedule_input(view, cycle, out);
+        self.in_scratch.clear();
+        self.reference
+            .schedule_input(view, cycle, &mut self.in_scratch);
+        assert_eq!(
+            *out, self.in_scratch,
+            "input subphase diverged at slot {} cycle {}",
+            cycle.slot, cycle.index
+        );
+    }
+
+    fn schedule_output(
+        &mut self,
+        view: &SwitchView<'_>,
+        cycle: Cycle,
+        out: &mut Vec<OutputTransfer>,
+    ) {
+        self.primary.schedule_output(view, cycle, out);
+        self.out_scratch.clear();
+        self.reference
+            .schedule_output(view, cycle, &mut self.out_scratch);
+        assert_eq!(
+            *out, self.out_scratch,
+            "output subphase diverged at slot {} cycle {}",
+            cycle.slot, cycle.index
+        );
+    }
+
+    fn transmit(&mut self, view: &SwitchView<'_>, output: PortId) -> TransmitChoice {
+        let a = self.primary.transmit(view, output);
+        let b = self.reference.transmit(view, output);
+        assert_eq!(a, b, "transmit choice diverged at output {output}");
+        a
+    }
+}
+
+// ---- helpers ----
+
+fn assert_reports_equal(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.slots, b.slots, "{what}: slots");
+    assert_eq!(a.arrived, b.arrived, "{what}: arrived");
+    assert_eq!(a.accepted, b.accepted, "{what}: accepted");
+    assert_eq!(a.transferred, b.transferred, "{what}: transferred");
+    assert_eq!(
+        a.transferred_to_crossbar, b.transferred_to_crossbar,
+        "{what}: crossbar transfers"
+    );
+    assert_eq!(a.transmitted, b.transmitted, "{what}: transmitted");
+    assert_eq!(a.benefit, b.benefit, "{what}: benefit");
+    assert_eq!(a.losses, b.losses, "{what}: losses");
+    assert_eq!(a.latency_sum, b.latency_sum, "{what}: latency");
+    assert_eq!(
+        a.per_output_transmitted, b.per_output_transmitted,
+        "{what}: per-output counts"
+    );
+    assert_eq!(a.residual_count, b.residual_count, "{what}: residual");
+    assert_eq!(a.residual_value, b.residual_value, "{what}: residual value");
+}
+
+fn trace_from(n: usize, arrivals: &[(u8, u8, u8, u64)]) -> Trace {
+    Trace::from_tuples(arrivals.iter().map(|&(t, i, j, v)| {
+        (
+            t as u64,
+            PortId((i as usize % n) as u16),
+            PortId((j as usize % n) as u16),
+            v,
+        )
+    }))
+}
+
+fn cioq_pairs() -> Vec<(Box<dyn CioqPolicy>, Box<dyn CioqPolicy>)> {
+    vec![
+        (
+            Box::new(GreedyMatching::new()),
+            Box::new(GreedyMatching::new().build_mode(BuildMode::Rescan)),
+        ),
+        (
+            Box::new(GreedyMatching::with_edge_policy(
+                GmEdgePolicy::RotateByCycle,
+            )),
+            Box::new(
+                GreedyMatching::with_edge_policy(GmEdgePolicy::RotateByCycle)
+                    .build_mode(BuildMode::Rescan),
+            ),
+        ),
+        (
+            Box::new(PreemptiveGreedy::new()),
+            Box::new(PreemptiveGreedy::new().build_mode(BuildMode::Rescan)),
+        ),
+        (
+            Box::new(PreemptiveGreedy::with_beta(1.25)),
+            Box::new(PreemptiveGreedy::with_beta(1.25).build_mode(BuildMode::Rescan)),
+        ),
+        (
+            Box::new(PreemptiveGreedy::without_preemption()),
+            Box::new(PreemptiveGreedy::without_preemption().build_mode(BuildMode::Rescan)),
+        ),
+    ]
+}
+
+fn crossbar_pairs() -> Vec<(Box<dyn CrossbarPolicy>, Box<dyn CrossbarPolicy>)> {
+    vec![
+        (
+            Box::new(CrossbarGreedyUnit::new()),
+            Box::new(CrossbarGreedyUnit::new().build_mode(BuildMode::Rescan)),
+        ),
+        (
+            Box::new(CrossbarGreedyUnit::with_selection(
+                SelectionOrder::RoundRobin,
+            )),
+            Box::new(
+                CrossbarGreedyUnit::with_selection(SelectionOrder::RoundRobin)
+                    .build_mode(BuildMode::Rescan),
+            ),
+        ),
+        (
+            Box::new(CrossbarPreemptiveGreedy::new()),
+            Box::new(CrossbarPreemptiveGreedy::new().build_mode(BuildMode::Rescan)),
+        ),
+        (
+            Box::new(CrossbarPreemptiveGreedy::with_params(1.5, 2.0)),
+            Box::new(CrossbarPreemptiveGreedy::with_params(1.5, 2.0).build_mode(BuildMode::Rescan)),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over random traces (bursty, value-skewed, port-skewed) and every
+    /// CIOQ policy variant, the incremental core makes the same decision
+    /// as a from-scratch rebuild in every cycle of every slot — and two
+    /// independent full runs agree on the complete report.
+    #[test]
+    fn cioq_incremental_equals_rescan(
+        n in 1usize..6,
+        speedup in 1u32..4,
+        in_cap in 1usize..4,
+        out_cap in 1usize..4,
+        arrivals in prop::collection::vec(
+            (0u8..12, 0u8..6, 0u8..6, 1u64..64),
+            0..120,
+        ),
+    ) {
+        let cfg = SwitchConfig::builder(n, n)
+            .speedup(speedup)
+            .input_capacity(in_cap)
+            .output_capacity(out_cap)
+            .build()
+            .unwrap();
+        let trace = trace_from(n, &arrivals);
+        // Fresh policy instances for the solo runs: the lockstep pair keeps
+        // internal state (round-robin pointers) from the joint run.
+        for ((primary, reference), (mut fresh_inc, mut fresh_ref)) in
+            cioq_pairs().into_iter().zip(cioq_pairs())
+        {
+            let mut lockstep = LockstepCioq {
+                primary,
+                reference,
+                scratch: Vec::new(),
+            };
+            let name = lockstep.name().to_string();
+            let joint = run_cioq(&cfg, &mut lockstep, &trace).unwrap();
+
+            let solo_inc = run_cioq(&cfg, fresh_inc.as_mut(), &trace).unwrap();
+            let solo_ref = run_cioq(&cfg, fresh_ref.as_mut(), &trace).unwrap();
+            assert_reports_equal(&solo_inc, &solo_ref, &format!("{name} solo-vs-solo"));
+            assert_reports_equal(&solo_inc, &joint, &format!("{name} solo-vs-joint"));
+        }
+    }
+
+    /// The same guarantee for the buffered-crossbar policies, covering
+    /// both subphases and the crossbar change tracking.
+    #[test]
+    fn crossbar_incremental_equals_rescan(
+        n in 1usize..5,
+        speedup in 1u32..3,
+        in_cap in 1usize..4,
+        out_cap in 1usize..3,
+        xbar_cap in 1usize..3,
+        arrivals in prop::collection::vec(
+            (0u8..10, 0u8..5, 0u8..5, 1u64..64),
+            0..100,
+        ),
+    ) {
+        let cfg = SwitchConfig::builder(n, n)
+            .speedup(speedup)
+            .input_capacity(in_cap)
+            .output_capacity(out_cap)
+            .crossbar_capacity(xbar_cap)
+            .build()
+            .unwrap();
+        let trace = trace_from(n, &arrivals);
+        for ((primary, reference), (mut fresh_inc, mut fresh_ref)) in
+            crossbar_pairs().into_iter().zip(crossbar_pairs())
+        {
+            let mut lockstep = LockstepCrossbar {
+                primary,
+                reference,
+                in_scratch: Vec::new(),
+                out_scratch: Vec::new(),
+            };
+            let name = lockstep.name().to_string();
+            let joint = run_crossbar(&cfg, &mut lockstep, &trace).unwrap();
+
+            let solo_inc = run_crossbar(&cfg, fresh_inc.as_mut(), &trace).unwrap();
+            let solo_ref = run_crossbar(&cfg, fresh_ref.as_mut(), &trace).unwrap();
+            assert_reports_equal(&solo_inc, &solo_ref, &format!("{name} solo-vs-solo"));
+            assert_reports_equal(&solo_inc, &joint, &format!("{name} solo-vs-joint"));
+        }
+    }
+}
+
+/// Reusing an incremental policy across engine runs must resync cleanly
+/// (the flush-count handshake detects the fresh engine): the second run's
+/// report equals a fresh policy's.
+#[test]
+fn policy_reuse_across_runs_resyncs() {
+    let cfg = SwitchConfig::cioq(3, 2, 2);
+    let trace = Trace::from_tuples([
+        (0, PortId(0), PortId(1), 9),
+        (0, PortId(1), PortId(1), 4),
+        (1, PortId(2), PortId(0), 7),
+        (2, PortId(0), PortId(2), 2),
+    ]);
+    let mut reused = PreemptiveGreedy::new();
+    let first = run_cioq(&cfg, &mut reused, &trace).unwrap();
+    let second = run_cioq(&cfg, &mut reused, &trace).unwrap();
+    let fresh = run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+    assert_reports_equal(&first, &second, "reuse");
+    assert_reports_equal(&second, &fresh, "reuse vs fresh");
+
+    // Reuse on a *different geometry* must also resync (dims check).
+    let cfg_small = SwitchConfig::cioq(2, 2, 1);
+    let trace_small = Trace::from_tuples([(0, PortId(0), PortId(1), 5)]);
+    let shrunk = run_cioq(&cfg_small, &mut reused, &trace_small).unwrap();
+    let fresh_small = run_cioq(&cfg_small, &mut PreemptiveGreedy::new(), &trace_small).unwrap();
+    assert_reports_equal(&shrunk, &fresh_small, "resized reuse");
+}

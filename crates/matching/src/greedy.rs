@@ -33,19 +33,26 @@ pub enum EdgeOrder {
 /// Scratch buffers reused across cycles so the hot path does not allocate.
 #[derive(Debug, Default, Clone)]
 pub struct GreedyScratch {
-    left_used: Vec<bool>,
-    right_used: Vec<bool>,
-    order: Vec<usize>,
+    pub(crate) left_used: Vec<bool>,
+    pub(crate) right_used: Vec<bool>,
+    pub(crate) order: Vec<usize>,
+    /// Per-edge sort keys for [`EdgeOrder::WeightDescending`], precomputed
+    /// so the hot sort never recomputes a key mid-comparison.
+    keyed: Vec<u128>,
 }
 
 impl GreedyScratch {
     fn prepare(&mut self, n_left: usize, n_right: usize, n_edges: usize) {
+        self.prepare_used(n_left, n_right);
+        self.order.clear();
+        self.order.extend(0..n_edges);
+    }
+
+    pub(crate) fn prepare_used(&mut self, n_left: usize, n_right: usize) {
         self.left_used.clear();
         self.left_used.resize(n_left, false);
         self.right_used.clear();
         self.right_used.resize(n_right, false);
-        self.order.clear();
-        self.order.extend(0..n_edges);
     }
 }
 
@@ -77,10 +84,25 @@ pub fn greedy_maximal_with(
         EdgeOrder::WeightDescending => {
             // Descending weight; ties by (left, right) for determinism —
             // the paper's "ties broken arbitrarily but consistently".
-            scratch.order.sort_by_key(|&id| {
-                let e = &edges[id];
-                (std::cmp::Reverse(e.weight), e.left, e.right)
-            });
+            // The key `(!weight, left, right)` is packed into one `u128`
+            // and precomputed per edge, so the unstable sort (no stable
+            // sort's temp allocation) compares plain integers instead of
+            // recomputing a tuple from the edge list per comparison. The
+            // result is identical to the previous stable `sort_by_key`:
+            // edges that tie on the full key share endpoints and weight,
+            // so their mutual order cannot affect the matching.
+            debug_assert!(
+                g.n_left() <= u32::MAX as usize && g.n_right() <= u32::MAX as usize,
+                "packed sort key assumes port counts fit in 32 bits"
+            );
+            scratch.keyed.clear();
+            scratch.keyed.extend(
+                edges.iter().map(|e| {
+                    ((!e.weight as u128) << 64) | ((e.left as u128) << 32) | e.right as u128
+                }),
+            );
+            let keyed = &scratch.keyed;
+            scratch.order.sort_unstable_by_key(|&id| keyed[id]);
         }
     }
 

@@ -1,0 +1,525 @@
+//! Incrementally-maintained scheduling graphs.
+//!
+//! Every policy in this workspace schedules over a bipartite graph whose
+//! vertex sets are the switch ports and whose edges are derived from queue
+//! state. One slot mutates at most O(N·ŝ) queues, yet a from-scratch
+//! rebuild touches all N² VOQ cells and (for the weighted policies)
+//! re-sorts every edge. The types here make the per-cycle cost proportional
+//! to what actually changed:
+//!
+//! * [`IncrementalGraph`] — a dense (bitset + weight array) edge store over
+//!   the `n_left × n_right` cell grid with O(1) [`IncrementalGraph::set_edge`]
+//!   / [`IncrementalGraph::clear_edge`], iterated in lexicographic `(i, j)`
+//!   order — exactly the insertion order of the from-scratch builders.
+//! * [`CachedWeightOrder`] — the descending-weight visit order of the
+//!   weighted greedy, repaired after each batch of edge updates by dropping
+//!   the dirty entries (one `retain` pass) and merging the re-sorted dirty
+//!   edges back in: O(E + k log k) for k dirty cells instead of a full
+//!   O(E log E) sort.
+//! * [`greedy_maximal_cells`] — greedy maximal matching over an
+//!   [`IncrementalGraph`] with a per-edge eligibility filter, reproducing
+//!   [`greedy_maximal_with`](crate::greedy_maximal_with) bit-for-bit for
+//!   each visit order.
+//!
+//! Per-cell state is *cell-local* by design: eligibility rules that depend
+//! on output-side queues (fullness, preemption thresholds) are evaluated by
+//! the caller's `edge_ok` filter at match time, so an output queue changing
+//! never invalidates a whole column of cached edges.
+
+use crate::graph::Matching;
+use crate::greedy::GreedyScratch;
+use cioq_model::Value;
+
+use crate::graph::BipartiteGraph;
+
+/// A bipartite scheduling graph over the `n_left × n_right` cell grid with
+/// O(1) edge updates and lexicographic edge iteration.
+///
+/// Cells are flat row-major indices `left * n_right + right` — the same
+/// layout the simulator's change log reports dirty VOQs in.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalGraph {
+    n_left: usize,
+    n_right: usize,
+    /// One bit per cell: is there an edge?
+    present: Vec<u64>,
+    /// Weight per cell (meaningful only where `present`).
+    weights: Vec<Value>,
+    n_edges: usize,
+}
+
+impl IncrementalGraph {
+    /// An empty graph over the given vertex sets.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        let mut g = IncrementalGraph::default();
+        g.reset(n_left, n_right);
+        g
+    }
+
+    /// Clear all edges and resize to a (possibly different) vertex set.
+    pub fn reset(&mut self, n_left: usize, n_right: usize) {
+        self.n_left = n_left;
+        self.n_right = n_right;
+        let cells = n_left * n_right;
+        self.present.clear();
+        self.present.resize(cells.div_ceil(64), 0);
+        self.weights.clear();
+        self.weights.resize(cells, 0);
+        self.n_edges = 0;
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Number of edges currently present.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    #[inline]
+    fn cell(&self, left: usize, right: usize) -> usize {
+        debug_assert!(left < self.n_left && right < self.n_right);
+        left * self.n_right + right
+    }
+
+    /// Insert or reweight the edge `(left, right)`. O(1).
+    #[inline]
+    pub fn set_edge(&mut self, left: usize, right: usize, weight: Value) {
+        let cell = self.cell(left, right);
+        let (word, bit) = (cell / 64, 1u64 << (cell % 64));
+        if self.present[word] & bit == 0 {
+            self.present[word] |= bit;
+            self.n_edges += 1;
+        }
+        self.weights[cell] = weight;
+    }
+
+    /// Remove the edge `(left, right)` if present. O(1).
+    #[inline]
+    pub fn clear_edge(&mut self, left: usize, right: usize) {
+        let cell = self.cell(left, right);
+        let (word, bit) = (cell / 64, 1u64 << (cell % 64));
+        if self.present[word] & bit != 0 {
+            self.present[word] &= !bit;
+            self.n_edges -= 1;
+        }
+    }
+
+    /// The weight of edge `(left, right)`, or `None` if absent.
+    #[inline]
+    pub fn weight(&self, left: usize, right: usize) -> Option<Value> {
+        self.weight_of_cell(self.cell(left, right))
+    }
+
+    /// The weight of a flat cell index, or `None` if absent.
+    #[inline]
+    pub fn weight_of_cell(&self, cell: usize) -> Option<Value> {
+        if self.present[cell / 64] & (1u64 << (cell % 64)) != 0 {
+            Some(self.weights[cell])
+        } else {
+            None
+        }
+    }
+
+    /// Visit every edge in lexicographic `(left, right)` order.
+    #[inline]
+    pub fn for_each_edge(&self, mut f: impl FnMut(usize, usize, Value)) {
+        for (w_idx, &word) in self.present.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let cell = w_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(cell / self.n_right, cell % self.n_right, self.weights[cell]);
+            }
+        }
+    }
+
+    /// Materialise into a [`BipartiteGraph`] (lexicographic insertion order,
+    /// matching the from-scratch builders). Used by equivalence tests.
+    pub fn to_bipartite(&self, out: &mut BipartiteGraph) {
+        out.reset(self.n_left, self.n_right);
+        self.for_each_edge(|l, r, w| {
+            out.add_edge(l, r, w);
+        });
+    }
+}
+
+/// The descending-weight visit order of the weighted greedy, cached across
+/// cycles and repaired incrementally.
+///
+/// Invariant between repairs: `entries` holds exactly the edges of the
+/// companion [`IncrementalGraph`], sorted by `(weight desc, cell asc)` —
+/// the same order as sorting from scratch by `(Reverse(weight), left,
+/// right)`, since the flat cell index is lexicographic in `(left, right)`.
+#[derive(Debug, Clone, Default)]
+pub struct CachedWeightOrder {
+    entries: Vec<(Value, u32)>,
+    dirty: Vec<u32>,
+    dirty_marked: Vec<bool>,
+    /// Scratch for `repair` (kept to avoid per-cycle allocation).
+    pending: Vec<(Value, u32)>,
+    merged: Vec<(Value, u32)>,
+}
+
+/// `(weight desc, cell asc)` — strict total order because cells are unique.
+#[inline]
+fn order_before(a: (Value, u32), b: (Value, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+impl CachedWeightOrder {
+    /// Rebuild from scratch to match `g` exactly. O(E log E).
+    pub fn rebuild(&mut self, g: &IncrementalGraph) {
+        self.entries.clear();
+        g.for_each_edge(|l, r, w| {
+            self.entries.push((w, (l * g.n_right() + r) as u32));
+        });
+        // Unique cells make (Reverse(weight), cell) a total order.
+        self.entries
+            .sort_unstable_by_key(|&(w, cell)| (std::cmp::Reverse(w), cell));
+        self.dirty.clear();
+        self.dirty_marked.clear();
+        self.dirty_marked.resize(g.n_left() * g.n_right(), false);
+    }
+
+    /// Mark a flat cell whose edge may have been added, removed, or
+    /// reweighted since the last repair. O(1), deduplicated.
+    #[inline]
+    pub fn mark(&mut self, cell: usize) {
+        if !self.dirty_marked[cell] {
+            self.dirty_marked[cell] = true;
+            self.dirty.push(cell as u32);
+        }
+    }
+
+    /// Re-establish the sorted invariant against `g` after a batch of
+    /// [`CachedWeightOrder::mark`]s: one pass dropping stale entries, then a
+    /// merge with the re-sorted dirty edges. O(E + k log k) for k dirty.
+    pub fn repair(&mut self, g: &IncrementalGraph) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.pending.clear();
+        for &cell in &self.dirty {
+            if let Some(w) = g.weight_of_cell(cell as usize) {
+                self.pending.push((w, cell));
+            }
+        }
+        self.pending
+            .sort_unstable_by_key(|&(w, cell)| (std::cmp::Reverse(w), cell));
+
+        // Merge `entries` (minus every dirty cell — their cached weights
+        // are stale) with the refreshed `pending`.
+        self.merged.clear();
+        let mut pending = self.pending.iter().copied().peekable();
+        for &entry in &self.entries {
+            if self.dirty_marked[entry.1 as usize] {
+                continue;
+            }
+            while let Some(&p) = pending.peek() {
+                if order_before(p, entry) {
+                    self.merged.push(p);
+                    pending.next();
+                } else {
+                    break;
+                }
+            }
+            self.merged.push(entry);
+        }
+        self.merged.extend(pending);
+        std::mem::swap(&mut self.entries, &mut self.merged);
+
+        for &cell in &self.dirty {
+            self.dirty_marked[cell as usize] = false;
+        }
+        self.dirty.clear();
+    }
+
+    /// The edges as `(weight, flat cell)` in visit order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (Value, usize)> + '_ {
+        self.entries.iter().map(|&(w, cell)| (w, cell as usize))
+    }
+
+    /// Number of cached edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no edges are cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Which order [`greedy_maximal_cells`] visits edges in — the cell-graph
+/// analogue of [`EdgeOrder`](crate::EdgeOrder).
+#[derive(Debug, Clone, Copy)]
+pub enum CellVisit<'a> {
+    /// Lexicographic `(left, right)` — [`EdgeOrder::Insertion`]
+    /// (crate::EdgeOrder::Insertion) for graphs built port-by-port.
+    Lex,
+    /// Lexicographic rotated by `offset % |eligible edges|` —
+    /// [`EdgeOrder::Rotated`](crate::EdgeOrder::Rotated).
+    Rotated(usize),
+    /// Descending weight with `(left, right)` tie-break —
+    /// [`EdgeOrder::WeightDescending`](crate::EdgeOrder::WeightDescending).
+    /// The caller keeps the order repaired against the same graph.
+    Ordered(&'a CachedWeightOrder),
+}
+
+/// Greedy maximal matching over the eligible edges of an
+/// [`IncrementalGraph`].
+///
+/// `edge_ok(left, right, weight)` applies the caller's eligibility rule
+/// (e.g. "output queue not full") on top of edge presence; it is evaluated
+/// in visit order, so the result is identical to building a
+/// [`BipartiteGraph`] of exactly the eligible edges and running
+/// [`greedy_maximal_with`](crate::greedy_maximal_with) with the matching
+/// [`EdgeOrder`](crate::EdgeOrder).
+pub fn greedy_maximal_cells(
+    g: &IncrementalGraph,
+    visit: CellVisit<'_>,
+    mut edge_ok: impl FnMut(usize, usize, Value) -> bool,
+    scratch: &mut GreedyScratch,
+) -> Matching {
+    scratch.prepare_used(g.n_left(), g.n_right());
+    let mut m = Matching::new();
+    let cap = g.n_left().min(g.n_right());
+    match visit {
+        CellVisit::Lex => {
+            g.for_each_edge(|l, r, w| {
+                if m.pairs.len() < cap
+                    && !scratch.left_used[l]
+                    && !scratch.right_used[r]
+                    && edge_ok(l, r, w)
+                {
+                    scratch.left_used[l] = true;
+                    scratch.right_used[r] = true;
+                    m.pairs.push((l, r));
+                }
+            });
+        }
+        CellVisit::Rotated(offset) => {
+            // The rotation offset is taken modulo the number of *eligible*
+            // edges (as the from-scratch path does), so the eligible list
+            // must be materialised first.
+            scratch.order.clear();
+            g.for_each_edge(|l, r, w| {
+                if edge_ok(l, r, w) {
+                    scratch.order.push(l * g.n_right() + r);
+                }
+            });
+            if !scratch.order.is_empty() {
+                let k = offset % scratch.order.len();
+                scratch.order.rotate_left(k);
+            }
+            for &cell in &scratch.order {
+                let (l, r) = (cell / g.n_right(), cell % g.n_right());
+                if !scratch.left_used[l] && !scratch.right_used[r] {
+                    scratch.left_used[l] = true;
+                    scratch.right_used[r] = true;
+                    m.pairs.push((l, r));
+                    if m.pairs.len() == cap {
+                        break;
+                    }
+                }
+            }
+        }
+        CellVisit::Ordered(order) => {
+            debug_assert_eq!(order.len(), g.n_edges(), "order out of sync");
+            for (w, cell) in order.iter() {
+                let (l, r) = (cell / g.n_right(), cell % g.n_right());
+                if !scratch.left_used[l] && !scratch.right_used[r] && edge_ok(l, r, w) {
+                    scratch.left_used[l] = true;
+                    scratch.right_used[r] = true;
+                    m.pairs.push((l, r));
+                    if m.pairs.len() == cap {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_maximal_with, EdgeOrder};
+    use proptest::prelude::*;
+
+    fn from_scratch(g: &IncrementalGraph) -> BipartiteGraph {
+        let mut b = BipartiteGraph::new(g.n_left(), g.n_right());
+        g.to_bipartite(&mut b);
+        b
+    }
+
+    #[test]
+    fn set_and_clear_edges_track_count_and_weight() {
+        let mut g = IncrementalGraph::new(3, 3);
+        assert_eq!(g.n_edges(), 0);
+        g.set_edge(0, 1, 5);
+        g.set_edge(2, 2, 7);
+        g.set_edge(0, 1, 9); // reweight, not a new edge
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.weight(0, 1), Some(9));
+        assert_eq!(g.weight(1, 1), None);
+        g.clear_edge(0, 1);
+        g.clear_edge(0, 1); // double-clear is a no-op
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.weight(0, 1), None);
+    }
+
+    #[test]
+    fn lex_iteration_matches_from_scratch_build_order() {
+        let mut g = IncrementalGraph::new(2, 3);
+        g.set_edge(1, 0, 4);
+        g.set_edge(0, 2, 3);
+        g.set_edge(0, 0, 1);
+        let b = from_scratch(&g);
+        let edges: Vec<_> = b
+            .edges()
+            .iter()
+            .map(|e| (e.left, e.right, e.weight))
+            .collect();
+        assert_eq!(edges, vec![(0, 0, 1), (0, 2, 3), (1, 0, 4)]);
+    }
+
+    #[test]
+    fn cached_order_repair_equals_full_sort() {
+        let mut g = IncrementalGraph::new(3, 3);
+        let mut order = CachedWeightOrder::default();
+        g.set_edge(0, 0, 5);
+        g.set_edge(1, 1, 5);
+        g.set_edge(2, 0, 9);
+        order.rebuild(&g);
+        assert_eq!(
+            order.iter().collect::<Vec<_>>(),
+            vec![(9, 6), (5, 0), (5, 4)]
+        );
+
+        // Reweight, remove, add — then repair.
+        g.set_edge(0, 0, 1);
+        order.mark(0);
+        g.clear_edge(1, 1);
+        order.mark(4);
+        g.set_edge(1, 2, 7);
+        order.mark(5);
+        order.repair(&g);
+
+        let mut reference = CachedWeightOrder::default();
+        reference.rebuild(&g);
+        assert_eq!(
+            order.iter().collect::<Vec<_>>(),
+            reference.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn greedy_cells_matches_edge_list_greedy() {
+        let mut g = IncrementalGraph::new(3, 3);
+        for &(l, r, w) in &[(0, 0, 2), (0, 1, 9), (1, 0, 9), (2, 2, 1)] {
+            g.set_edge(l, r, w);
+        }
+        let b = from_scratch(&g);
+        let mut scratch = GreedyScratch::default();
+        let mut order = CachedWeightOrder::default();
+        order.rebuild(&g);
+
+        for (visit, edge_order) in [
+            (CellVisit::Lex, EdgeOrder::Insertion),
+            (CellVisit::Rotated(5), EdgeOrder::Rotated(5)),
+            (CellVisit::Ordered(&order), EdgeOrder::WeightDescending),
+        ] {
+            let got = greedy_maximal_cells(&g, visit, |_, _, _| true, &mut scratch);
+            let want = greedy_maximal_with(&b, edge_order, &mut GreedyScratch::default());
+            assert_eq!(got.pairs, want.pairs, "{edge_order:?}");
+        }
+    }
+
+    proptest! {
+        /// Random edit scripts: after every batch of edits + repair, the
+        /// incremental graph and cached order are identical (edges, weights,
+        /// visit order) to a from-scratch rebuild, and the greedy matching
+        /// over cells equals the edge-list greedy for every visit order —
+        /// including under a per-edge eligibility filter.
+        #[test]
+        fn incremental_equals_from_scratch_under_random_edits(
+            n in 1usize..6,
+            batches in prop::collection::vec(
+                prop::collection::vec((0usize..36, 0u64..20), 1..8),
+                1..12,
+            ),
+            offset in 0usize..32,
+            blocked_right in 0usize..6,
+        ) {
+            let mut g = IncrementalGraph::new(n, n);
+            let mut order = CachedWeightOrder::default();
+            order.rebuild(&g);
+            let mut scratch = GreedyScratch::default();
+
+            for batch in batches {
+                for (cell, w) in batch {
+                    let (l, r) = (cell / 6, cell % 6);
+                    if l >= n || r >= n {
+                        continue;
+                    }
+                    // w == 0 removes the edge; otherwise upsert with weight w.
+                    if w == 0 {
+                        g.clear_edge(l, r);
+                    } else {
+                        g.set_edge(l, r, w);
+                    }
+                    order.mark(l * n + r);
+                }
+                order.repair(&g);
+
+                // Graph (edges + weights + lex order) matches from-scratch.
+                let b = from_scratch(&g);
+                let mut reference = CachedWeightOrder::default();
+                reference.rebuild(&g);
+                prop_assert_eq!(
+                    order.iter().collect::<Vec<_>>(),
+                    reference.iter().collect::<Vec<_>>()
+                );
+
+                // Matchings match for all visit orders, with and without an
+                // eligibility filter (drop one right vertex).
+                let eligible = |_l: usize, r: usize, _w: u64| r != blocked_right;
+                let mut filtered = BipartiteGraph::new(n, n);
+                for e in b.edges() {
+                    if e.right != blocked_right {
+                        filtered.add_edge(e.left, e.right, e.weight);
+                    }
+                }
+                for (visit, edge_order) in [
+                    (CellVisit::Lex, EdgeOrder::Insertion),
+                    (CellVisit::Rotated(offset), EdgeOrder::Rotated(offset)),
+                    (CellVisit::Ordered(&order), EdgeOrder::WeightDescending),
+                ] {
+                    let got = greedy_maximal_cells(&g, visit, eligible, &mut scratch);
+                    let want = greedy_maximal_with(
+                        &filtered,
+                        edge_order,
+                        &mut GreedyScratch::default(),
+                    );
+                    prop_assert_eq!(&got.pairs, &want.pairs, "{:?}", edge_order);
+                }
+            }
+        }
+    }
+}

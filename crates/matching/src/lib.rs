@@ -30,6 +30,7 @@ mod graph;
 mod greedy;
 mod hopcroft_karp;
 mod hungarian;
+mod incremental;
 mod islip;
 
 pub use edge_coloring::{decompose_into_matchings, edge_color};
@@ -39,4 +40,5 @@ pub use greedy::{
 };
 pub use hopcroft_karp::hopcroft_karp;
 pub use hungarian::{hungarian_max_weight, max_weight_value};
+pub use incremental::{greedy_maximal_cells, CachedWeightOrder, CellVisit, IncrementalGraph};
 pub use islip::Islip;

@@ -109,6 +109,9 @@ impl Engine {
                 self.transfers.clear();
                 let mut transfers = std::mem::take(&mut self.transfers);
                 policy.schedule(&self.state.view(), cycle, &mut transfers);
+                // The policy consumed the change log; everything from here
+                // on accumulates for its next scheduling call.
+                self.state.changes.flush();
                 self.apply_cioq_transfers(&transfers)?;
                 self.transfers = transfers;
                 self.post_phase_check();
@@ -171,12 +174,14 @@ impl Engine {
                 self.in_transfers.clear();
                 let mut input_transfers = std::mem::take(&mut self.in_transfers);
                 policy.schedule_input(&self.state.view(), cycle, &mut input_transfers);
+                self.state.changes.flush();
                 self.apply_input_subphase(&input_transfers)?;
                 self.in_transfers = input_transfers;
 
                 self.out_transfers.clear();
                 let mut output_transfers = std::mem::take(&mut self.out_transfers);
                 policy.schedule_output(&self.state.view(), cycle, &mut output_transfers);
+                self.state.changes.flush();
                 self.apply_output_subphase(&output_transfers)?;
                 self.out_transfers = output_transfers;
                 self.post_phase_check();
@@ -214,6 +219,9 @@ impl Engine {
             self.check_ports(p.input, p.output)?;
             self.stats.on_arrival(p);
             let decision = admit(&self.state, p);
+            if !matches!(decision, Admission::Reject) {
+                self.state.note_voq(p.input, p.output);
+            }
             let queue = self.state.input_queues.at_mut(p.input, p.output);
             match decision {
                 Admission::Reject => self.stats.on_reject(p),
@@ -256,6 +264,8 @@ impl Engine {
             self.mark_output(t.output)?;
         }
         for t in transfers {
+            self.state.note_voq(t.input, t.output);
+            self.state.note_output(t.output);
             let queue = self.state.input_queues.at_mut(t.input, t.output);
             let packet = take_pick(queue, t.pick).ok_or(match t.pick {
                 PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },
@@ -291,6 +301,8 @@ impl Engine {
             self.mark_input(t.input)?;
         }
         for t in transfers {
+            self.state.note_voq(t.input, t.output);
+            self.state.note_xbar(t.input, t.output);
             let queue = self.state.input_queues.at_mut(t.input, t.output);
             let packet = take_pick(queue, t.pick).ok_or(match t.pick {
                 PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },
@@ -331,6 +343,8 @@ impl Engine {
             self.mark_output(t.output)?;
         }
         for t in transfers {
+            self.state.note_xbar(t.input, t.output);
+            self.state.note_output(t.output);
             let xbar = self
                 .state
                 .crossbar_queues
@@ -372,6 +386,7 @@ impl Engine {
             TransmitChoice::Hold => Ok(()),
             TransmitChoice::Send(pick) => {
                 let slot = self.state.slot;
+                self.state.note_output(output);
                 let queue = &mut self.state.output_queues[output.index()];
                 let packet = take_pick(queue, pick).ok_or(match pick {
                     PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod changes;
 mod engine;
 mod policy;
 mod record;
@@ -34,6 +35,7 @@ mod stats;
 mod trace;
 mod validate;
 
+pub use changes::{ChangeLog, DirtySet};
 pub use engine::{
     run_cioq, run_cioq_with_source, run_crossbar, run_crossbar_with_source, Engine, RunOptions,
 };

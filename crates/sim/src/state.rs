@@ -1,6 +1,7 @@
 //! Switch state: the queues of one switch instance, plus the read-only view
 //! handed to policies.
 
+use crate::changes::ChangeLog;
 use cioq_model::{FabricKind, PortId, SlotId, SwitchConfig};
 use cioq_queues::{Grid, SortedQueue};
 
@@ -27,6 +28,8 @@ pub struct SwitchState {
     pub(crate) output_queues: Vec<SortedQueue>,
     /// Current slot (advanced by the engine).
     pub(crate) slot: SlotId,
+    /// Queues dirtied since the engine's last flush (see [`ChangeLog`]).
+    pub(crate) changes: ChangeLog,
 }
 
 impl SwitchState {
@@ -43,13 +46,41 @@ impl SwitchState {
         let output_queues = (0..config.n_outputs)
             .map(|_| SortedQueue::new(config.output_capacity))
             .collect();
+        let changes = ChangeLog::new(
+            config.n_inputs,
+            config.n_outputs,
+            config.crossbar_capacity.is_some(),
+        );
         SwitchState {
             config,
             input_queues,
             crossbar_queues,
             output_queues,
             slot: 0,
+            changes,
         }
+    }
+
+    /// Mark input queue `Q_ij` dirty.
+    #[inline]
+    pub(crate) fn note_voq(&mut self, input: PortId, output: PortId) {
+        self.changes
+            .voq
+            .mark(input.index() * self.config.n_outputs + output.index());
+    }
+
+    /// Mark crossbar queue `C_ij` dirty.
+    #[inline]
+    pub(crate) fn note_xbar(&mut self, input: PortId, output: PortId) {
+        self.changes
+            .xbar
+            .mark(input.index() * self.config.n_outputs + output.index());
+    }
+
+    /// Mark output queue `Q_j` dirty.
+    #[inline]
+    pub(crate) fn note_output(&mut self, output: PortId) {
+        self.changes.output.mark(output.index());
     }
 
     /// The switch configuration.
@@ -116,7 +147,10 @@ impl SwitchState {
 /// Read-only window onto a [`SwitchState`], the only thing policies see.
 ///
 /// Everything an online algorithm may legally inspect — current queue
-/// contents and capacities — is available; nothing about future arrivals is.
+/// contents and capacities — is available; nothing about future arrivals
+/// is. [`SwitchView::changes`] additionally exposes which queues were
+/// dirtied since the policy's last scheduling call, so incremental
+/// policies can refresh O(changes) state instead of rescanning.
 #[derive(Clone, Copy)]
 pub struct SwitchView<'a> {
     state: &'a SwitchState,
@@ -174,6 +208,13 @@ impl<'a> SwitchView<'a> {
     #[inline]
     pub fn output_queue(&self, output: PortId) -> &'a SortedQueue {
         &self.state.output_queues[output.index()]
+    }
+
+    /// Queues dirtied since the engine's last scheduling call, plus the
+    /// flush counter incremental policies use as a consistency handshake.
+    #[inline]
+    pub fn changes(&self) -> &'a ChangeLog {
+        &self.state.changes
     }
 }
 

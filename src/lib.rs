@@ -56,8 +56,8 @@ pub use cioq_traffic as traffic;
 pub mod prelude {
     pub use cioq_core::baselines::{IslipPolicy, MaxMatching, MaxWeightMatching};
     pub use cioq_core::{
-        params, CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GmEdgePolicy, GreedyMatching,
-        PreemptiveGreedy, SelectionOrder,
+        params, BuildMode, CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GmEdgePolicy,
+        GreedyMatching, PreemptiveGreedy, SelectionOrder,
     };
     pub use cioq_model::{
         Benefit, FabricKind, Packet, PacketId, PortId, SlotId, SwitchConfig, Value,
