@@ -1,8 +1,12 @@
-//! End-to-end simulation throughput (slots/second) for both fabrics.
+//! End-to-end simulation throughput (slots/second) for both fabrics,
+//! 16 to 512 ports, sequential and sharded engines.
 
-use cioq_core::{CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy};
+use cioq_core::{
+    CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, ShardedCgu,
+    ShardedCpg, ShardedGm, ShardedPg,
+};
 use cioq_model::SwitchConfig;
-use cioq_sim::{run_cioq, run_crossbar};
+use cioq_sim::{run_cioq, run_cioq_sharded, run_crossbar, run_crossbar_sharded, ShardedOptions};
 use cioq_traffic::{gen_trace, OnOffBursty, ValueDist};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -37,8 +41,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
 
     // Large fabrics (the incremental core's target): fewer slots so one
-    // iteration stays well inside the measurement budget.
-    for &n in &[128usize, 256] {
+    // iteration stays well inside the measurement budget. From 256 ports
+    // the sharded engine (K = 4) runs alongside the sequential one.
+    for &n in &[128usize, 256, 512] {
         let slots = 64u64;
         let cioq = SwitchConfig::cioq(n, 8, 2);
         let xbar = SwitchConfig::crossbar(n, 8, 2, 2);
@@ -59,6 +64,25 @@ fn bench_end_to_end(c: &mut Criterion) {
                 run_crossbar(&xbar, &mut CrossbarPreemptiveGreedy::new(), &xbar_trace).unwrap()
             })
         });
+        if n >= 256 {
+            let sharded = ShardedOptions::new(4);
+            group.bench_function(format!("cioq_gm_sharded_k4_{n}x{n}_s2"), |b| {
+                b.iter(|| run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded).unwrap())
+            });
+            group.bench_function(format!("cioq_pg_sharded_k4_{n}x{n}_s2"), |b| {
+                b.iter(|| run_cioq_sharded(&cioq, &ShardedPg::new(), &cioq_trace, sharded).unwrap())
+            });
+            group.bench_function(format!("xbar_cgu_sharded_k4_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_crossbar_sharded(&xbar, &ShardedCgu::new(), &xbar_trace, sharded).unwrap()
+                })
+            });
+            group.bench_function(format!("xbar_cpg_sharded_k4_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_crossbar_sharded(&xbar, &ShardedCpg::new(), &xbar_trace, sharded).unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! bench_compare <baseline.json> <candidate.json> \
-//!     [--threshold 1.25] [--groups matching,scheduling_cycle]
+//!     [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]
 //! ```
 //!
 //! Exit codes: 0 = no regression, 1 = at least one benchmark in a guarded
@@ -60,7 +60,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 1.25_f64;
-    let mut groups: Vec<String> = vec!["matching".into(), "scheduling_cycle".into()];
+    let mut groups: Vec<String> = vec![
+        "matching".into(),
+        "scheduling_cycle".into(),
+        "end_to_end".into(),
+    ];
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,7 +88,7 @@ fn main() -> ExitCode {
     if paths.len() != 2 {
         eprintln!(
             "usage: bench_compare <baseline.json> <candidate.json> \
-             [--threshold 1.25] [--groups matching,scheduling_cycle]"
+             [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]"
         );
         return ExitCode::from(2);
     }

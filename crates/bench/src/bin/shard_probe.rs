@@ -1,0 +1,66 @@
+//! Ad-hoc profiling probe for the sharded engine (dev tool, not a bench):
+//! sequential vs sharded K ∈ {1,2,4} wall-clock at a given port count.
+
+use cioq_core::{GreedyMatching, PreemptiveGreedy, ShardedGm, ShardedPg};
+use cioq_model::SwitchConfig;
+use cioq_sim::{run_cioq_sharded, Engine, RunOptions, ShardedOptions, Trace, TraceSource};
+use cioq_traffic::{gen_trace, BernoulliUniform, FullFabricChurn, ValueDist};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+    let churn = std::env::args().any(|a| a == "--churn");
+    let slots = 128u64;
+    let cfg = SwitchConfig::cioq(n, 8, 1);
+    let values = ValueDist::Zipf {
+        max: 64,
+        exponent: 1.1,
+    };
+    let trace = if churn {
+        gen_trace(&FullFabricChurn::new(2, 5, values), &cfg, slots, 7)
+    } else {
+        gen_trace(&BernoulliUniform::new(0.9, values), &cfg, slots, 7)
+    };
+    // Steady-state measurement under overload: drain off, fixed slots.
+    let drain = !churn;
+    let run_options = RunOptions {
+        slots: Some(slots),
+        drain,
+        validate: false,
+    };
+    let run_seq = |policy: &mut dyn cioq_sim::CioqPolicy, trace: &Trace| {
+        let mut source = TraceSource::new(trace);
+        Engine::new(cfg.clone(), run_options)
+            .run_cioq(policy, &mut source)
+            .unwrap();
+    };
+    let reps = 3;
+    let time = |f: &mut dyn FnMut()| {
+        f();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let gm = time(&mut || run_seq(&mut GreedyMatching::new(), &trace));
+    let pg = time(&mut || run_seq(&mut PreemptiveGreedy::new(), &trace));
+    println!("n={n} seq GM {gm:.2}ms PG {pg:.2}ms");
+    for k in [1usize, 2, 4] {
+        let mut opts = ShardedOptions::new(k);
+        opts.slots = Some(slots);
+        opts.drain = drain;
+        let gms = time(&mut || {
+            run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, opts).unwrap();
+        });
+        let pgs = time(&mut || {
+            run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, opts).unwrap();
+        });
+        println!("n={n} k={k} GM-sharded {gms:.2}ms PG-sharded {pgs:.2}ms");
+    }
+}

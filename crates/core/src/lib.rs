@@ -37,9 +37,12 @@ mod gm;
 mod incremental;
 pub mod params;
 mod pg;
+mod shard_builders;
+mod sharded;
 
 pub use cgu::{CrossbarGreedyUnit, SelectionOrder};
 pub use cpg::CrossbarPreemptiveGreedy;
 pub use gm::{GmEdgePolicy, GreedyMatching};
 pub use incremental::BuildMode;
 pub use pg::PreemptiveGreedy;
+pub use sharded::{ShardedCgu, ShardedCpg, ShardedGm, ShardedPg};

@@ -1,0 +1,309 @@
+//! Shard-scoped incremental schedule-state builders.
+//!
+//! The sharded engine ([`cioq_sim::shard`]) gives each shard worker its own
+//! change log covering exactly the queues the shard owns, plus a batched
+//! inbound stream of crossbar cells other shards dirtied in its columns.
+//! The caches here are the shard-local counterparts of the global builders
+//! in [`crate::incremental`]: each repairs only its shard's rows (or
+//! columns), so a K-shard switch splits the per-cycle O(changes) repair K
+//! ways.
+//!
+//! Workers are constructed fresh for every run, so unlike the global caches
+//! there is no cross-run resync concern; the flush-count handshake is still
+//! kept as a defensive full-rebuild trigger.
+
+use crate::incremental::BitGrid;
+use cioq_matching::{CachedWeightOrder, IncrementalGraph};
+use cioq_model::{PortId, Value};
+use cioq_sim::{FabricView, ShardView};
+
+/// Sentinel flush count meaning "never synced".
+const UNSYNCED: u64 = u64::MAX;
+
+/// Shard-local VOQ head graph over the shard's own rows: an edge per
+/// non-empty owned `Q_ij` weighted by `v(g_ij)`, with an optional cached
+/// descending-weight visit order (PG). Row indices in the graph are
+/// *local* (`global row − in_lo`); columns are global.
+#[derive(Debug)]
+pub(crate) struct ShardVoqCache {
+    pub(crate) graph: IncrementalGraph,
+    pub(crate) order: Option<CachedWeightOrder>,
+    epochs: Vec<u64>,
+    expected_flush: u64,
+    pub(crate) in_lo: usize,
+    rows: usize,
+    m: usize,
+}
+
+impl ShardVoqCache {
+    pub(crate) fn new(weighted: bool) -> Self {
+        ShardVoqCache {
+            graph: IncrementalGraph::default(),
+            order: weighted.then(CachedWeightOrder::default),
+            epochs: Vec::new(),
+            expected_flush: UNSYNCED,
+            in_lo: 0,
+            rows: 0,
+            m: 0,
+        }
+    }
+
+    /// Bring the owned rows up to date from the shard's change log.
+    pub(crate) fn sync(&mut self, view: &ShardView<'_>) {
+        let range = view.input_range();
+        let (rows, m) = (range.len(), view.n_outputs());
+        let changes = view.changes();
+        let in_sync = self.expected_flush == changes.flush_count()
+            && self.rows == rows
+            && self.m == m
+            && self.in_lo == range.start;
+        if in_sync {
+            for &cell in changes.dirty_voqs() {
+                let local = cell as usize;
+                let (i, j) = (self.in_lo + local / m, local % m);
+                if self.refresh_cell(view, i, j) {
+                    if let Some(order) = &mut self.order {
+                        order.mark(local);
+                    }
+                }
+            }
+            if let Some(order) = &mut self.order {
+                order.repair(&self.graph);
+            }
+        } else {
+            self.in_lo = range.start;
+            self.rows = rows;
+            self.m = m;
+            self.graph.reset(rows, m);
+            self.epochs.clear();
+            self.epochs.resize(rows * m, u64::MAX);
+            for i in range {
+                for j in 0..m {
+                    self.refresh_cell(view, i, j);
+                }
+            }
+            if let Some(order) = &mut self.order {
+                order.rebuild(&self.graph);
+            }
+        }
+        self.expected_flush = changes.flush_count() + 1;
+    }
+
+    #[inline]
+    fn refresh_cell(&mut self, view: &ShardView<'_>, i: usize, j: usize) -> bool {
+        let queue = view.input_queue(PortId::from(i), PortId::from(j));
+        let local = (i - self.in_lo) * self.m + j;
+        if self.epochs[local] == queue.epoch() {
+            return false;
+        }
+        self.epochs[local] = queue.epoch();
+        match queue.head_value() {
+            Some(g) => self.graph.set_edge(i - self.in_lo, j, g),
+            None => self.graph.clear_edge(i - self.in_lo, j),
+        }
+        true
+    }
+}
+
+/// Shard-local CGU eligibility masks.
+///
+/// `in_ok` covers the shard's own rows (local row × global column) and
+/// repairs from the shard's own change log; `out_ok` covers the shard's own
+/// columns (local column × global row, transposed for contiguous scans) and
+/// repairs from the engine's batched inbound crossbar marks.
+#[derive(Debug)]
+pub(crate) struct ShardCguCache {
+    pub(crate) in_ok: BitGrid,
+    pub(crate) out_ok: BitGrid,
+    in_flush: u64,
+    out_synced: bool,
+    in_lo: usize,
+    out_lo: usize,
+}
+
+impl ShardCguCache {
+    pub(crate) fn new() -> Self {
+        ShardCguCache {
+            in_ok: BitGrid::default(),
+            out_ok: BitGrid::default(),
+            in_flush: UNSYNCED,
+            out_synced: false,
+            in_lo: 0,
+            out_lo: 0,
+        }
+    }
+
+    /// Input-subphase sync: repair `in_ok` from the shard's own log.
+    pub(crate) fn sync_in(&mut self, view: &ShardView<'_>) {
+        let range = view.input_range();
+        let m = view.n_outputs();
+        let changes = view.changes();
+        if self.in_flush == changes.flush_count() && self.in_lo == range.start {
+            for &cell in changes.dirty_voqs() {
+                self.refresh_in(view, self.in_lo + cell as usize / m, cell as usize % m);
+            }
+            for &cell in changes.dirty_xbars() {
+                self.refresh_in(view, self.in_lo + cell as usize / m, cell as usize % m);
+            }
+        } else {
+            self.in_lo = range.start;
+            self.in_ok.reset(range.len(), m);
+            for i in range {
+                for j in 0..m {
+                    self.refresh_in(view, i, j);
+                }
+            }
+        }
+        self.in_flush = changes.flush_count() + 1;
+    }
+
+    /// Output-subphase sync: repair `out_ok` from the inbound marks.
+    pub(crate) fn sync_out(&mut self, fabric: &FabricView<'_>, shard: usize, inbound: &[u32]) {
+        let range = fabric.partition().output_range(shard);
+        let (n, m) = (fabric.n_inputs(), fabric.n_outputs());
+        if self.out_synced && self.out_lo == range.start {
+            for &cell in inbound {
+                self.refresh_out(fabric, cell as usize / m, cell as usize % m);
+            }
+        } else {
+            self.out_lo = range.start;
+            self.out_ok.reset(range.len(), n);
+            for j in range {
+                for i in 0..n {
+                    self.refresh_out(fabric, i, j);
+                }
+            }
+            self.out_synced = true;
+        }
+    }
+
+    #[inline]
+    fn refresh_in(&mut self, view: &ShardView<'_>, i: usize, j: usize) {
+        let (input, output) = (PortId::from(i), PortId::from(j));
+        let ok = !view.input_queue(input, output).is_empty()
+            && !view.crossbar_queue(input, output).is_full();
+        self.in_ok.set(i - self.in_lo, j, ok);
+    }
+
+    #[inline]
+    fn refresh_out(&mut self, fabric: &FabricView<'_>, i: usize, j: usize) {
+        self.out_ok
+            .set(j - self.out_lo, i, !fabric.crossbar_queue(i, j).is_empty());
+    }
+}
+
+/// Shard-local CPG argmax candidates: `row_best` over the shard's own rows
+/// (repaired from the own log), `col_best` over its own columns (repaired
+/// from inbound crossbar marks). Values are `(v, global partner index)`.
+#[derive(Debug)]
+pub(crate) struct ShardCpgCache {
+    pub(crate) row_best: Vec<Option<(Value, usize)>>,
+    row_stale: Vec<bool>,
+    pub(crate) col_best: Vec<Option<(Value, usize)>>,
+    col_stale: Vec<bool>,
+    in_flush: u64,
+    out_synced: bool,
+    in_lo: usize,
+    out_lo: usize,
+}
+
+impl ShardCpgCache {
+    pub(crate) fn new() -> Self {
+        ShardCpgCache {
+            row_best: Vec::new(),
+            row_stale: Vec::new(),
+            col_best: Vec::new(),
+            col_stale: Vec::new(),
+            in_flush: UNSYNCED,
+            out_synced: false,
+            in_lo: 0,
+            out_lo: 0,
+        }
+    }
+
+    /// Consume the own log, marking dirtied rows stale, then recompute them
+    /// (the paper's input-subphase argmax with the β threshold).
+    pub(crate) fn refresh_rows(&mut self, view: &ShardView<'_>, beta: f64) {
+        let range = view.input_range();
+        let m = view.n_outputs();
+        let changes = view.changes();
+        if self.in_flush == changes.flush_count() && self.in_lo == range.start {
+            for &cell in changes.dirty_voqs() {
+                self.row_stale[cell as usize / m] = true;
+            }
+            for &cell in changes.dirty_xbars() {
+                self.row_stale[cell as usize / m] = true;
+            }
+        } else {
+            self.in_lo = range.start;
+            self.row_best.clear();
+            self.row_best.resize(range.len(), None);
+            self.row_stale.clear();
+            self.row_stale.resize(range.len(), true);
+        }
+        self.in_flush = changes.flush_count() + 1;
+
+        for local in 0..self.row_stale.len() {
+            if !self.row_stale[local] {
+                continue;
+            }
+            self.row_stale[local] = false;
+            let i = self.in_lo + local;
+            let mut best: Option<(Value, usize)> = None;
+            for j in 0..m {
+                let (input, output) = (PortId::from(i), PortId::from(j));
+                let Some(g_ij) = view.input_queue(input, output).head_value() else {
+                    continue;
+                };
+                let xbar = view.crossbar_queue(input, output);
+                let eligible = !xbar.is_full()
+                    || cioq_model::exceeds_factor(
+                        g_ij,
+                        beta,
+                        xbar.tail_value().expect("full queue has a tail"),
+                    );
+                if eligible && best.is_none_or(|(bv, _)| g_ij > bv) {
+                    best = Some((g_ij, j));
+                }
+            }
+            self.row_best[local] = best;
+        }
+    }
+
+    /// Consume the inbound marks, marking dirtied columns stale, then
+    /// recompute them (output-subphase argmax over non-empty `C_ij`).
+    pub(crate) fn refresh_cols(&mut self, fabric: &FabricView<'_>, shard: usize, inbound: &[u32]) {
+        let range = fabric.partition().output_range(shard);
+        let (n, m) = (fabric.n_inputs(), fabric.n_outputs());
+        if self.out_synced && self.out_lo == range.start {
+            for &cell in inbound {
+                self.col_stale[cell as usize % m - self.out_lo] = true;
+            }
+        } else {
+            self.out_lo = range.start;
+            self.col_best.clear();
+            self.col_best.resize(range.len(), None);
+            self.col_stale.clear();
+            self.col_stale.resize(range.len(), true);
+            self.out_synced = true;
+        }
+
+        for local in 0..self.col_stale.len() {
+            if !self.col_stale[local] {
+                continue;
+            }
+            self.col_stale[local] = false;
+            let j = self.out_lo + local;
+            let mut best: Option<(Value, usize)> = None;
+            for i in 0..n {
+                let Some(gc_ij) = fabric.crossbar_queue(i, j).head_value() else {
+                    continue;
+                };
+                if best.is_none_or(|(bv, _)| gc_ij > bv) {
+                    best = Some((gc_ij, i));
+                }
+            }
+            self.col_best[local] = best;
+        }
+    }
+}

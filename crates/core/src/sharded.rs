@@ -1,0 +1,554 @@
+//! Sharded twins of the paper's four policies, bit-identical to their
+//! sequential implementations.
+//!
+//! * [`ShardedGm`] / [`ShardedPg`] implement [`CioqShardPolicy`]: each
+//!   shard proposes candidates from its own rows (repairing only its own
+//!   slice of the incremental graph), and a deterministic merge reproduces
+//!   the sequential greedy exactly — ascending-row lexicographic for GM
+//!   (contended outputs replayed in fixed port order), a K-way
+//!   `(weight desc, cell asc)` merge for PG.
+//! * [`ShardedCgu`] / [`ShardedCpg`] implement [`CrossbarShardPolicy`]: the
+//!   paper's crossbar subphases decide per port with no cross-port
+//!   contention, so row decisions shard by input band, column decisions by
+//!   output band, and concatenation in shard order *is* the sequential
+//!   iteration order.
+//!
+//! `tests/sharded_equivalence.rs` proves the per-cycle equivalence for all
+//! four against the sequential engine, for K ∈ {1, 2, 4}, inline and
+//! threaded.
+
+use crate::params::{cpg_alpha_star, cpg_beta_star, PG_BETA};
+use crate::shard_builders::{ShardCguCache, ShardCpgCache, ShardVoqCache};
+use cioq_model::{exceeds_factor, Cycle, Packet, PortId, SwitchConfig, Value};
+use cioq_sim::{
+    Admission, CandidateSet, CioqShardPolicy, CioqShardWorker, CrossbarShardPolicy,
+    CrossbarShardWorker, FabricView, InputTransfer, MergeContext, MergeScratch, OutputSnapshot,
+    OutputTransfer, PacketPick, Partition, ShardView, Transfer,
+};
+
+use crate::cgu::SelectionOrder;
+
+// ---------------------------------------------------------------------------
+// GM
+// ---------------------------------------------------------------------------
+
+/// Sharded Greedy Matching (lexicographic edge order).
+///
+/// Proposal: each shard repairs its slice of the incremental edge graph and
+/// publishes its rows' edge bitmaps (one word-aligned bitmap per owned
+/// row). Merge: the lexicographic greedy as pure word arithmetic — per row
+/// in ascending order, the first set bit of `row & free` where `free`
+/// starts as `!full` and loses a bit per match. Identical to the
+/// sequential greedy by construction, and O(N·M/64) per cycle instead of a
+/// per-edge walk.
+#[derive(Debug, Default)]
+pub struct ShardedGm;
+
+impl ShardedGm {
+    /// New sharded GM (the twin of [`crate::GreedyMatching::new`]).
+    pub fn new() -> Self {
+        ShardedGm
+    }
+}
+
+struct GmShardWorker {
+    cache: ShardVoqCache,
+}
+
+impl CioqShardPolicy for ShardedGm {
+    fn name(&self) -> &str {
+        "GM"
+    }
+
+    fn new_worker(
+        &self,
+        _shard: usize,
+        _partition: &Partition,
+        _cfg: &SwitchConfig,
+    ) -> Box<dyn CioqShardWorker> {
+        Box::new(GmShardWorker {
+            cache: ShardVoqCache::new(false),
+        })
+    }
+
+    fn merge(&self, ctx: &MergeContext<'_>, scratch: &mut MergeScratch, out: &mut Vec<Transfer>) {
+        let words = ctx.cfg.n_outputs.div_ceil(64);
+        let free = scratch.free_output_mask(&ctx.outputs.full_words);
+        for (s, set) in ctx.candidates.iter().enumerate() {
+            let in_lo = ctx.partition.input_range(s).start;
+            debug_assert_eq!(set.aux.len() % words.max(1), 0);
+            for (local, row) in set.aux.chunks_exact(words).enumerate() {
+                // First eligible-and-free output of this row, in fixed
+                // port order.
+                for (k, (&bits, slot)) in row.iter().zip(free.iter_mut()).enumerate() {
+                    let hit = bits & *slot;
+                    if hit != 0 {
+                        let j = k * 64 + hit.trailing_zeros() as usize;
+                        *slot &= !(hit & hit.wrapping_neg()); // claim output j
+                        out.push(Transfer {
+                            input: PortId::from(in_lo + local),
+                            output: PortId::from(j),
+                            pick: PacketPick::Greatest,
+                            preempt_if_full: false,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CioqShardWorker for GmShardWorker {
+    fn admit(&mut self, shard: &ShardView<'_>, packet: &Packet) -> Admission {
+        if shard.input_queue(packet.input, packet.output).is_full() {
+            Admission::Reject
+        } else {
+            Admission::Accept
+        }
+    }
+
+    fn propose(
+        &mut self,
+        shard: &ShardView<'_>,
+        _outputs: &OutputSnapshot,
+        _cycle: Cycle,
+        out: &mut CandidateSet,
+    ) {
+        self.cache.sync(shard);
+        let rows = shard.input_range().len();
+        let words = shard.n_outputs().div_ceil(64);
+        out.aux.resize(rows * words, 0);
+        for local in 0..rows {
+            self.cache
+                .graph
+                .copy_row_bits(local, &mut out.aux[local * words..(local + 1) * words]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PG
+// ---------------------------------------------------------------------------
+
+/// Sharded Preemptive Greedy.
+///
+/// Proposal: each shard publishes its cached `(weight desc, cell asc)`
+/// order (repaired from its own change log only). Merge: a K-way merge of
+/// the per-shard streams — their concatenated key order equals the global
+/// cached order exactly — running the sequential weighted greedy with the
+/// β output-eligibility filter evaluated in visit order.
+#[derive(Debug)]
+pub struct ShardedPg {
+    beta: f64,
+    preemption_enabled: bool,
+    name: String,
+}
+
+impl ShardedPg {
+    /// Sharded PG at the optimal β = 1 + √2 (twin of
+    /// [`crate::PreemptiveGreedy::new`]).
+    pub fn new() -> Self {
+        Self::with_beta(PG_BETA)
+    }
+
+    /// Sharded PG with an explicit β ≥ 1.
+    pub fn with_beta(beta: f64) -> Self {
+        assert!(beta >= 1.0, "beta must be >= 1");
+        ShardedPg {
+            beta,
+            preemption_enabled: true,
+            name: format!("PG(beta={beta:.3})"),
+        }
+    }
+
+    /// Twin of [`crate::PreemptiveGreedy::without_preemption`].
+    pub fn without_preemption() -> Self {
+        ShardedPg {
+            beta: f64::INFINITY,
+            preemption_enabled: false,
+            name: "PG(no-preempt)".to_string(),
+        }
+    }
+}
+
+impl Default for ShardedPg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct PgShardWorker {
+    cache: ShardVoqCache,
+    preemption_enabled: bool,
+}
+
+impl CioqShardPolicy for ShardedPg {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn new_worker(
+        &self,
+        _shard: usize,
+        _partition: &Partition,
+        _cfg: &SwitchConfig,
+    ) -> Box<dyn CioqShardWorker> {
+        Box::new(PgShardWorker {
+            cache: ShardVoqCache::new(true),
+            preemption_enabled: self.preemption_enabled,
+        })
+    }
+
+    fn merge(&self, ctx: &MergeContext<'_>, scratch: &mut MergeScratch, out: &mut Vec<Transfer>) {
+        let (n, m) = (ctx.cfg.n_inputs, ctx.cfg.n_outputs);
+        scratch.begin(n, m);
+        let cap = n.min(m);
+        let k = ctx.candidates.len();
+        let mut heads = vec![0usize; k];
+        // Shard-local cells translate to the global key by adding the
+        // shard's base cell (streams stay sorted under the translation).
+        let bases: Vec<u64> = (0..k)
+            .map(|s| ctx.partition.input_range(s).start as u64 * m as u64)
+            .collect();
+        loop {
+            // Next candidate across all shard streams in (weight desc,
+            // global cell asc) order — each stream is already sorted by
+            // that key, so this is a K-way merge.
+            let mut best: Option<(Value, u64, usize)> = None;
+            for (s, set) in ctx.candidates.iter().enumerate() {
+                if let Some(&(w, local_cell)) = set.pairs.get(heads[s]) {
+                    let cell = bases[s] + local_cell as u64;
+                    let better = match best {
+                        None => true,
+                        Some((bw, bc, _)) => w > bw || (w == bw && cell < bc),
+                    };
+                    if better {
+                        best = Some((w, cell, s));
+                    }
+                }
+            }
+            let Some((w, cell, s)) = best else { break };
+            heads[s] += 1;
+
+            let (i, j) = ((cell / m as u64) as usize, (cell % m as u64) as usize);
+            if scratch.input_used(i) || scratch.output_used(j) {
+                continue;
+            }
+            let eligible =
+                !ctx.outputs.full[j] || exceeds_factor(w, self.beta, ctx.outputs.tail[j]);
+            if !eligible {
+                continue;
+            }
+            scratch.use_input(i);
+            scratch.use_output(j);
+            out.push(Transfer {
+                input: PortId::from(i),
+                output: PortId::from(j),
+                pick: PacketPick::Greatest,
+                preempt_if_full: self.preemption_enabled,
+            });
+            if out.len() == cap {
+                break;
+            }
+        }
+    }
+}
+
+impl CioqShardWorker for PgShardWorker {
+    fn admit(&mut self, shard: &ShardView<'_>, packet: &Packet) -> Admission {
+        let queue = shard.input_queue(packet.input, packet.output);
+        if !queue.is_full() {
+            return Admission::Accept;
+        }
+        let least = queue.tail_value().expect("full queue has a tail");
+        if self.preemption_enabled && least < packet.value {
+            Admission::AcceptPreemptingLeast
+        } else {
+            Admission::Reject
+        }
+    }
+
+    fn propose(
+        &mut self,
+        shard: &ShardView<'_>,
+        _outputs: &OutputSnapshot,
+        _cycle: Cycle,
+        out: &mut CandidateSet,
+    ) {
+        self.cache.sync(shard);
+        // Publish the repaired visit order as one bulk copy; the merge
+        // translates shard-local cells to global ones.
+        let order = self.cache.order.as_ref().expect("weighted cache");
+        out.pairs.extend_from_slice(order.entries());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CGU
+// ---------------------------------------------------------------------------
+
+/// Sharded Crossbar Greedy Unit.
+///
+/// Both subphases are per-port decisions with strictly row-local (input
+/// subphase) / column-local (output subphase) inputs, so sharding needs no
+/// merge at all; round-robin pointers are per-port and stay with the owner.
+#[derive(Debug)]
+pub struct ShardedCgu {
+    selection: SelectionOrder,
+    name: String,
+}
+
+impl ShardedCgu {
+    /// Sharded CGU with first-fit selection (twin of
+    /// [`crate::CrossbarGreedyUnit::new`]).
+    pub fn new() -> Self {
+        Self::with_selection(SelectionOrder::FirstFit)
+    }
+
+    /// Sharded CGU with an explicit selection order.
+    pub fn with_selection(selection: SelectionOrder) -> Self {
+        let name = match selection {
+            SelectionOrder::FirstFit => "CGU".to_string(),
+            SelectionOrder::RoundRobin => "CGU(rr)".to_string(),
+        };
+        ShardedCgu { selection, name }
+    }
+}
+
+impl Default for ShardedCgu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct CguShardWorker {
+    cache: ShardCguCache,
+    selection: SelectionOrder,
+    /// Round-robin pointers for owned input rows (local index).
+    input_ptr: Vec<usize>,
+    /// Round-robin pointers for owned output columns (local index).
+    output_ptr: Vec<usize>,
+}
+
+impl CrossbarShardPolicy for ShardedCgu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn new_worker(
+        &self,
+        shard: usize,
+        partition: &Partition,
+        _cfg: &SwitchConfig,
+    ) -> Box<dyn CrossbarShardWorker> {
+        Box::new(CguShardWorker {
+            cache: ShardCguCache::new(),
+            selection: self.selection,
+            input_ptr: vec![0; partition.input_range(shard).len()],
+            output_ptr: vec![0; partition.output_range(shard).len()],
+        })
+    }
+}
+
+impl CrossbarShardWorker for CguShardWorker {
+    fn admit(&mut self, shard: &ShardView<'_>, packet: &Packet) -> Admission {
+        if shard.input_queue(packet.input, packet.output).is_full() {
+            Admission::Reject
+        } else {
+            Admission::Accept
+        }
+    }
+
+    fn propose_input(
+        &mut self,
+        shard: &ShardView<'_>,
+        _cycle: Cycle,
+        out: &mut Vec<InputTransfer>,
+    ) {
+        self.cache.sync_in(shard);
+        let m = shard.n_outputs();
+        for (local, i) in shard.input_range().enumerate() {
+            let start = match self.selection {
+                SelectionOrder::FirstFit => 0,
+                SelectionOrder::RoundRobin => self.input_ptr[local],
+            };
+            if let Some(j) = self.cache.in_ok.first_set_cyclic(local, start) {
+                out.push(InputTransfer {
+                    input: PortId::from(i),
+                    output: PortId::from(j),
+                    pick: PacketPick::Greatest,
+                    preempt_if_full: false,
+                });
+                if self.selection == SelectionOrder::RoundRobin {
+                    self.input_ptr[local] = (j + 1) % m;
+                }
+            }
+        }
+    }
+
+    fn propose_output(
+        &mut self,
+        fabric: &FabricView<'_>,
+        shard: usize,
+        inbound_xbar: &[u32],
+        _cycle: Cycle,
+        out: &mut Vec<OutputTransfer>,
+    ) {
+        self.cache.sync_out(fabric, shard, inbound_xbar);
+        let n = fabric.n_inputs();
+        for (local, j) in fabric.partition().output_range(shard).enumerate() {
+            if fabric.output_queue(j).is_full() {
+                continue;
+            }
+            let start = match self.selection {
+                SelectionOrder::FirstFit => 0,
+                SelectionOrder::RoundRobin => self.output_ptr[local],
+            };
+            if let Some(i) = self.cache.out_ok.first_set_cyclic(local, start) {
+                out.push(OutputTransfer {
+                    input: PortId::from(i),
+                    output: PortId::from(j),
+                    pick: PacketPick::Greatest,
+                    preempt_if_full: false,
+                });
+                if self.selection == SelectionOrder::RoundRobin {
+                    self.output_ptr[local] = (i + 1) % n;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPG
+// ---------------------------------------------------------------------------
+
+/// Sharded Crossbar Preemptive Greedy.
+///
+/// Per-port argmax decisions: rows shard by input band (β threshold is
+/// row-local), columns by output band (the α threshold reads the owned
+/// output queue fresh, exactly like the sequential policy).
+#[derive(Debug)]
+pub struct ShardedCpg {
+    beta: f64,
+    alpha: f64,
+    name: String,
+}
+
+impl ShardedCpg {
+    /// Sharded CPG at the optimal (β★, α★) (twin of
+    /// [`crate::CrossbarPreemptiveGreedy::new`]).
+    pub fn new() -> Self {
+        Self::with_params(cpg_beta_star(), cpg_alpha_star())
+    }
+
+    /// Sharded CPG with explicit parameters.
+    pub fn with_params(beta: f64, alpha: f64) -> Self {
+        assert!(beta >= 1.0 && alpha >= 1.0, "alpha, beta must be >= 1");
+        ShardedCpg {
+            beta,
+            alpha,
+            name: format!("CPG(beta={beta:.3},alpha={alpha:.3})"),
+        }
+    }
+}
+
+impl Default for ShardedCpg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct CpgShardWorker {
+    cache: ShardCpgCache,
+    beta: f64,
+    alpha: f64,
+}
+
+impl CrossbarShardPolicy for ShardedCpg {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn new_worker(
+        &self,
+        _shard: usize,
+        _partition: &Partition,
+        _cfg: &SwitchConfig,
+    ) -> Box<dyn CrossbarShardWorker> {
+        Box::new(CpgShardWorker {
+            cache: ShardCpgCache::new(),
+            beta: self.beta,
+            alpha: self.alpha,
+        })
+    }
+}
+
+impl CrossbarShardWorker for CpgShardWorker {
+    fn admit(&mut self, shard: &ShardView<'_>, packet: &Packet) -> Admission {
+        let queue = shard.input_queue(packet.input, packet.output);
+        if !queue.is_full() {
+            return Admission::Accept;
+        }
+        let least = queue.tail_value().expect("full queue has a tail");
+        if least < packet.value {
+            Admission::AcceptPreemptingLeast
+        } else {
+            Admission::Reject
+        }
+    }
+
+    fn propose_input(
+        &mut self,
+        shard: &ShardView<'_>,
+        _cycle: Cycle,
+        out: &mut Vec<InputTransfer>,
+    ) {
+        self.cache.refresh_rows(shard, self.beta);
+        let in_lo = shard.input_range().start;
+        for (local, best) in self.cache.row_best.iter().enumerate() {
+            if let Some((_, j)) = *best {
+                out.push(InputTransfer {
+                    input: PortId::from(in_lo + local),
+                    output: PortId::from(j),
+                    pick: PacketPick::Greatest,
+                    preempt_if_full: true,
+                });
+            }
+        }
+    }
+
+    fn propose_output(
+        &mut self,
+        fabric: &FabricView<'_>,
+        shard: usize,
+        inbound_xbar: &[u32],
+        _cycle: Cycle,
+        out: &mut Vec<OutputTransfer>,
+    ) {
+        self.cache.refresh_cols(fabric, shard, inbound_xbar);
+        let out_lo = fabric.partition().output_range(shard).start;
+        for (local, best) in self.cache.col_best.iter().enumerate() {
+            let Some((gc, i)) = *best else { continue };
+            let j = out_lo + local;
+            // The α threshold reads the output queue fresh every cycle,
+            // never cached (it changes with every transmission).
+            let oq = fabric.output_queue(j);
+            let eligible = !oq.is_full()
+                || exceeds_factor(
+                    gc,
+                    self.alpha,
+                    oq.tail_value().expect("full queue has a tail"),
+                );
+            if eligible {
+                out.push(OutputTransfer {
+                    input: PortId::from(i),
+                    output: PortId::from(j),
+                    pick: PacketPick::Greatest,
+                    preempt_if_full: true,
+                });
+            }
+        }
+    }
+}

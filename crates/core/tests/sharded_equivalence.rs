@@ -1,0 +1,525 @@
+//! Lockstep equivalence of the sharded engine and the sequential engine:
+//! identical **per-cycle transfer sets**, **admission transcripts**, **run
+//! reports**, and **final queue states** — for all four policies, shard
+//! counts K ∈ {1, 2, 4}, and both execution modes (inline and real
+//! threads).
+//!
+//! The sequential side runs under a recording wrapper so its full decision
+//! transcript is captured; the sharded side records its merged decisions.
+//! Equal transcripts + equal final states + equal reports pin the two
+//! engines cycle for cycle, not just end to end — the ISSUE's "bit
+//! identical" bar. The thread-count matrix in CI reruns this suite under
+//! different `--test-threads` so scheduling races cannot hide behind one
+//! lucky interleaving.
+
+use cioq_core::{
+    CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, SelectionOrder,
+    ShardedCgu, ShardedCpg, ShardedGm, ShardedPg,
+};
+use cioq_model::{PortId, SwitchConfig};
+use cioq_sim::{
+    run_cioq_sharded, run_crossbar_sharded, CioqPolicy, CioqShardPolicy, CrossbarPolicy,
+    CrossbarRecording, CrossbarShardPolicy, ExecMode, RecordedCrossbarSchedule, RecordedSchedule,
+    Recording, RunOptions, RunReport, ShardedOptions, SwitchState, Trace, TraceSource,
+};
+use cioq_traffic::adversary::gm_iq_flood;
+use cioq_traffic::{gen_trace, FullFabricChurn, IncastStorm, OnOffBursty, TrafficGen, ValueDist};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const MODES: [ExecMode; 2] = [ExecMode::Inline, ExecMode::Threads];
+
+// ---- comparison helpers ----
+
+fn assert_reports_equal(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.policy, b.policy, "{what}: policy name");
+    assert_eq!(a.slots, b.slots, "{what}: slots");
+    assert_eq!(a.arrived, b.arrived, "{what}: arrived");
+    assert_eq!(a.arrived_value, b.arrived_value, "{what}: arrived value");
+    assert_eq!(a.accepted, b.accepted, "{what}: accepted");
+    assert_eq!(a.transferred, b.transferred, "{what}: transferred");
+    assert_eq!(
+        a.transferred_to_crossbar, b.transferred_to_crossbar,
+        "{what}: crossbar transfers"
+    );
+    assert_eq!(a.transmitted, b.transmitted, "{what}: transmitted");
+    assert_eq!(a.benefit, b.benefit, "{what}: benefit");
+    assert_eq!(a.losses, b.losses, "{what}: losses");
+    assert_eq!(a.latency_sum, b.latency_sum, "{what}: latency sum");
+    assert_eq!(
+        a.latency_histogram, b.latency_histogram,
+        "{what}: latency histogram"
+    );
+    assert_eq!(
+        a.per_output_transmitted, b.per_output_transmitted,
+        "{what}: per-output counts"
+    );
+    assert_eq!(a.residual_count, b.residual_count, "{what}: residual count");
+    assert_eq!(a.residual_value, b.residual_value, "{what}: residual value");
+}
+
+fn assert_states_equal(a: &SwitchState, b: &SwitchState, what: &str) {
+    let (va, vb) = (a.view(), b.view());
+    assert_eq!(va.n_inputs(), vb.n_inputs(), "{what}: inputs");
+    assert_eq!(va.n_outputs(), vb.n_outputs(), "{what}: outputs");
+    for i in 0..va.n_inputs() {
+        for j in 0..va.n_outputs() {
+            let (input, output) = (PortId::from(i), PortId::from(j));
+            assert_eq!(
+                va.input_queue(input, output),
+                vb.input_queue(input, output),
+                "{what}: Q_{i}{j}"
+            );
+            if va.has_crossbar() {
+                assert_eq!(
+                    va.crossbar_queue(input, output),
+                    vb.crossbar_queue(input, output),
+                    "{what}: C_{i}{j}"
+                );
+            }
+        }
+    }
+    for j in 0..va.n_outputs() {
+        let output = PortId::from(j);
+        assert_eq!(
+            va.output_queue(output),
+            vb.output_queue(output),
+            "{what}: Q_{j}"
+        );
+    }
+}
+
+/// Sequential reference run: full transcript + report + final state.
+fn seq_cioq(
+    cfg: &SwitchConfig,
+    policy: Box<dyn CioqPolicy>,
+    trace: &Trace,
+) -> (RunReport, RecordedSchedule, SwitchState) {
+    struct BoxedCioq(Box<dyn CioqPolicy>);
+    impl CioqPolicy for BoxedCioq {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            p: &cioq_model::Packet,
+        ) -> cioq_sim::Admission {
+            self.0.admit(view, p)
+        }
+        fn schedule(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::Transfer>,
+        ) {
+            self.0.schedule(view, cycle, out)
+        }
+        fn transmit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            output: PortId,
+        ) -> cioq_sim::TransmitChoice {
+            self.0.transmit(view, output)
+        }
+    }
+    let mut rec = Recording::new(BoxedCioq(policy));
+    let mut source = TraceSource::new(trace);
+    let (report, state) = cioq_sim::Engine::new(cfg.clone(), RunOptions::default())
+        .run_cioq_capturing(&mut rec, &mut source)
+        .expect("sequential run");
+    (report, rec.into_schedule(), state)
+}
+
+fn seq_crossbar(
+    cfg: &SwitchConfig,
+    policy: Box<dyn CrossbarPolicy>,
+    trace: &Trace,
+) -> (RunReport, RecordedCrossbarSchedule, SwitchState) {
+    struct BoxedXbar(Box<dyn CrossbarPolicy>);
+    impl CrossbarPolicy for BoxedXbar {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            p: &cioq_model::Packet,
+        ) -> cioq_sim::Admission {
+            self.0.admit(view, p)
+        }
+        fn schedule_input(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::InputTransfer>,
+        ) {
+            self.0.schedule_input(view, cycle, out)
+        }
+        fn schedule_output(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::OutputTransfer>,
+        ) {
+            self.0.schedule_output(view, cycle, out)
+        }
+        fn transmit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            output: PortId,
+        ) -> cioq_sim::TransmitChoice {
+            self.0.transmit(view, output)
+        }
+    }
+    let mut rec = CrossbarRecording::new(BoxedXbar(policy));
+    let mut source = TraceSource::new(trace);
+    let (report, state) = cioq_sim::Engine::new(cfg.clone(), RunOptions::default())
+        .run_crossbar_capturing(&mut rec, &mut source)
+        .expect("sequential run");
+    (report, rec.into_schedule(), state)
+}
+
+fn sharded_options(k: usize, mode: ExecMode) -> ShardedOptions {
+    let mut opts = ShardedOptions::new(k);
+    opts.mode = mode;
+    opts.record = true;
+    opts.capture_final_state = true;
+    opts
+}
+
+/// Run the sharded twin across the full K × mode matrix and compare every
+/// observable against the sequential reference.
+fn check_cioq(
+    cfg: &SwitchConfig,
+    seq: impl Fn() -> Box<dyn CioqPolicy>,
+    sharded: &dyn CioqShardPolicy,
+    trace: &Trace,
+) {
+    let (ref_report, ref_schedule, ref_state) = seq_cioq(cfg, seq(), trace);
+    for k in SHARD_COUNTS {
+        for mode in MODES {
+            let what = format!("{} k={k} mode={mode:?}", ref_report.policy);
+            let outcome = run_cioq_sharded(cfg, sharded, trace, sharded_options(k, mode))
+                .unwrap_or_else(|e| panic!("{what}: sharded run failed: {e}"));
+            let schedule = outcome.schedule.as_ref().expect("recording requested");
+            assert_eq!(
+                schedule.admissions, ref_schedule.admissions,
+                "{what}: admissions"
+            );
+            assert_eq!(
+                schedule.transfers, ref_schedule.transfers,
+                "{what}: per-cycle transfer sets"
+            );
+            assert_reports_equal(&outcome.report, &ref_report, &what);
+            assert_states_equal(
+                outcome.final_state.as_ref().expect("capture requested"),
+                &ref_state,
+                &what,
+            );
+        }
+    }
+}
+
+fn check_crossbar(
+    cfg: &SwitchConfig,
+    seq: impl Fn() -> Box<dyn CrossbarPolicy>,
+    sharded: &dyn CrossbarShardPolicy,
+    trace: &Trace,
+) {
+    let (ref_report, ref_schedule, ref_state) = seq_crossbar(cfg, seq(), trace);
+    for k in SHARD_COUNTS {
+        for mode in MODES {
+            let what = format!("{} k={k} mode={mode:?}", ref_report.policy);
+            let outcome = run_crossbar_sharded(cfg, sharded, trace, sharded_options(k, mode))
+                .unwrap_or_else(|e| panic!("{what}: sharded run failed: {e}"));
+            let schedule = outcome
+                .crossbar_schedule
+                .as_ref()
+                .expect("recording requested");
+            assert_eq!(
+                schedule.admissions, ref_schedule.admissions,
+                "{what}: admissions"
+            );
+            assert_eq!(
+                schedule.input_transfers, ref_schedule.input_transfers,
+                "{what}: input subphases"
+            );
+            assert_eq!(
+                schedule.output_transfers, ref_schedule.output_transfers,
+                "{what}: output subphases"
+            );
+            assert_reports_equal(&outcome.report, &ref_report, &what);
+            assert_states_equal(
+                outcome.final_state.as_ref().expect("capture requested"),
+                &ref_state,
+                &what,
+            );
+        }
+    }
+}
+
+fn trace_from(n: usize, arrivals: &[(u8, u8, u8, u64)]) -> Trace {
+    Trace::from_tuples(arrivals.iter().map(|&(t, i, j, v)| {
+        (
+            t as u64,
+            PortId((i as usize % n) as u16),
+            PortId((j as usize % n) as u16),
+            v,
+        )
+    }))
+}
+
+// ---- random traffic (property tests) ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random bursty/value-skewed traces: GM and PG (default β, swept β,
+    /// no-preemption) sharded K ∈ {1,2,4} × {inline, threads} equal the
+    /// sequential engine in every observable.
+    #[test]
+    fn cioq_sharded_equals_sequential(
+        n in 1usize..7,
+        speedup in 1u32..4,
+        in_cap in 1usize..4,
+        out_cap in 1usize..4,
+        arrivals in prop::collection::vec(
+            (0u8..12, 0u8..7, 0u8..7, 1u64..64),
+            0..110,
+        ),
+    ) {
+        let cfg = SwitchConfig::builder(n, n)
+            .speedup(speedup)
+            .input_capacity(in_cap)
+            .output_capacity(out_cap)
+            .build()
+            .unwrap();
+        let trace = trace_from(n, &arrivals);
+        check_cioq(&cfg, || Box::new(GreedyMatching::new()), &ShardedGm::new(), &trace);
+        check_cioq(&cfg, || Box::new(PreemptiveGreedy::new()), &ShardedPg::new(), &trace);
+        check_cioq(
+            &cfg,
+            || Box::new(PreemptiveGreedy::with_beta(1.25)),
+            &ShardedPg::with_beta(1.25),
+            &trace,
+        );
+        check_cioq(
+            &cfg,
+            || Box::new(PreemptiveGreedy::without_preemption()),
+            &ShardedPg::without_preemption(),
+            &trace,
+        );
+    }
+
+    /// The same matrix for the buffered-crossbar policies, covering both
+    /// subphases and the cross-shard dirty-mark forwarding.
+    #[test]
+    fn crossbar_sharded_equals_sequential(
+        n in 1usize..6,
+        speedup in 1u32..3,
+        in_cap in 1usize..4,
+        out_cap in 1usize..3,
+        xbar_cap in 1usize..3,
+        arrivals in prop::collection::vec(
+            (0u8..10, 0u8..6, 0u8..6, 1u64..64),
+            0..90,
+        ),
+    ) {
+        let cfg = SwitchConfig::builder(n, n)
+            .speedup(speedup)
+            .input_capacity(in_cap)
+            .output_capacity(out_cap)
+            .crossbar_capacity(xbar_cap)
+            .build()
+            .unwrap();
+        let trace = trace_from(n, &arrivals);
+        check_crossbar(&cfg, || Box::new(CrossbarGreedyUnit::new()), &ShardedCgu::new(), &trace);
+        check_crossbar(
+            &cfg,
+            || Box::new(CrossbarGreedyUnit::with_selection(SelectionOrder::RoundRobin)),
+            &ShardedCgu::with_selection(SelectionOrder::RoundRobin),
+            &trace,
+        );
+        check_crossbar(
+            &cfg,
+            || Box::new(CrossbarPreemptiveGreedy::new()),
+            &ShardedCpg::new(),
+            &trace,
+        );
+        check_crossbar(
+            &cfg,
+            || Box::new(CrossbarPreemptiveGreedy::with_params(1.5, 2.0)),
+            &ShardedCpg::with_params(1.5, 2.0),
+            &trace,
+        );
+    }
+}
+
+// ---- adversarial traffic (deterministic) ----
+
+/// The IQ-model flood that pins greedy unit algorithms to `2 − 1/m`: a
+/// single output column (shards 1..K own empty output bands — the extreme
+/// asymmetric partition).
+#[test]
+fn adversarial_flood_equivalence() {
+    let cfg = SwitchConfig::iq_model(8, 4);
+    let trace = gm_iq_flood(8, 4);
+    check_cioq(
+        &cfg,
+        || Box::new(GreedyMatching::new()),
+        &ShardedGm::new(),
+        &trace,
+    );
+    check_cioq(
+        &cfg,
+        || Box::new(PreemptiveGreedy::new()),
+        &ShardedPg::new(),
+        &trace,
+    );
+}
+
+/// Incast storms dirty several whole VOQ columns per slot — maximal
+/// cross-shard output contention for the merge step.
+#[test]
+fn incast_storm_equivalence() {
+    let cfg = SwitchConfig::cioq(12, 3, 2);
+    let gen = IncastStorm::new(
+        4,
+        3,
+        2,
+        0.4,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.1,
+        },
+    );
+    let trace = gen_trace(&gen, &cfg, 48, 0xC01);
+    check_cioq(
+        &cfg,
+        || Box::new(GreedyMatching::new()),
+        &ShardedGm::new(),
+        &trace,
+    );
+    check_cioq(
+        &cfg,
+        || Box::new(PreemptiveGreedy::new()),
+        &ShardedPg::new(),
+        &trace,
+    );
+
+    let xcfg = SwitchConfig::crossbar(12, 3, 2, 2);
+    let xtrace = gen_trace(&gen, &xcfg, 48, 0xC02);
+    check_crossbar(
+        &xcfg,
+        || Box::new(CrossbarGreedyUnit::new()),
+        &ShardedCgu::new(),
+        &xtrace,
+    );
+    check_crossbar(
+        &xcfg,
+        || Box::new(CrossbarPreemptiveGreedy::new()),
+        &ShardedCpg::new(),
+        &xtrace,
+    );
+}
+
+/// Full-fabric churn: every row dirtied every slot with rotating columns,
+/// so every shard's cache repairs and the cross-shard mark stream are under
+/// constant pressure.
+#[test]
+fn full_fabric_churn_equivalence() {
+    let gen = FullFabricChurn::new(2, 5, ValueDist::Uniform { max: 50 });
+
+    let cfg = SwitchConfig::cioq(10, 2, 1);
+    let trace = gen_trace(&gen, &cfg, 40, 0xC11);
+    check_cioq(
+        &cfg,
+        || Box::new(GreedyMatching::new()),
+        &ShardedGm::new(),
+        &trace,
+    );
+    check_cioq(
+        &cfg,
+        || Box::new(PreemptiveGreedy::new()),
+        &ShardedPg::new(),
+        &trace,
+    );
+
+    let xcfg = SwitchConfig::crossbar(10, 2, 1, 1);
+    let xtrace = gen_trace(&gen, &xcfg, 40, 0xC12);
+    check_crossbar(
+        &xcfg,
+        || Box::new(CrossbarGreedyUnit::new()),
+        &ShardedCgu::new(),
+        &xtrace,
+    );
+    check_crossbar(
+        &xcfg,
+        || Box::new(CrossbarPreemptiveGreedy::new()),
+        &ShardedCpg::new(),
+        &xtrace,
+    );
+}
+
+/// Bursty on-off traffic on an asymmetric switch: shards get uneven,
+/// non-square bands (N ≠ M exercises the independent input/output
+/// partitions).
+#[test]
+fn asymmetric_bursty_equivalence() {
+    let cfg = SwitchConfig::builder(9, 5)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap();
+    let gen = OnOffBursty::new(
+        0.8,
+        6.0,
+        ValueDist::Bimodal {
+            high: 40,
+            p_high: 0.2,
+        },
+    );
+    let trace = gen.generate(&cfg, 64, 0xA5);
+    check_cioq(
+        &cfg,
+        || Box::new(GreedyMatching::new()),
+        &ShardedGm::new(),
+        &trace,
+    );
+    check_cioq(
+        &cfg,
+        || Box::new(PreemptiveGreedy::new()),
+        &ShardedPg::new(),
+        &trace,
+    );
+}
+
+/// More shards than ports: empty shards must be inert, not wrong.
+#[test]
+fn more_shards_than_ports() {
+    let cfg = SwitchConfig::cioq(2, 2, 1);
+    let trace = Trace::from_tuples([
+        (0, PortId(0), PortId(1), 9),
+        (0, PortId(1), PortId(0), 4),
+        (1, PortId(0), PortId(0), 7),
+        (2, PortId(1), PortId(1), 2),
+    ]);
+    let (ref_report, ref_schedule, ref_state) =
+        seq_cioq(&cfg, Box::new(PreemptiveGreedy::new()), &trace);
+    for mode in MODES {
+        let outcome =
+            run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, sharded_options(5, mode)).unwrap();
+        assert_eq!(
+            outcome.schedule.as_ref().unwrap().transfers,
+            ref_schedule.transfers
+        );
+        assert_reports_equal(&outcome.report, &ref_report, "k=5 on 2 ports");
+        assert_states_equal(
+            outcome.final_state.as_ref().unwrap(),
+            &ref_state,
+            "k=5 on 2 ports",
+        );
+    }
+}

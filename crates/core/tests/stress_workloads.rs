@@ -1,0 +1,190 @@
+//! The dirty-set-width stress workloads (incast storms dirtying whole
+//! columns, full-fabric churn touching every row every slot) against the
+//! incremental-vs-rescan equivalence guarantee.
+//!
+//! PR 2's equivalence suite runs narrow random traffic; these workloads
+//! push the change log to its widest regimes — Θ(N) dirty cells in one
+//! column, Θ(N·d) spread over all columns — where a repair bug in the
+//! incremental builders would actually bite. Every check compares full run
+//! reports **and** final queue states between `BuildMode::Incremental` and
+//! the from-scratch `BuildMode::Rescan` reference.
+
+use cioq_core::{
+    BuildMode, CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy,
+};
+use cioq_model::{PortId, SwitchConfig};
+use cioq_sim::{
+    run_cioq_with_final_state, run_crossbar_with_final_state, CioqPolicy, CrossbarPolicy,
+    RunReport, SwitchState, Trace,
+};
+use cioq_traffic::{gen_trace, FullFabricChurn, IncastStorm, TrafficGen, ValueDist};
+
+fn assert_equal_outcomes(a: (RunReport, SwitchState), b: (RunReport, SwitchState), what: &str) {
+    let (ra, sa) = a;
+    let (rb, sb) = b;
+    assert_eq!(ra.slots, rb.slots, "{what}: slots");
+    assert_eq!(ra.accepted, rb.accepted, "{what}: accepted");
+    assert_eq!(ra.transferred, rb.transferred, "{what}: transferred");
+    assert_eq!(
+        ra.transferred_to_crossbar, rb.transferred_to_crossbar,
+        "{what}: crossbar transfers"
+    );
+    assert_eq!(ra.transmitted, rb.transmitted, "{what}: transmitted");
+    assert_eq!(ra.benefit, rb.benefit, "{what}: benefit");
+    assert_eq!(ra.losses, rb.losses, "{what}: losses");
+    assert_eq!(ra.latency_sum, rb.latency_sum, "{what}: latency");
+    assert_eq!(ra.residual_count, rb.residual_count, "{what}: residual");
+
+    let (va, vb) = (sa.view(), sb.view());
+    for i in 0..va.n_inputs() {
+        for j in 0..va.n_outputs() {
+            let (input, output) = (PortId::from(i), PortId::from(j));
+            assert_eq!(
+                va.input_queue(input, output),
+                vb.input_queue(input, output),
+                "{what}: Q_{i}{j}"
+            );
+            if va.has_crossbar() {
+                assert_eq!(
+                    va.crossbar_queue(input, output),
+                    vb.crossbar_queue(input, output),
+                    "{what}: C_{i}{j}"
+                );
+            }
+        }
+    }
+    for j in 0..va.n_outputs() {
+        let output = PortId::from(j);
+        assert_eq!(
+            va.output_queue(output),
+            vb.output_queue(output),
+            "{what}: Q_{j}"
+        );
+    }
+}
+
+fn check_cioq_pair(
+    cfg: &SwitchConfig,
+    trace: &Trace,
+    mut incremental: impl CioqPolicy,
+    mut rescan: impl CioqPolicy,
+    what: &str,
+) {
+    let inc = run_cioq_with_final_state(cfg, &mut incremental, trace).expect("incremental run");
+    let ref_ = run_cioq_with_final_state(cfg, &mut rescan, trace).expect("rescan run");
+    assert_equal_outcomes(inc, ref_, what);
+}
+
+fn check_crossbar_pair(
+    cfg: &SwitchConfig,
+    trace: &Trace,
+    mut incremental: impl CrossbarPolicy,
+    mut rescan: impl CrossbarPolicy,
+    what: &str,
+) {
+    let inc = run_crossbar_with_final_state(cfg, &mut incremental, trace).expect("incremental run");
+    let ref_ = run_crossbar_with_final_state(cfg, &mut rescan, trace).expect("rescan run");
+    assert_equal_outcomes(inc, ref_, what);
+}
+
+/// Incast storms: several whole VOQ columns dirtied at once, shallow
+/// output buffers so the β/α output thresholds stay active.
+#[test]
+fn incast_storm_incremental_equals_rescan() {
+    let cfg = SwitchConfig::builder(16, 16)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap();
+    for (targets, seed) in [(2usize, 11u64), (5, 12), (16, 13)] {
+        let gen = IncastStorm::new(
+            3,
+            targets,
+            2,
+            0.3,
+            ValueDist::Zipf {
+                max: 64,
+                exponent: 1.1,
+            },
+        );
+        let trace = gen_trace(&gen, &cfg, 64, seed);
+        check_cioq_pair(
+            &cfg,
+            &trace,
+            GreedyMatching::new(),
+            GreedyMatching::new().build_mode(BuildMode::Rescan),
+            &format!("GM storm targets={targets}"),
+        );
+        check_cioq_pair(
+            &cfg,
+            &trace,
+            PreemptiveGreedy::new(),
+            PreemptiveGreedy::new().build_mode(BuildMode::Rescan),
+            &format!("PG storm targets={targets}"),
+        );
+    }
+}
+
+/// Full-fabric churn at overload (degree 2): every row dirtied every slot,
+/// constant preemption under PG.
+#[test]
+fn full_fabric_churn_incremental_equals_rescan() {
+    let cfg = SwitchConfig::cioq(16, 2, 1);
+    for (stride, seed) in [(1usize, 21u64), (5, 22), (7, 23)] {
+        let gen = FullFabricChurn::new(2, stride, ValueDist::Uniform { max: 40 });
+        let trace = gen.generate(&cfg, 48, seed);
+        check_cioq_pair(
+            &cfg,
+            &trace,
+            GreedyMatching::new(),
+            GreedyMatching::new().build_mode(BuildMode::Rescan),
+            &format!("GM churn stride={stride}"),
+        );
+        check_cioq_pair(
+            &cfg,
+            &trace,
+            PreemptiveGreedy::new(),
+            PreemptiveGreedy::new().build_mode(BuildMode::Rescan),
+            &format!("PG churn stride={stride}"),
+        );
+    }
+}
+
+/// The same stress regimes for the crossbar policies: wide dirty sets hit
+/// both the row masks (input subphase) and the column caches (output
+/// subphase).
+#[test]
+fn crossbar_stress_incremental_equals_rescan() {
+    let cfg = SwitchConfig::crossbar(12, 2, 1, 2);
+    let storm = IncastStorm::new(
+        4,
+        4,
+        1,
+        0.4,
+        ValueDist::Bimodal {
+            high: 60,
+            p_high: 0.15,
+        },
+    );
+    let storm_trace = gen_trace(&storm, &cfg, 56, 31);
+    let churn = FullFabricChurn::new(2, 5, ValueDist::Uniform { max: 30 });
+    let churn_trace = gen_trace(&churn, &cfg, 40, 32);
+
+    for (trace, tag) in [(&storm_trace, "storm"), (&churn_trace, "churn")] {
+        check_crossbar_pair(
+            &cfg,
+            trace,
+            CrossbarGreedyUnit::new(),
+            CrossbarGreedyUnit::new().build_mode(BuildMode::Rescan),
+            &format!("CGU {tag}"),
+        );
+        check_crossbar_pair(
+            &cfg,
+            trace,
+            CrossbarPreemptiveGreedy::new(),
+            CrossbarPreemptiveGreedy::new().build_mode(BuildMode::Rescan),
+            &format!("CPG {tag}"),
+        );
+    }
+}

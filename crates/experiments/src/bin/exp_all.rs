@@ -21,6 +21,7 @@ fn main() {
         ("T3", suite::t3_bursty),
         ("T4", suite::t4_asymmetric),
         ("T5", suite::t5_ablation),
+        ("S1", suite::s1_sharded),
     ];
     for (id, run) in experiments {
         let t0 = Instant::now();

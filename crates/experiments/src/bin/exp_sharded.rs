@@ -1,0 +1,18 @@
+//! S1 — sharded engine sweep: run GM/PG/CGU/CPG under the sharded slot
+//! engine at K ∈ {1, 2, 4}, checking agreement with the sequential engine
+//! and reporting wall-clock per run. Pass `--quick` for reduced scale,
+//! `--markdown` for markdown output.
+
+use cioq_experiments::suite;
+
+fn main() {
+    let quick = cioq_experiments::quick_mode();
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    for table in suite::s1_sharded(quick) {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            table.print();
+        }
+    }
+}

@@ -19,7 +19,7 @@ mod table;
 
 pub use policies::{run_policy, PolicyKind};
 pub use ratio::{measure_ratio, RatioRow};
-pub use runner::parallel_map;
+pub use runner::{parallel_map, parallel_map_with_threads, with_sweep_threads};
 pub use table::{fmt_ratio, Table};
 
 /// Whether `--quick` was passed to the current binary (reduced scale for

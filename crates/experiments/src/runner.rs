@@ -8,17 +8,57 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Process-wide worker-count override for [`parallel_map`] (0 = automatic).
+static SWEEP_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Run `f` with every [`parallel_map`] inside it forced to `n` workers
+/// (`n = 1` ⇒ fully sequential). The determinism suite wraps whole
+/// experiment functions in this to prove the parallel runner renders
+/// byte-identical tables to a single-threaded run. Process-global — meant
+/// for tests, not for nesting from concurrent callers. The previous
+/// override is restored even if `f` panics (a leaked override would
+/// silently force every later sweep in the process onto `n` workers).
+pub fn with_sweep_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SWEEP_THREADS.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(SWEEP_THREADS.swap(n, Ordering::SeqCst));
+    f()
+}
+
 /// Apply `f` to every item, in parallel, preserving order of results.
+/// Thread count defaults to the available parallelism (or the
+/// [`with_sweep_threads`] override when one is in force).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let n_threads = match SWEEP_THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    parallel_map_with_threads(items, f, n_threads)
+}
+
+/// [`parallel_map`] with an explicit worker count. `n_threads = 1` runs on
+/// the calling thread with no pool at all — the reference execution the
+/// determinism suite compares the parallel path against: results are
+/// written by item index, so every thread count renders byte-identical
+/// tables.
+pub fn parallel_map_with_threads<T, R, F>(items: &[T], f: F, n_threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n_threads = n_threads.max(1).min(items.len().max(1));
     if n_threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -54,6 +94,27 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = parallel_map(&items, |&x| x * x);
         assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<u64> = (0..50).collect();
+        let reference = parallel_map_with_threads(&items, |&x| x * 3 + 1, 1);
+        for threads in [2, 4, 8, 64] {
+            assert_eq!(
+                parallel_map_with_threads(&items, |&x| x * 3 + 1, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_thread_override_scopes() {
+        let items: Vec<u64> = (0..8).collect();
+        let out = with_sweep_threads(1, || parallel_map(&items, |&x| x + 1));
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        assert_eq!(SWEEP_THREADS.load(Ordering::SeqCst), 0, "override cleared");
     }
 
     #[test]

@@ -910,6 +910,146 @@ pub fn t5_ablation(quick: bool) -> Vec<Table> {
     tables
 }
 
+/// S1 — the sharded slot engine vs the sequential engine: per policy and
+/// shard count, identical results (proof echoed in the table) and the
+/// wall-clock cost of each run. Sharding is bit-identical by construction,
+/// so the "agrees" column is a tripwire, not a tolerance.
+pub fn s1_sharded(quick: bool) -> Vec<Table> {
+    use cioq_core::{ShardedCgu, ShardedCpg, ShardedGm, ShardedPg};
+    use cioq_sim::{
+        run_cioq, run_cioq_sharded, run_crossbar, run_crossbar_sharded, RunReport, ShardedOptions,
+    };
+
+    let t = slots(256, quick);
+    let n = if quick { 12 } else { 48 };
+    let cioq_cfg = SwitchConfig::cioq(n, 4, 1);
+    let xbar_cfg = SwitchConfig::crossbar(n, 4, 2, 1);
+    let gen = OnOffBursty::new(
+        0.85,
+        8.0,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.1,
+        },
+    );
+    let cioq_trace = gen_trace(&gen, &cioq_cfg, t, SEED);
+    let xbar_trace = gen_trace(&gen, &xbar_cfg, t, SEED);
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum P {
+        Gm,
+        Pg,
+        Cgu,
+        Cpg,
+    }
+    const POLICIES: [P; 4] = [P::Gm, P::Pg, P::Cgu, P::Cpg];
+
+    fn agrees(a: &RunReport, b: &RunReport) -> bool {
+        a.benefit == b.benefit
+            && a.transmitted == b.transmitted
+            && a.transferred == b.transferred
+            && a.losses == b.losses
+            && a.slots == b.slots
+            && a.residual_count == b.residual_count
+    }
+
+    // The sequential reference is invariant in K: run (and time) it once
+    // per policy, then sweep only the sharded runs.
+    let references = parallel_map(&POLICIES, |&p| {
+        let t0 = Instant::now();
+        let (label, seq) = match p {
+            P::Gm => (
+                "GM",
+                run_cioq(
+                    &cioq_cfg,
+                    &mut cioq_core::GreedyMatching::new(),
+                    &cioq_trace,
+                )
+                .expect("seq"),
+            ),
+            P::Pg => (
+                "PG",
+                run_cioq(
+                    &cioq_cfg,
+                    &mut cioq_core::PreemptiveGreedy::new(),
+                    &cioq_trace,
+                )
+                .expect("seq"),
+            ),
+            P::Cgu => (
+                "CGU",
+                run_crossbar(
+                    &xbar_cfg,
+                    &mut cioq_core::CrossbarGreedyUnit::new(),
+                    &xbar_trace,
+                )
+                .expect("seq"),
+            ),
+            P::Cpg => (
+                "CPG",
+                run_crossbar(
+                    &xbar_cfg,
+                    &mut cioq_core::CrossbarPreemptiveGreedy::new(),
+                    &xbar_trace,
+                )
+                .expect("seq"),
+            ),
+        };
+        (label, seq, t0.elapsed().as_secs_f64() * 1e3)
+    });
+
+    let mut points = Vec::new();
+    for p in POLICIES {
+        for k in [1usize, 2, 4] {
+            points.push((p, k));
+        }
+    }
+    let rows = parallel_map(&points, |&(p, k)| {
+        let opts = ShardedOptions::new(k);
+        let t1 = Instant::now();
+        let sharded = match p {
+            P::Gm => run_cioq_sharded(&cioq_cfg, &ShardedGm::new(), &cioq_trace, opts),
+            P::Pg => run_cioq_sharded(&cioq_cfg, &ShardedPg::new(), &cioq_trace, opts),
+            P::Cgu => run_crossbar_sharded(&xbar_cfg, &ShardedCgu::new(), &xbar_trace, opts),
+            P::Cpg => run_crossbar_sharded(&xbar_cfg, &ShardedCpg::new(), &xbar_trace, opts),
+        }
+        .expect("sharded run");
+        let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let reference = POLICIES.iter().position(|&q| q == p).expect("known policy");
+        let (label, seq, seq_ms) = &references[reference];
+        (*label, k, seq, sharded.report, *seq_ms, sharded_ms)
+    });
+
+    let mut table = Table::new(
+        format!("S1 — sharded engine vs sequential (N={n}, bursty zipf, load 0.85)"),
+        &[
+            "policy",
+            "K",
+            "benefit",
+            "transmitted",
+            "agrees",
+            "seq ms",
+            "sharded ms",
+        ],
+    );
+    for (label, k, seq, sharded, seq_ms, sharded_ms) in rows {
+        table.push(vec![
+            label.to_string(),
+            k.to_string(),
+            sharded.benefit.0.to_string(),
+            sharded.transmitted.to_string(),
+            if agrees(seq, &sharded) {
+                "yes".into()
+            } else {
+                "DIVERGED".into()
+            },
+            format!("{seq_ms:.1}"),
+            format!("{sharded_ms:.1}"),
+        ]);
+    }
+    vec![table]
+}
+
 /// The full suite in order, as (id, tables) pairs.
 pub fn run_all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
     vec![
@@ -924,6 +1064,7 @@ pub fn run_all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("T3", t3_bursty(quick)),
         ("T4", t4_asymmetric(quick)),
         ("T5", t5_ablation(quick)),
+        ("S1", s1_sharded(quick)),
     ]
 }
 

@@ -131,6 +131,75 @@ impl IncrementalGraph {
         }
     }
 
+    /// First edge of `left`'s row (in ascending `right` order) whose
+    /// `(right, weight)` satisfies `pred`, or `None`.
+    ///
+    /// Scans the row's bitset words and stops at the first hit, so a row
+    /// whose first eligible edge is early costs O(1) — the proposal scan of
+    /// the sharded engine leans on this, where the sequential greedy has to
+    /// walk every edge of the graph.
+    pub fn first_edge_in_row_where(
+        &self,
+        left: usize,
+        mut pred: impl FnMut(usize, Value) -> bool,
+    ) -> Option<(usize, Value)> {
+        debug_assert!(left < self.n_left);
+        let start = left * self.n_right;
+        let end = start + self.n_right;
+        let mut w = start / 64;
+        while w * 64 < end {
+            let mut word = self.present[w];
+            // Mask off bits before the row start / after the row end.
+            if w == start / 64 {
+                word &= !0u64 << (start % 64);
+            }
+            while word != 0 {
+                let cell = w * 64 + word.trailing_zeros() as usize;
+                if cell >= end {
+                    break;
+                }
+                word &= word - 1;
+                let right = cell - start;
+                let weight = self.weights[cell];
+                if pred(right, weight) {
+                    return Some((right, weight));
+                }
+            }
+            w += 1;
+        }
+        None
+    }
+
+    /// Copy row `left`'s edge-presence bits into `out` as a word-aligned
+    /// bitmap (`out[k]` bit `b` ⇔ edge `(left, k·64 + b)`), regardless of
+    /// the row's alignment inside the flat cell bitset. `out` must hold at
+    /// least `n_right.div_ceil(64)` words.
+    ///
+    /// The sharded GM merge runs the lexicographic greedy as pure word
+    /// arithmetic over these bitmaps (`row & !used & !full`), so each shard
+    /// publishes its rows per cycle with this.
+    pub fn copy_row_bits(&self, left: usize, out: &mut [u64]) {
+        let m = self.n_right;
+        let words = m.div_ceil(64);
+        debug_assert!(left < self.n_left);
+        debug_assert!(out.len() >= words);
+        let start = left * m;
+        for (k, slot) in out.iter_mut().enumerate().take(words) {
+            let bit = start + k * 64;
+            let lo = self.present.get(bit / 64).copied().unwrap_or(0) >> (bit % 64);
+            let hi = if bit.is_multiple_of(64) {
+                0
+            } else {
+                self.present.get(bit / 64 + 1).copied().unwrap_or(0) << (64 - bit % 64)
+            };
+            let mut word = lo | hi;
+            if k == words - 1 && !m.is_multiple_of(64) {
+                word &= (1u64 << (m % 64)) - 1;
+            }
+            *slot = word;
+        }
+    }
+
     /// Visit every edge in lexicographic `(left, right)` order.
     #[inline]
     pub fn for_each_edge(&self, mut f: impl FnMut(usize, usize, Value)) {
@@ -249,6 +318,13 @@ impl CachedWeightOrder {
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (Value, usize)> + '_ {
         self.entries.iter().map(|&(w, cell)| (w, cell as usize))
+    }
+
+    /// The raw sorted entries `(weight, flat cell)` — lets callers bulk-copy
+    /// the visit order (the sharded PG publishes it per cycle).
+    #[inline]
+    pub fn entries(&self) -> &[(Value, u32)] {
+        &self.entries
     }
 
     /// Number of cached edges.
@@ -382,6 +458,56 @@ mod tests {
         g.clear_edge(0, 1); // double-clear is a no-op
         assert_eq!(g.n_edges(), 1);
         assert_eq!(g.weight(0, 1), None);
+    }
+
+    #[test]
+    fn first_edge_in_row_scans_with_predicate() {
+        // A wide row so the scan crosses word boundaries (n_right = 70).
+        let mut g = IncrementalGraph::new(3, 70);
+        g.set_edge(1, 3, 5);
+        g.set_edge(1, 68, 9);
+        g.set_edge(2, 0, 1);
+        assert_eq!(g.first_edge_in_row_where(0, |_, _| true), None);
+        assert_eq!(g.first_edge_in_row_where(1, |_, _| true), Some((3, 5)));
+        assert_eq!(
+            g.first_edge_in_row_where(1, |j, _| j != 3),
+            Some((68, 9)),
+            "predicate skips to the next edge across a word boundary"
+        );
+        assert_eq!(g.first_edge_in_row_where(1, |_, w| w > 10), None);
+        // Row 2's edge shares word 0 with rows 0/1 cells; masking must not
+        // leak it into row 1 or vice versa.
+        assert_eq!(g.first_edge_in_row_where(2, |_, _| true), Some((0, 1)));
+    }
+
+    #[test]
+    fn copy_row_bits_handles_unaligned_rows() {
+        // m = 70: rows start mid-word, so every row after the first needs
+        // the shift-and-stitch path.
+        let m = 70;
+        let mut g = IncrementalGraph::new(3, m);
+        let edges = [(0, 0), (0, 69), (1, 3), (1, 64), (2, 69)];
+        for &(l, r) in &edges {
+            g.set_edge(l, r, 1);
+        }
+        for row in 0..3 {
+            let mut words = vec![0u64; m.div_ceil(64)];
+            g.copy_row_bits(row, &mut words);
+            let mut got = Vec::new();
+            for (k, w) in words.iter().enumerate() {
+                for b in 0..64 {
+                    if w & (1 << b) != 0 {
+                        got.push(k * 64 + b);
+                    }
+                }
+            }
+            let want: Vec<usize> = edges
+                .iter()
+                .filter(|&&(l, _)| l == row)
+                .map(|&(_, r)| r)
+                .collect();
+            assert_eq!(got, want, "row {row}");
+        }
     }
 
     #[test]

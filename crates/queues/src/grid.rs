@@ -108,9 +108,106 @@ impl<T> Grid<T> {
     }
 }
 
+/// A contiguous band of rows of a conceptual larger grid, addressed by
+/// **global** row indices.
+///
+/// The sharded engine partitions the `N × M` queue grids into per-shard row
+/// bands; each shard owns one band outright (all mutation goes through the
+/// owner) while other shards read it through shared references. Keeping the
+/// band a separate allocation — rather than a slice view into one big grid —
+/// is what lets every shard be owned by its own thread without `unsafe`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowBand<T> {
+    grid: Grid<T>,
+    row_offset: usize,
+}
+
+impl<T> RowBand<T> {
+    /// Build the band covering global rows `row_offset .. row_offset + rows`
+    /// by calling `f(global_row, col)` for every cell.
+    pub fn from_fn(
+        row_offset: usize,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> Self {
+        RowBand {
+            grid: Grid::from_fn(rows, cols, |r, c| f(row_offset + r, c)),
+            row_offset,
+        }
+    }
+
+    /// First global row of the band.
+    #[inline]
+    pub fn row_offset(&self) -> usize {
+        self.row_offset
+    }
+
+    /// Number of rows in the band.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.grid.n_inputs()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.grid.n_outputs()
+    }
+
+    /// Whether the band owns global row `row`.
+    #[inline]
+    pub fn owns_row(&self, row: usize) -> bool {
+        (self.row_offset..self.row_offset + self.rows()).contains(&row)
+    }
+
+    /// Shared access by global row index.
+    #[inline]
+    pub fn at_global(&self, row: usize, col: usize) -> &T {
+        debug_assert!(self.owns_row(row), "row {row} outside band");
+        self.grid.get(row - self.row_offset, col)
+    }
+
+    /// Mutable access by global row index.
+    #[inline]
+    pub fn at_global_mut(&mut self, row: usize, col: usize) -> &mut T {
+        debug_assert!(self.owns_row(row), "row {row} outside band");
+        self.grid.get_mut(row - self.row_offset, col)
+    }
+
+    /// Iterate all cells as `(global_row, col, &cell)`.
+    pub fn iter_global(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let off = self.row_offset;
+        self.grid.iter().map(move |(r, c, t)| (off + r, c, t))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_band_addresses_globally() {
+        let band = RowBand::from_fn(3, 2, 4, |i, j| 10 * i + j);
+        assert_eq!(band.row_offset(), 3);
+        assert_eq!(band.rows(), 2);
+        assert_eq!(band.cols(), 4);
+        assert!(band.owns_row(3) && band.owns_row(4));
+        assert!(!band.owns_row(2) && !band.owns_row(5));
+        assert_eq!(*band.at_global(3, 0), 30);
+        assert_eq!(*band.at_global(4, 3), 43);
+        let all: Vec<_> = band.iter_global().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], (3, 0, 30));
+        assert_eq!(all[7], (4, 3, 43));
+    }
+
+    #[test]
+    fn row_band_mutation() {
+        let mut band = RowBand::from_fn(1, 1, 2, |_, _| 0);
+        *band.at_global_mut(1, 1) = 9;
+        assert_eq!(*band.at_global(1, 1), 9);
+    }
 
     #[test]
     fn from_fn_fills_row_major() {

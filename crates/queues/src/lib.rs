@@ -19,5 +19,5 @@
 mod grid;
 mod sorted_queue;
 
-pub use grid::Grid;
+pub use grid::{Grid, RowBand};
 pub use sorted_queue::SortedQueue;

@@ -10,8 +10,11 @@ use cioq_model::{Packet, PacketId, Value};
 /// * `insert` refuses to overflow: callers decide whether to preempt first
 ///   (that decision is algorithm policy, not buffer mechanics).
 ///
-/// The queue never allocates after construction: backing storage is reserved
-/// to `capacity` up front.
+/// Backing storage is allocated lazily: an empty queue costs no heap until
+/// its first insert, which reserves the full `capacity` in one shot (and
+/// never reallocates after that). Large fabrics hold N² queues of which
+/// sparse traffic touches a fraction, so construction of a 512-port switch
+/// stays cheap.
 ///
 /// Every successful mutation bumps a monotone **modification epoch**
 /// ([`SortedQueue::epoch`]), so incremental schedulers can detect "did this
@@ -38,11 +41,12 @@ impl PartialEq for SortedQueue {
 impl Eq for SortedQueue {}
 
 impl SortedQueue {
-    /// Create an empty queue with capacity `B ≥ 1`.
+    /// Create an empty queue with capacity `B ≥ 1`. Does not allocate; the
+    /// first insert reserves the full backing storage.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be >= 1");
         SortedQueue {
-            items: Vec::with_capacity(capacity),
+            items: Vec::new(),
             capacity,
             epoch: 0,
         }
@@ -127,6 +131,13 @@ impl SortedQueue {
     pub fn insert(&mut self, p: Packet) -> Result<(), Packet> {
         if self.is_full() {
             return Err(p);
+        }
+        if self.items.capacity() < self.capacity {
+            // Lazy backing storage: reserved in full on first use, so the
+            // queue never reallocates afterwards. The `<` (not `== 0`)
+            // also repairs clones, whose Vec capacity is only their length.
+            let additional = self.capacity - self.items.len();
+            self.items.reserve_exact(additional);
         }
         let pos = self
             .items

@@ -76,6 +76,28 @@ impl Engine {
         policy: &mut P,
         source: &mut dyn ArrivalSource,
     ) -> Result<RunReport, PolicyError> {
+        let slots = self.run_cioq_loop(policy, source)?;
+        Ok(self.finish(policy.name().to_string(), slots))
+    }
+
+    /// Like [`Engine::run_cioq`], additionally returning the final switch
+    /// state (equivalence tests compare it queue for queue against the
+    /// sharded engine's).
+    pub fn run_cioq_capturing<P: CioqPolicy + ?Sized>(
+        mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<(RunReport, SwitchState), PolicyError> {
+        let slots = self.run_cioq_loop(policy, source)?;
+        let state = self.state.clone();
+        Ok((self.finish(policy.name().to_string(), slots), state))
+    }
+
+    fn run_cioq_loop<P: CioqPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<SlotId, PolicyError> {
         assert!(
             self.state.config().crossbar_capacity.is_none(),
             "run_cioq requires a CIOQ config (no crossbar capacity)"
@@ -131,7 +153,7 @@ impl Engine {
             slot += 1;
         }
 
-        Ok(self.finish(policy.name().to_string(), slot))
+        Ok(slot)
     }
 
     /// Run a buffered-crossbar policy against an arrival source.
@@ -140,6 +162,27 @@ impl Engine {
         policy: &mut P,
         source: &mut dyn ArrivalSource,
     ) -> Result<RunReport, PolicyError> {
+        let slots = self.run_crossbar_loop(policy, source)?;
+        Ok(self.finish(policy.name().to_string(), slots))
+    }
+
+    /// Like [`Engine::run_crossbar`], additionally returning the final
+    /// switch state.
+    pub fn run_crossbar_capturing<P: CrossbarPolicy + ?Sized>(
+        mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<(RunReport, SwitchState), PolicyError> {
+        let slots = self.run_crossbar_loop(policy, source)?;
+        let state = self.state.clone();
+        Ok((self.finish(policy.name().to_string(), slots), state))
+    }
+
+    fn run_crossbar_loop<P: CrossbarPolicy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<SlotId, PolicyError> {
         assert!(
             self.state.config().crossbar_capacity.is_some(),
             "run_crossbar requires a crossbar config"
@@ -201,7 +244,7 @@ impl Engine {
             slot += 1;
         }
 
-        Ok(self.finish(policy.name().to_string(), slot))
+        Ok(slot)
     }
 
     // ---- phase mechanics ----
@@ -458,7 +501,7 @@ impl Engine {
     }
 }
 
-fn take_pick(queue: &mut SortedQueue, pick: PacketPick) -> Option<Packet> {
+pub(crate) fn take_pick(queue: &mut SortedQueue, pick: PacketPick) -> Option<Packet> {
     match pick {
         PacketPick::Greatest => queue.pop_head(),
         PacketPick::Least => queue.pop_tail(),
@@ -489,6 +532,28 @@ pub fn run_cioq<P: CioqPolicy + ?Sized>(
 ) -> Result<RunReport, PolicyError> {
     let mut source = TraceSource::new(trace);
     Engine::new(config.clone(), RunOptions::default()).run_cioq(policy, &mut source)
+}
+
+/// Run a CIOQ policy over a recorded trace, returning both the report and
+/// the final switch state (default options).
+pub fn run_cioq_with_final_state<P: CioqPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    trace: &Trace,
+) -> Result<(RunReport, crate::state::SwitchState), PolicyError> {
+    let mut source = TraceSource::new(trace);
+    Engine::new(config.clone(), RunOptions::default()).run_cioq_capturing(policy, &mut source)
+}
+
+/// Run a crossbar policy over a recorded trace, returning both the report
+/// and the final switch state (default options).
+pub fn run_crossbar_with_final_state<P: CrossbarPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    trace: &Trace,
+) -> Result<(RunReport, crate::state::SwitchState), PolicyError> {
+    let mut source = TraceSource::new(trace);
+    Engine::new(config.clone(), RunOptions::default()).run_crossbar_capturing(policy, &mut source)
 }
 
 /// Run a CIOQ policy against an arbitrary (possibly adaptive) source for

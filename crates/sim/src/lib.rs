@@ -29,6 +29,7 @@ mod changes;
 mod engine;
 mod policy;
 mod record;
+pub mod shard;
 mod source;
 mod state;
 mod stats;
@@ -37,13 +38,19 @@ mod validate;
 
 pub use changes::{ChangeLog, DirtySet};
 pub use engine::{
-    run_cioq, run_cioq_with_source, run_crossbar, run_crossbar_with_source, Engine, RunOptions,
+    run_cioq, run_cioq_with_final_state, run_cioq_with_source, run_crossbar,
+    run_crossbar_with_final_state, run_crossbar_with_source, Engine, RunOptions,
 };
 pub use policy::{
     Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
     Transfer, TransmitChoice,
 };
-pub use record::{RecordedSchedule, Recording};
+pub use record::{CrossbarRecording, RecordedCrossbarSchedule, RecordedSchedule, Recording};
+pub use shard::{
+    run_cioq_sharded, run_crossbar_sharded, Candidate, CandidateSet, CioqShardPolicy,
+    CioqShardWorker, CrossbarShardPolicy, CrossbarShardWorker, ExecMode, FabricView, MergeContext,
+    MergeScratch, OutputSnapshot, Partition, ShardView, ShardedOptions, ShardedOutcome,
+};
 pub use source::{ArrivalSource, TraceSource};
 pub use state::{QueueKind, SwitchState, SwitchView};
 pub use stats::{LossBreakdown, RunReport, StatsRecorder};

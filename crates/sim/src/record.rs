@@ -2,7 +2,9 @@
 //! so it can be replayed as a fixed offline schedule (the `cioq-opt` shadow
 //! analysis replays such transcripts as the "OPT" of the paper's proofs).
 
-use crate::policy::{Admission, CioqPolicy, Transfer, TransmitChoice};
+use crate::policy::{
+    Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, Transfer, TransmitChoice,
+};
 use crate::state::SwitchView;
 use cioq_model::{Cycle, Packet, PortId};
 
@@ -64,6 +66,97 @@ impl<P: CioqPolicy> CioqPolicy for Recording<P> {
         self.inner.schedule(view, cycle, out);
         self.schedule
             .transfers
+            .push(out.iter().map(|t| (t.input.0, t.output.0)).collect());
+    }
+
+    fn transmit(&mut self, view: &SwitchView<'_>, output: PortId) -> TransmitChoice {
+        self.inner.transmit(view, output)
+    }
+}
+
+/// A recorded buffered-crossbar schedule: one admission decision per
+/// processed arrival plus the input- and output-subphase transfer sets per
+/// scheduling cycle, in engine call order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordedCrossbarSchedule {
+    /// `true` = accepted (with or without preemption), per arrival.
+    pub admissions: Vec<bool>,
+    /// Input-subphase transfers `(input, output)` per cycle.
+    pub input_transfers: Vec<Vec<(u16, u16)>>,
+    /// Output-subphase transfers `(input, output)` per cycle.
+    pub output_transfers: Vec<Vec<(u16, u16)>>,
+}
+
+impl RecordedCrossbarSchedule {
+    /// Total transfers recorded across both subphases.
+    pub fn total_transfers(&self) -> usize {
+        self.input_transfers
+            .iter()
+            .chain(&self.output_transfers)
+            .map(|c| c.len())
+            .sum()
+    }
+}
+
+/// Wraps a [`CrossbarPolicy`], forwarding every decision while recording
+/// it. The crossbar analogue of [`Recording`], used by the sharded-engine
+/// equivalence tests to compare decision transcripts cycle by cycle.
+#[derive(Debug)]
+pub struct CrossbarRecording<P> {
+    inner: P,
+    /// The transcript (read it out after the run).
+    pub schedule: RecordedCrossbarSchedule,
+}
+
+impl<P: CrossbarPolicy> CrossbarRecording<P> {
+    /// Wrap `inner` for recording.
+    pub fn new(inner: P) -> Self {
+        CrossbarRecording {
+            inner,
+            schedule: RecordedCrossbarSchedule::default(),
+        }
+    }
+
+    /// Unwrap into the transcript.
+    pub fn into_schedule(self) -> RecordedCrossbarSchedule {
+        self.schedule
+    }
+}
+
+impl<P: CrossbarPolicy> CrossbarPolicy for CrossbarRecording<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn admit(&mut self, view: &SwitchView<'_>, packet: &Packet) -> Admission {
+        let decision = self.inner.admit(view, packet);
+        self.schedule
+            .admissions
+            .push(!matches!(decision, Admission::Reject));
+        decision
+    }
+
+    fn schedule_input(
+        &mut self,
+        view: &SwitchView<'_>,
+        cycle: Cycle,
+        out: &mut Vec<InputTransfer>,
+    ) {
+        self.inner.schedule_input(view, cycle, out);
+        self.schedule
+            .input_transfers
+            .push(out.iter().map(|t| (t.input.0, t.output.0)).collect());
+    }
+
+    fn schedule_output(
+        &mut self,
+        view: &SwitchView<'_>,
+        cycle: Cycle,
+        out: &mut Vec<OutputTransfer>,
+    ) {
+        self.inner.schedule_output(view, cycle, out);
+        self.schedule
+            .output_transfers
             .push(out.iter().map(|t| (t.input.0, t.output.0)).collect());
     }
 

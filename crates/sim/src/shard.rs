@@ -1,0 +1,1827 @@
+//! Sharded slot engine: the N ports split into K contiguous shards, each
+//! shard running its share of every phase — on std scoped threads when the
+//! host has the cores for it, inline otherwise — with cross-shard traffic
+//! batched per cycle and reconciled deterministically.
+//!
+//! ## Ownership model
+//!
+//! Shard `s` owns a contiguous band of input rows and a contiguous band of
+//! output columns (see [`Partition`]). Every queue has exactly one owning
+//! shard and **all mutation goes through the owner**:
+//!
+//! * `Q_ij` (VOQs) and `C_ij` (crossbar queues) belong to the owner of input
+//!   row `i` — arrivals insert there, scheduling pops there.
+//! * `Q_j` (output queues) belong to the owner of output column `j` —
+//!   fabric transfers insert there, transmission pops there.
+//!
+//! A transfer whose input row and output column live on different shards is
+//! *cross-shard*: the row owner pops the packet and posts it to the column
+//! owner's per-cycle mailbox; the column owner drains its mailbox in the
+//! next sub-phase. Crossbar mutations are likewise forwarded as dirty-cell
+//! marks to the column owner, whose incremental column caches consume them —
+//! the engine-level [`ChangeLog`] discipline of the sequential engine,
+//! stretched across shards.
+//!
+//! ## Bit-identity
+//!
+//! The sharded engine is **bit-identical** to the sequential [`Engine`]
+//! (`tests/sharded_equivalence.rs` proves it per cycle): every phase runs
+//! between barriers, so shards only ever read frozen state; per-shard
+//! proposals are combined by a *deterministic merge* that resolves contended
+//! crosspoints in fixed port order (ascending input for GM-style lexicographic
+//! greedy, `(weight desc, cell asc)` for PG-style weighted greedy); and all
+//! cross-shard batches are either per-queue unique within a cycle or
+//! idempotent (dirty marks), so apply order cannot influence the result.
+//! Thread scheduling therefore never changes a single decision — only how
+//! long the slot takes.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use crate::changes::ChangeLog;
+use crate::engine::take_pick;
+use crate::policy::{Admission, InputTransfer, OutputTransfer, PacketPick, PolicyError, Transfer};
+use crate::record::{RecordedCrossbarSchedule, RecordedSchedule};
+use crate::state::SwitchState;
+use crate::stats::{RunReport, StatsRecorder};
+use crate::trace::Trace;
+use crate::validate::check_state_invariants;
+use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig, Value};
+use cioq_queues::{RowBand, SortedQueue};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+
+// ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+/// Contiguous assignment of the N input rows and M output columns to K
+/// shards: shard `s` owns rows `⌊sN/K⌋ .. ⌊(s+1)N/K⌋` and columns likewise.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    k: usize,
+    n_inputs: usize,
+    n_outputs: usize,
+    input_owner: Vec<u16>,
+    output_owner: Vec<u16>,
+}
+
+impl Partition {
+    /// Partition an `n_inputs × n_outputs` switch into `k ≥ 1` shards.
+    pub fn new(k: usize, n_inputs: usize, n_outputs: usize) -> Self {
+        assert!(k >= 1, "need at least one shard");
+        assert!(k <= u16::MAX as usize, "shard count exceeds u16");
+        let owners = |n: usize| {
+            let mut owner = vec![0u16; n];
+            for s in 0..k {
+                for o in owner.iter_mut().take((s + 1) * n / k).skip(s * n / k) {
+                    *o = s as u16;
+                }
+            }
+            owner
+        };
+        Partition {
+            k,
+            n_inputs,
+            n_outputs,
+            input_owner: owners(n_inputs),
+            output_owner: owners(n_outputs),
+        }
+    }
+
+    /// Number of shards K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Global input rows owned by shard `s`.
+    #[inline]
+    pub fn input_range(&self, s: usize) -> Range<usize> {
+        (s * self.n_inputs / self.k)..((s + 1) * self.n_inputs / self.k)
+    }
+
+    /// Global output columns owned by shard `s`.
+    #[inline]
+    pub fn output_range(&self, s: usize) -> Range<usize> {
+        (s * self.n_outputs / self.k)..((s + 1) * self.n_outputs / self.k)
+    }
+
+    /// Owner shard of input row `i`.
+    #[inline]
+    pub fn input_owner(&self, i: usize) -> usize {
+        self.input_owner[i] as usize
+    }
+
+    /// Owner shard of output column `j`.
+    #[inline]
+    pub fn output_owner(&self, j: usize) -> usize {
+        self.output_owner[j] as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options and outcome
+// ---------------------------------------------------------------------------
+
+/// How the shards execute within a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Threads when `K > 1` and the host reports more than one core,
+    /// inline otherwise.
+    #[default]
+    Auto,
+    /// Run every shard's phase work on the calling thread, in shard order.
+    /// Zero synchronisation cost; the right choice on single-core hosts.
+    Inline,
+    /// One std scoped thread per shard, phase-stepped by barriers. The
+    /// results are identical to [`ExecMode::Inline`] by construction.
+    Threads,
+}
+
+/// Options for a sharded run (the sharded analogue of
+/// [`RunOptions`](crate::engine::RunOptions)).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedOptions {
+    /// Number of shards K ≥ 1.
+    pub shards: usize,
+    /// Execution strategy.
+    pub mode: ExecMode,
+    /// Arrival slots to simulate; defaults to the trace horizon.
+    pub slots: Option<SlotId>,
+    /// Keep running arrival-free slots until drained (as the sequential
+    /// engine does by default).
+    pub drain: bool,
+    /// Check full structural invariants on an assembled global state after
+    /// every slot (slow; meant for tests).
+    pub validate: bool,
+    /// Record the full decision transcript (admissions + per-cycle
+    /// transfer sets) for equivalence checking.
+    pub record: bool,
+    /// Assemble and return the final global [`SwitchState`].
+    pub capture_final_state: bool,
+}
+
+impl ShardedOptions {
+    /// Default options for `k` shards: auto execution, drain on, no
+    /// validation or capture.
+    pub fn new(k: usize) -> Self {
+        ShardedOptions {
+            shards: k,
+            mode: ExecMode::Auto,
+            slots: None,
+            drain: true,
+            validate: false,
+            record: false,
+            capture_final_state: false,
+        }
+    }
+
+    fn use_threads(&self) -> bool {
+        match self.mode {
+            ExecMode::Inline => false,
+            ExecMode::Threads => true,
+            ExecMode::Auto => {
+                self.shards > 1
+                    && std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        > 1
+            }
+        }
+    }
+}
+
+/// Everything a sharded run produces.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    /// The merged run report — field-for-field equal to the sequential
+    /// engine's on the same input.
+    pub report: RunReport,
+    /// CIOQ decision transcript, when recording was requested.
+    pub schedule: Option<RecordedSchedule>,
+    /// Crossbar decision transcript, when recording was requested.
+    pub crossbar_schedule: Option<RecordedCrossbarSchedule>,
+    /// Final global switch state, when capture was requested.
+    pub final_state: Option<SwitchState>,
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+/// Read-only view of one shard's own slice, handed to workers for
+/// admission and for shard-local proposal steps (CIOQ proposals and the
+/// crossbar input subphase read nothing outside the shard's own rows, so
+/// they get this one-lock view instead of a whole-fabric view).
+pub struct ShardView<'a> {
+    cfg: &'a SwitchConfig,
+    partition: &'a Partition,
+    shard: usize,
+    state: &'a ShardState,
+}
+
+impl<'a> ShardView<'a> {
+    /// The switch configuration.
+    #[inline]
+    pub fn config(&self) -> &'a SwitchConfig {
+        self.cfg
+    }
+
+    /// The partition in force.
+    #[inline]
+    pub fn partition(&self) -> &'a Partition {
+        self.partition
+    }
+
+    /// This shard's index.
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of output ports `M`.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        self.cfg.n_outputs
+    }
+
+    /// Global input rows this shard owns.
+    #[inline]
+    pub fn input_range(&self) -> Range<usize> {
+        self.partition.input_range(self.shard)
+    }
+
+    /// Input queue `Q_ij` (must be an owned row).
+    #[inline]
+    pub fn input_queue(&self, input: PortId, output: PortId) -> &'a SortedQueue {
+        self.state.voq.at_global(input.index(), output.index())
+    }
+
+    /// Crossbar queue `C_ij` (must be an owned row); panics on CIOQ.
+    #[inline]
+    pub fn crossbar_queue(&self, input: PortId, output: PortId) -> &'a SortedQueue {
+        self.state
+            .xbar
+            .as_ref()
+            .expect("crossbar queue requested on a CIOQ switch")
+            .at_global(input.index(), output.index())
+    }
+
+    /// This shard's change log. VOQ/crossbar cells are **shard-local**
+    /// (`(i − in_lo)·M + j`); output indices are global `j`.
+    #[inline]
+    pub fn changes(&self) -> &'a ChangeLog {
+        &self.state.changes
+    }
+}
+
+/// Read-only view over **every** shard's queues, alive only between
+/// barriers while no shard mutates. Proposal and merge steps read through
+/// it; global indices throughout.
+pub struct FabricView<'a> {
+    cfg: &'a SwitchConfig,
+    partition: &'a Partition,
+    shards: Vec<&'a ShardState>,
+    slot: SlotId,
+}
+
+impl<'a> FabricView<'a> {
+    /// The switch configuration.
+    #[inline]
+    pub fn config(&self) -> &'a SwitchConfig {
+        self.cfg
+    }
+
+    /// The partition in force.
+    #[inline]
+    pub fn partition(&self) -> &'a Partition {
+        self.partition
+    }
+
+    /// Number of input ports.
+    #[inline]
+    pub fn n_inputs(&self) -> usize {
+        self.cfg.n_inputs
+    }
+
+    /// Number of output ports.
+    #[inline]
+    pub fn n_outputs(&self) -> usize {
+        self.cfg.n_outputs
+    }
+
+    /// Current slot.
+    #[inline]
+    pub fn slot(&self) -> SlotId {
+        self.slot
+    }
+
+    /// Input queue `Q_ij` (any row).
+    #[inline]
+    pub fn input_queue(&self, input: usize, output: usize) -> &'a SortedQueue {
+        self.shards[self.partition.input_owner(input)]
+            .voq
+            .at_global(input, output)
+    }
+
+    /// Crossbar queue `C_ij` (any row); panics on a CIOQ config.
+    #[inline]
+    pub fn crossbar_queue(&self, input: usize, output: usize) -> &'a SortedQueue {
+        self.shards[self.partition.input_owner(input)]
+            .xbar
+            .as_ref()
+            .expect("crossbar queue requested on a CIOQ switch")
+            .at_global(input, output)
+    }
+
+    /// Output queue `Q_j` (any column).
+    #[inline]
+    pub fn output_queue(&self, output: usize) -> &'a SortedQueue {
+        let shard = self.shards[self.partition.output_owner(output)];
+        &shard.outputs[output - shard.out_lo]
+    }
+
+    /// The change log of shard `s` — VOQ/crossbar cells in shard-local
+    /// indexing (`(i − in_lo)·M + j`), flushed once per scheduling call
+    /// exactly like the sequential engine's log.
+    #[inline]
+    pub fn changes(&self, shard: usize) -> &'a ChangeLog {
+        &self.shards[shard].changes
+    }
+}
+
+/// Per-cycle snapshot of the output side, computed once before each
+/// proposal step: `full[j] = |Q_j| = B(Q_j)` and `tail[j] = v(l_j)` where
+/// full (0 otherwise). Exactly the output-eligibility inputs the sequential
+/// policies refresh at the top of every scheduling call.
+#[derive(Debug, Default)]
+pub struct OutputSnapshot {
+    /// Whether `Q_j` is full.
+    pub full: Vec<bool>,
+    /// `v(l_j)` where full, 0 otherwise.
+    pub tail: Vec<Value>,
+    /// `full` as a packed bitmap (`full_words[j/64]` bit `j%64`), for
+    /// word-level merge arithmetic.
+    pub full_words: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Policy traits
+// ---------------------------------------------------------------------------
+
+/// One candidate fabric transfer proposed by a shard: global ports plus the
+/// head value (the weight the merge orders by, 0 for unit policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Global input port `i`.
+    pub input: u16,
+    /// Global output port `j`.
+    pub output: u16,
+    /// `v(g_ij)` at proposal time (merge-visit weight).
+    pub weight: Value,
+}
+
+/// A shard's per-cycle proposal payload: an explicit candidate list, a
+/// policy-defined auxiliary word array, or both. GM publishes its rows'
+/// edge bitmaps through `aux` (one `n_outputs.div_ceil(64)`-word bitmap per
+/// owned row, ascending) so the merge can run the lexicographic greedy as
+/// word arithmetic; PG publishes its ordered candidate list through `list`.
+#[derive(Debug, Default)]
+pub struct CandidateSet {
+    /// Ordered candidates (policy-defined order).
+    pub list: Vec<Candidate>,
+    /// Ordered `(weight, shard-local flat cell)` pairs — lets a policy
+    /// bulk-copy a cached visit order (PG publishes its repaired
+    /// descending-weight order this way, one memcpy per cycle).
+    pub pairs: Vec<(Value, u32)>,
+    /// Auxiliary packed words (policy-defined layout).
+    pub aux: Vec<u64>,
+}
+
+impl CandidateSet {
+    fn clear(&mut self) {
+        self.list.clear();
+        self.pairs.clear();
+        self.aux.clear();
+    }
+}
+
+/// Generation-stamped used-port masks for the merge step — O(1) reset per
+/// cycle, no per-cycle allocation — plus a reusable word buffer for
+/// bitmap-based merges.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    stamp: u64,
+    input_stamp: Vec<u64>,
+    output_stamp: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl MergeScratch {
+    /// Start a new merge over `n` inputs and `m` outputs.
+    pub fn begin(&mut self, n: usize, m: usize) {
+        if self.input_stamp.len() < n {
+            self.input_stamp.resize(n, 0);
+        }
+        if self.output_stamp.len() < m {
+            self.output_stamp.resize(m, 0);
+        }
+        self.stamp += 1;
+    }
+
+    /// Whether input `i` is already matched this cycle.
+    #[inline]
+    pub fn input_used(&self, i: usize) -> bool {
+        self.input_stamp[i] == self.stamp
+    }
+
+    /// Whether output `j` is already matched this cycle.
+    #[inline]
+    pub fn output_used(&self, j: usize) -> bool {
+        self.output_stamp[j] == self.stamp
+    }
+
+    /// Mark input `i` matched.
+    #[inline]
+    pub fn use_input(&mut self, i: usize) {
+        self.input_stamp[i] = self.stamp;
+    }
+
+    /// Mark output `j` matched.
+    #[inline]
+    pub fn use_output(&mut self, j: usize) {
+        self.output_stamp[j] = self.stamp;
+    }
+
+    /// Fill the reusable word buffer with `!full_words` (i.e. a bitmap of
+    /// outputs that are free to receive) and return it; bitmap merges
+    /// clear bits as they match outputs.
+    pub fn free_output_mask(&mut self, full_words: &[u64]) -> &mut Vec<u64> {
+        self.words.clear();
+        self.words.extend(full_words.iter().map(|w| !w));
+        &mut self.words
+    }
+}
+
+/// Everything a CIOQ merge step consults: geometry, the pre-cycle output
+/// snapshot, the cycle, and every shard's proposal payload (shard order =
+/// ascending port ranges). Deliberately queue-free: merges work over
+/// published payloads and the snapshot, so the merge step costs no locks
+/// and no cache-missing queue reads.
+pub struct MergeContext<'a> {
+    /// The switch configuration.
+    pub cfg: &'a SwitchConfig,
+    /// The partition in force.
+    pub partition: &'a Partition,
+    /// Pre-cycle output fullness/tails.
+    pub outputs: &'a OutputSnapshot,
+    /// The cycle being scheduled.
+    pub cycle: Cycle,
+    /// Per-shard proposal payloads, in shard order.
+    pub candidates: &'a [&'a CandidateSet],
+}
+
+/// A CIOQ policy that can run sharded: a factory for per-shard workers plus
+/// the deterministic merge combining their proposals into the global
+/// matching.
+pub trait CioqShardPolicy: Sync {
+    /// Policy name (must match the sequential twin so reports compare
+    /// equal).
+    fn name(&self) -> &str;
+
+    /// Create the worker for shard `shard`. Workers are created fresh for
+    /// every run, so caches never need cross-run resync.
+    fn new_worker(
+        &self,
+        shard: usize,
+        partition: &Partition,
+        cfg: &SwitchConfig,
+    ) -> Box<dyn CioqShardWorker>;
+
+    /// Deterministically combine per-shard candidates into the cycle's
+    /// matching, resolving contended ports in fixed port order. Must append
+    /// transfers in the exact order the sequential policy would.
+    fn merge(&self, ctx: &MergeContext<'_>, scratch: &mut MergeScratch, out: &mut Vec<Transfer>);
+}
+
+/// The per-shard worker half of a [`CioqShardPolicy`].
+pub trait CioqShardWorker: Send {
+    /// Admission for a packet arriving on an owned row (row-local by
+    /// construction: the view only exposes owned rows).
+    fn admit(&mut self, shard: &ShardView<'_>, packet: &Packet) -> Admission;
+
+    /// Propose this shard's candidates for the cycle. Shard-local by
+    /// construction (one lock, no whole-fabric view): `shard.changes()`
+    /// holds exactly the owned queues dirtied since the previous proposal,
+    /// `outputs` is the pre-cycle output snapshot.
+    fn propose(
+        &mut self,
+        shard: &ShardView<'_>,
+        outputs: &OutputSnapshot,
+        cycle: Cycle,
+        out: &mut CandidateSet,
+    );
+}
+
+/// A buffered-crossbar policy that can run sharded. Both subphases decide
+/// per-port with no cross-port contention, so no merge is needed: the
+/// engine concatenates per-shard proposals in shard order (= ascending port
+/// order, matching the sequential policies' iteration order).
+pub trait CrossbarShardPolicy: Sync {
+    /// Policy name (must match the sequential twin).
+    fn name(&self) -> &str;
+
+    /// Create the worker for shard `shard`.
+    fn new_worker(
+        &self,
+        shard: usize,
+        partition: &Partition,
+        cfg: &SwitchConfig,
+    ) -> Box<dyn CrossbarShardWorker>;
+}
+
+/// The per-shard worker half of a [`CrossbarShardPolicy`].
+pub trait CrossbarShardWorker: Send {
+    /// Admission for a packet arriving on an owned row.
+    fn admit(&mut self, shard: &ShardView<'_>, packet: &Packet) -> Admission;
+
+    /// Input subphase: ≤ 1 transfer per owned input row. Shard-local by
+    /// construction (row decisions read only owned rows).
+    fn propose_input(&mut self, shard: &ShardView<'_>, cycle: Cycle, out: &mut Vec<InputTransfer>);
+
+    /// Output subphase: ≤ 1 transfer per owned output column.
+    /// `inbound_xbar` is the batch of global crossbar cells other shards
+    /// dirtied in owned columns since this worker's previous output
+    /// proposal — the cross-shard half of the change-log discipline.
+    fn propose_output(
+        &mut self,
+        fabric: &FabricView<'_>,
+        shard: usize,
+        inbound_xbar: &[u32],
+        cycle: Cycle,
+        out: &mut Vec<OutputTransfer>,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Internal shared state
+// ---------------------------------------------------------------------------
+
+/// One shard's owned slice of the switch plus its accounting.
+struct ShardState {
+    /// Owned VOQ rows, globally addressed.
+    voq: RowBand<SortedQueue>,
+    /// Owned crossbar rows (buffered crossbar only).
+    xbar: Option<RowBand<SortedQueue>>,
+    /// Owned output queues, `outputs[j - out_lo]` = `Q_j`.
+    outputs: Vec<SortedQueue>,
+    /// First owned output column.
+    out_lo: usize,
+    /// Dirty-queue log over **shard-local** flat cells
+    /// `(i − in_lo)·M + j` (outputs by global `j`), so K shards together
+    /// hold exactly one switch's worth of dirty bitmaps. Flushed once per
+    /// scheduling call, like the sequential log.
+    changes: ChangeLog,
+    /// This shard's share of the run statistics (summed at the end).
+    stats: StatsRecorder,
+    /// Recorded admissions `(global arrival index, accepted)`.
+    admits: Vec<(u64, bool)>,
+}
+
+impl ShardState {
+    fn new(cfg: &SwitchConfig, partition: &Partition, s: usize) -> Self {
+        let rows = partition.input_range(s);
+        let cols = partition.output_range(s);
+        let voq = RowBand::from_fn(rows.start, rows.len(), cfg.n_outputs, |_, _| {
+            SortedQueue::new(cfg.input_capacity)
+        });
+        let xbar = cfg.crossbar_capacity.map(|bc| {
+            RowBand::from_fn(rows.start, rows.len(), cfg.n_outputs, |_, _| {
+                SortedQueue::new(bc)
+            })
+        });
+        let outputs = cols
+            .clone()
+            .map(|_| SortedQueue::new(cfg.output_capacity))
+            .collect();
+        ShardState {
+            voq,
+            xbar,
+            outputs,
+            out_lo: cols.start,
+            changes: ChangeLog::new(rows.len(), cfg.n_outputs, cfg.crossbar_capacity.is_some()),
+            stats: StatsRecorder::new(cfg.n_outputs),
+            admits: Vec::new(),
+        }
+    }
+
+    fn residual(&self) -> (u64, u128) {
+        let mut count = 0u64;
+        let mut value = 0u128;
+        for (_, _, q) in self.voq.iter_global() {
+            count += q.len() as u64;
+            value += q.total_value();
+        }
+        if let Some(xbar) = &self.xbar {
+            for (_, _, q) in xbar.iter_global() {
+                count += q.len() as u64;
+                value += q.total_value();
+            }
+        }
+        for q in &self.outputs {
+            count += q.len() as u64;
+            value += q.total_value();
+        }
+        (count, value)
+    }
+}
+
+/// A packet in flight between shards: popped by the row owner, to be
+/// inserted into `Q_j` by the column owner. At most one per output queue
+/// per cycle, so drain order cannot matter.
+struct Routed {
+    input: u16,
+    output: u16,
+    preempt: bool,
+    packet: Packet,
+}
+
+/// All cross-shard communication channels plus run-wide control state.
+struct Comms {
+    /// Per-shard CIOQ proposal payloads.
+    candidates: Vec<Mutex<CandidateSet>>,
+    /// Per-shard pop assignments (CIOQ transfers by row owner).
+    assignments: Vec<Mutex<Vec<Transfer>>>,
+    /// Per-shard crossbar input-subphase assignments.
+    in_assignments: Vec<Mutex<Vec<InputTransfer>>>,
+    /// Per-shard crossbar output-subphase pop assignments (by row owner).
+    out_assignments: Vec<Mutex<Vec<OutputTransfer>>>,
+    /// Routed-packet mailboxes, one cell per (destination, source) pair so
+    /// a flush is a buffer swap, never a copy.
+    mail: Vec<Vec<Mutex<Vec<Routed>>>>,
+    /// Forwarded crossbar dirty-mark batches, likewise (destination, source).
+    xbar_marks: Vec<Vec<Mutex<Vec<u32>>>>,
+    /// Pre-cycle output snapshot.
+    snapshot: RwLock<OutputSnapshot>,
+    /// Current slot / cycle broadcast.
+    slot: AtomicU64,
+    cycle: AtomicU32,
+    /// First policy error (sticky).
+    error: Mutex<Option<PolicyError>>,
+    /// First worker panic message (threaded mode only).
+    panic: Mutex<Option<String>>,
+    failed: AtomicBool,
+    record: bool,
+}
+
+impl Comms {
+    fn new(k: usize, record: bool) -> Self {
+        fn vecs<T>(k: usize) -> Vec<Mutex<Vec<T>>> {
+            (0..k).map(|_| Mutex::new(Vec::new())).collect()
+        }
+        fn cells<T>(k: usize) -> Vec<Vec<Mutex<Vec<T>>>> {
+            (0..k).map(|_| vecs(k)).collect()
+        }
+        Comms {
+            candidates: (0..k)
+                .map(|_| Mutex::new(CandidateSet::default()))
+                .collect(),
+            assignments: vecs(k),
+            in_assignments: vecs(k),
+            out_assignments: vecs(k),
+            mail: cells(k),
+            xbar_marks: cells(k),
+            snapshot: RwLock::new(OutputSnapshot::default()),
+            slot: AtomicU64::new(0),
+            cycle: AtomicU32::new(0),
+            error: Mutex::new(None),
+            panic: Mutex::new(None),
+            failed: AtomicBool::new(false),
+            record,
+        }
+    }
+
+    fn fail(&self, e: PolicyError) {
+        let mut slot = lock(&self.error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn cycle_now(&self) -> Cycle {
+        Cycle {
+            slot: self.slot.load(Ordering::Relaxed),
+            index: self.cycle.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lock helpers that ignore poisoning: a panicking worker already records
+/// its payload; subsequent phases must still be able to shut down cleanly.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_shard<'a>(l: &'a RwLock<ShardState>) -> RwLockReadGuard<'a, ShardState> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_shard<'a>(l: &'a RwLock<ShardState>) -> std::sync::RwLockWriteGuard<'a, ShardState> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The whole fabric: per-shard states behind phase-disciplined locks plus
+/// the communication channels.
+struct Fabric<'a> {
+    cfg: &'a SwitchConfig,
+    partition: Partition,
+    shards: Vec<RwLock<ShardState>>,
+    /// The whole trace pre-bucketed by row owner `(global index, packet)`,
+    /// built once at run start — the arrival phase is a cursor walk with no
+    /// per-slot copying or locking.
+    arrivals: Vec<Vec<(u64, Packet)>>,
+    comms: Comms,
+}
+
+impl Fabric<'_> {
+    fn view_of<'g>(&'g self, guards: &'g [RwLockReadGuard<'g, ShardState>]) -> FabricView<'g> {
+        FabricView {
+            cfg: self.cfg,
+            partition: &self.partition,
+            shards: guards.iter().map(|g| &**g).collect(),
+            slot: self.comms.slot.load(Ordering::Relaxed),
+        }
+    }
+
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, ShardState>> {
+        self.shards.iter().map(read_shard).collect()
+    }
+
+    /// (transmitted, moved) sums for the progress check.
+    fn progress(&self) -> (u64, u64) {
+        let mut transmitted = 0;
+        let mut moved = 0;
+        for l in &self.shards {
+            let st = read_shard(l);
+            transmitted += st.stats.transmitted;
+            moved += st.stats.transferred + st.stats.transferred_to_crossbar;
+        }
+        (transmitted, moved)
+    }
+
+    fn residual(&self) -> (u64, u128) {
+        let mut count = 0;
+        let mut value = 0;
+        for l in &self.shards {
+            let (c, v) = read_shard(l).residual();
+            count += c;
+            value += v;
+        }
+        (count, value)
+    }
+
+    /// Refresh the pre-cycle output snapshot (coordinator only, between
+    /// phases).
+    fn refresh_snapshot(&self) {
+        let m = self.cfg.n_outputs;
+        let mut snap = self
+            .comms
+            .snapshot
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        snap.full.clear();
+        snap.full.resize(m, false);
+        snap.tail.clear();
+        snap.tail.resize(m, 0);
+        snap.full_words.clear();
+        snap.full_words.resize(m.div_ceil(64), 0);
+        for l in &self.shards {
+            let st = read_shard(l);
+            for (local_j, q) in st.outputs.iter().enumerate() {
+                let j = st.out_lo + local_j;
+                if q.is_full() {
+                    snap.full[j] = true;
+                    snap.tail[j] = q.tail_value().expect("full queue has a tail");
+                    snap.full_words[j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+    }
+
+    /// Assemble the global [`SwitchState`] (tests / validation / capture).
+    fn assemble_state(&self) -> SwitchState {
+        let mut state = SwitchState::new(self.cfg.clone());
+        state.slot = self.comms.slot.load(Ordering::Relaxed);
+        for l in &self.shards {
+            let st = read_shard(l);
+            for (i, j, q) in st.voq.iter_global() {
+                *state.input_queues.get_mut(i, j) = q.clone();
+            }
+            if let Some(xbar) = &st.xbar {
+                let grid = state
+                    .crossbar_queues
+                    .as_mut()
+                    .expect("both states share the config");
+                for (i, j, q) in xbar.iter_global() {
+                    *grid.get_mut(i, j) = q.clone();
+                }
+            }
+            for (local_j, q) in st.outputs.iter().enumerate() {
+                state.output_queues[st.out_lo + local_j] = q.clone();
+            }
+        }
+        state
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase identifiers
+// ---------------------------------------------------------------------------
+
+const PH_ARRIVAL: u8 = 0;
+const PH_PROPOSE: u8 = 1;
+const PH_APPLY_POP: u8 = 2;
+const PH_APPLY_INSERT: u8 = 3;
+const PH_PROPOSE_IN: u8 = 4;
+const PH_APPLY_IN: u8 = 5;
+const PH_PROPOSE_OUT: u8 = 6;
+const PH_APPLY_OUT_POP: u8 = 7;
+const PH_TRANSMIT: u8 = 8;
+const PH_EXIT: u8 = 9;
+
+// ---------------------------------------------------------------------------
+// Worker-side phase execution
+// ---------------------------------------------------------------------------
+
+/// Arrival phase for shard `s`: walk this slot's slice of the pre-bucketed
+/// trace, admit, insert. Mirrors `Engine::arrival_phase` decision for
+/// decision.
+fn arrival_phase(
+    s: usize,
+    cursor: &mut usize,
+    fabric: &Fabric<'_>,
+    mut admit: impl FnMut(&ShardView<'_>, &Packet) -> Admission,
+) {
+    let slot = fabric.comms.slot.load(Ordering::Relaxed);
+    let bucket = &fabric.arrivals[s];
+    let mut st = write_shard(&fabric.shards[s]);
+    let record = fabric.comms.record;
+    while let Some(&(idx, p)) = bucket.get(*cursor) {
+        if p.arrival != slot {
+            debug_assert!(p.arrival > slot, "bucket consumed out of order");
+            break;
+        }
+        *cursor += 1;
+        let st = &mut *st;
+        st.stats.on_arrival(&p);
+        let decision = {
+            let view = ShardView {
+                cfg: fabric.cfg,
+                partition: &fabric.partition,
+                shard: s,
+                state: st,
+            };
+            admit(&view, &p)
+        };
+        if record {
+            st.admits
+                .push((idx, !matches!(decision, Admission::Reject)));
+        }
+        if !matches!(decision, Admission::Reject) {
+            let local_row = p.input.index() - st.voq.row_offset();
+            st.changes
+                .voq
+                .mark(local_row * fabric.cfg.n_outputs + p.output.index());
+        }
+        let queue = st.voq.at_global_mut(p.input.index(), p.output.index());
+        match decision {
+            Admission::Reject => st.stats.on_reject(&p),
+            Admission::Accept => {
+                if queue.is_full() {
+                    fabric.comms.fail(PolicyError::QueueFull {
+                        kind: "input",
+                        input: Some(p.input),
+                        output: p.output,
+                    });
+                    break;
+                }
+                queue.insert(p).expect("checked not full");
+                st.stats.on_accept();
+            }
+            Admission::AcceptPreemptingLeast => {
+                if !queue.is_full() {
+                    fabric.comms.fail(PolicyError::PreemptOnNonFull {
+                        kind: "input",
+                        input: Some(p.input),
+                        output: p.output,
+                    });
+                    break;
+                }
+                let victim = queue.pop_tail().expect("full queue has a tail");
+                st.stats.on_preempt_input(&victim);
+                queue.insert(p).expect("slot freed by preemption");
+                st.stats.on_accept();
+            }
+        }
+    }
+}
+
+/// Transmission phase for shard `s`: send the head of every non-empty owned
+/// output queue (the behaviour of every policy in the paper).
+fn transmit_phase(s: usize, fabric: &Fabric<'_>) {
+    let slot = fabric.comms.slot.load(Ordering::Relaxed);
+    let mut st = write_shard(&fabric.shards[s]);
+    let st = &mut *st;
+    for (local_j, q) in st.outputs.iter_mut().enumerate() {
+        if let Some(packet) = q.pop_head() {
+            let j = st.out_lo + local_j;
+            st.changes.output.mark(j);
+            st.stats.on_transmit(&packet, slot, j);
+        }
+    }
+}
+
+/// Insert one routed packet into the owning shard's output queue,
+/// preempting `l_j` when allowed. Returns `false` on a policy error.
+fn deliver(st: &mut ShardState, fabric: &Fabric<'_>, r: Routed) -> bool {
+    let j = r.output as usize;
+    st.changes.output.mark(j);
+    let queue = &mut st.outputs[j - st.out_lo];
+    if queue.is_full() {
+        if !r.preempt {
+            fabric.comms.fail(PolicyError::QueueFull {
+                kind: "output",
+                input: Some(PortId(r.input)),
+                output: PortId(r.output),
+            });
+            return false;
+        }
+        let victim = queue.pop_tail().expect("full queue has a tail");
+        st.stats.on_preempt_output(&victim);
+    }
+    queue.insert(r.packet).expect("space ensured");
+    st.stats.on_transfer();
+    true
+}
+
+/// Drain this shard's mailbox cells into its output queues (≤ 1 insert per
+/// queue per cycle, so drain order is immaterial).
+fn apply_insert_phase(s: usize, fabric: &Fabric<'_>) {
+    let mut st = write_shard(&fabric.shards[s]);
+    for src in &fabric.comms.mail[s] {
+        let mut cell = lock(src);
+        for r in cell.drain(..) {
+            if !deliver(&mut st, fabric, r) {
+                return;
+            }
+        }
+    }
+}
+
+/// Per-worker batching scratch: routed packets and forwarded dirty marks
+/// are collected per destination locally and flushed with one lock per
+/// destination per phase (instead of one lock per item).
+struct WorkerCtx<W> {
+    worker: W,
+    /// Position in this shard's pre-bucketed arrival stream.
+    arrival_cursor: usize,
+    /// Per-destination staging for forwarded crossbar dirty marks.
+    marks: Vec<Vec<u32>>,
+    /// Reused gather buffer for inbound crossbar marks.
+    inbound_scratch: Vec<u32>,
+}
+
+impl<W> WorkerCtx<W> {
+    fn new(worker: W, k: usize) -> Self {
+        WorkerCtx {
+            worker,
+            arrival_cursor: 0,
+            marks: (0..k).map(|_| Vec::new()).collect(),
+            inbound_scratch: Vec::new(),
+        }
+    }
+
+    fn flush_marks(&mut self, s: usize, fabric: &Fabric<'_>) {
+        for (dest, batch) in self.marks.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                let mut cell = lock(&fabric.comms.xbar_marks[dest][s]);
+                if cell.is_empty() {
+                    std::mem::swap(&mut *cell, batch);
+                } else {
+                    // The destination hasn't drained yet (marks accumulate
+                    // across subphases); append in that case.
+                    cell.append(batch);
+                }
+            }
+        }
+    }
+}
+
+/// CIOQ worker phase dispatcher.
+fn cioq_phase(
+    ph: u8,
+    s: usize,
+    ctx: &mut WorkerCtx<Box<dyn CioqShardWorker>>,
+    fabric: &Fabric<'_>,
+) {
+    if fabric.comms.failed.load(Ordering::Acquire) {
+        return;
+    }
+    match ph {
+        PH_ARRIVAL => {
+            let cursor = &mut ctx.arrival_cursor;
+            let worker = &mut ctx.worker;
+            arrival_phase(s, cursor, fabric, |view, p| worker.admit(view, p));
+        }
+        PH_PROPOSE => {
+            let st = read_shard(&fabric.shards[s]);
+            let view = ShardView {
+                cfg: fabric.cfg,
+                partition: &fabric.partition,
+                shard: s,
+                state: &st,
+            };
+            let snap = fabric
+                .comms
+                .snapshot
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut out = std::mem::take(&mut *lock(&fabric.comms.candidates[s]));
+            out.clear();
+            ctx.worker
+                .propose(&view, &snap, fabric.comms.cycle_now(), &mut out);
+            *lock(&fabric.comms.candidates[s]) = out;
+        }
+        PH_APPLY_POP => {
+            let mut asg = std::mem::take(&mut *lock(&fabric.comms.assignments[s]));
+            {
+                // Each (dest, src) mailbox cell has exactly one writer per
+                // phase (this worker), so holding the locks for the whole
+                // pop loop is contention-free and saves a copy per packet.
+                let mut boxes: Vec<Option<MutexGuard<'_, Vec<Routed>>>> = fabric
+                    .comms
+                    .mail
+                    .iter()
+                    .enumerate()
+                    .map(|(dest, cells)| (dest != s).then(|| lock(&cells[s])))
+                    .collect();
+                let mut st = write_shard(&fabric.shards[s]);
+                // The proposal consumed the change log; everything from here
+                // on accumulates for the next proposal (sequential flush
+                // point).
+                st.changes.flush();
+                for t in asg.drain(..) {
+                    let (i, j) = (t.input.index(), t.output.index());
+                    let local_row = i - st.voq.row_offset();
+                    st.changes.voq.mark(local_row * fabric.cfg.n_outputs + j);
+                    let queue = st.voq.at_global_mut(i, j);
+                    let Some(packet) = take_pick(queue, t.pick) else {
+                        fabric.comms.fail(match t.pick {
+                            PacketPick::ById(id) if !queue.is_empty() => {
+                                PolicyError::NoSuchPacket { id }
+                            }
+                            _ => PolicyError::EmptyQueue {
+                                kind: "input",
+                                input: Some(t.input),
+                                output: t.output,
+                            },
+                        });
+                        break;
+                    };
+                    let r = Routed {
+                        input: t.input.0,
+                        output: t.output.0,
+                        preempt: t.preempt_if_full,
+                        packet,
+                    };
+                    let dest = fabric.partition.output_owner(j);
+                    if dest == s {
+                        // Both endpoints owned: skip the mailbox round-trip
+                        // (inserts touch `Q_j`, pops touch `Q_ij` — the
+                        // families are disjoint, so early delivery cannot
+                        // perturb any pop).
+                        if !deliver(&mut st, fabric, r) {
+                            break;
+                        }
+                    } else {
+                        boxes[dest].as_mut().expect("foreign cell locked").push(r);
+                    }
+                }
+            }
+            *lock(&fabric.comms.assignments[s]) = asg;
+        }
+        PH_APPLY_INSERT => apply_insert_phase(s, fabric),
+        PH_TRANSMIT => transmit_phase(s, fabric),
+        _ => unreachable!("phase {ph} is not a CIOQ phase"),
+    }
+}
+
+/// Buffered-crossbar worker phase dispatcher.
+fn xbar_phase(
+    ph: u8,
+    s: usize,
+    ctx: &mut WorkerCtx<Box<dyn CrossbarShardWorker>>,
+    fabric: &Fabric<'_>,
+) {
+    if fabric.comms.failed.load(Ordering::Acquire) {
+        return;
+    }
+    let m = fabric.cfg.n_outputs;
+    match ph {
+        PH_ARRIVAL => {
+            let cursor = &mut ctx.arrival_cursor;
+            let worker = &mut ctx.worker;
+            arrival_phase(s, cursor, fabric, |view, p| worker.admit(view, p));
+        }
+        PH_PROPOSE_IN => {
+            let st = read_shard(&fabric.shards[s]);
+            let view = ShardView {
+                cfg: fabric.cfg,
+                partition: &fabric.partition,
+                shard: s,
+                state: &st,
+            };
+            let mut out = std::mem::take(&mut *lock(&fabric.comms.in_assignments[s]));
+            out.clear();
+            ctx.worker
+                .propose_input(&view, fabric.comms.cycle_now(), &mut out);
+            *lock(&fabric.comms.in_assignments[s]) = out;
+        }
+        PH_APPLY_IN => {
+            let mut asg = std::mem::take(&mut *lock(&fabric.comms.in_assignments[s]));
+            {
+                let mut st = write_shard(&fabric.shards[s]);
+                st.changes.flush();
+                for t in asg.iter() {
+                    let st = &mut *st;
+                    let (i, j) = (t.input.index(), t.output.index());
+                    let local = (i - st.voq.row_offset()) * m + j;
+                    st.changes.voq.mark(local);
+                    st.changes.xbar.mark(local);
+                    let queue = st.voq.at_global_mut(i, j);
+                    let Some(packet) = take_pick(queue, t.pick) else {
+                        fabric.comms.fail(match t.pick {
+                            PacketPick::ById(id) if !queue.is_empty() => {
+                                PolicyError::NoSuchPacket { id }
+                            }
+                            _ => PolicyError::EmptyQueue {
+                                kind: "input",
+                                input: Some(t.input),
+                                output: t.output,
+                            },
+                        });
+                        break;
+                    };
+                    let xbar = st
+                        .xbar
+                        .as_mut()
+                        .expect("crossbar config")
+                        .at_global_mut(i, j);
+                    if xbar.is_full() {
+                        if !t.preempt_if_full {
+                            fabric.comms.fail(PolicyError::QueueFull {
+                                kind: "crossbar",
+                                input: Some(t.input),
+                                output: t.output,
+                            });
+                            break;
+                        }
+                        let victim = xbar.pop_tail().expect("full queue has a tail");
+                        st.stats.on_preempt_crossbar(&victim);
+                    }
+                    xbar.insert(packet).expect("space ensured");
+                    st.stats.on_transfer_to_crossbar();
+                    // Forward the dirty crosspoint to the column owner's
+                    // cache (batched, flushed below).
+                    ctx.marks[fabric.partition.output_owner(j)].push((i * m + j) as u32);
+                }
+                asg.clear();
+            }
+            ctx.flush_marks(s, fabric);
+            *lock(&fabric.comms.in_assignments[s]) = asg;
+        }
+        PH_PROPOSE_OUT => {
+            let mut inbound = std::mem::take(&mut ctx.inbound_scratch);
+            inbound.clear();
+            for src in &fabric.comms.xbar_marks[s] {
+                inbound.append(&mut lock(src));
+            }
+            {
+                let guards = fabric.read_all();
+                let view = fabric.view_of(&guards);
+                let mut proposals = std::mem::take(&mut *lock(&fabric.comms.out_assignments[s]));
+                proposals.clear();
+                ctx.worker.propose_output(
+                    &view,
+                    s,
+                    &inbound,
+                    fabric.comms.cycle_now(),
+                    &mut proposals,
+                );
+                *lock(&fabric.comms.out_assignments[s]) = proposals;
+            }
+            ctx.inbound_scratch = inbound;
+        }
+        PH_APPLY_OUT_POP => {
+            let mut asg = std::mem::take(&mut *lock(&fabric.comms.out_assignments[s]));
+            {
+                let mut boxes: Vec<Option<MutexGuard<'_, Vec<Routed>>>> = fabric
+                    .comms
+                    .mail
+                    .iter()
+                    .enumerate()
+                    .map(|(dest, cells)| (dest != s).then(|| lock(&cells[s])))
+                    .collect();
+                let mut st = write_shard(&fabric.shards[s]);
+                for t in asg.drain(..) {
+                    let st = &mut *st;
+                    let (i, j) = (t.input.index(), t.output.index());
+                    st.changes.xbar.mark((i - st.voq.row_offset()) * m + j);
+                    let xbar = st
+                        .xbar
+                        .as_mut()
+                        .expect("crossbar config")
+                        .at_global_mut(i, j);
+                    let Some(packet) = take_pick(xbar, t.pick) else {
+                        fabric.comms.fail(match t.pick {
+                            PacketPick::ById(id) if !xbar.is_empty() => {
+                                PolicyError::NoSuchPacket { id }
+                            }
+                            _ => PolicyError::EmptyQueue {
+                                kind: "crossbar",
+                                input: Some(t.input),
+                                output: t.output,
+                            },
+                        });
+                        break;
+                    };
+                    let dest = fabric.partition.output_owner(j);
+                    let r = Routed {
+                        input: t.input.0,
+                        output: t.output.0,
+                        preempt: t.preempt_if_full,
+                        packet,
+                    };
+                    if dest == s {
+                        if !deliver(st, fabric, r) {
+                            break;
+                        }
+                    } else {
+                        boxes[dest].as_mut().expect("foreign cell locked").push(r);
+                    }
+                    ctx.marks[dest].push((i * m + j) as u32);
+                }
+            }
+            ctx.flush_marks(s, fabric);
+            *lock(&fabric.comms.out_assignments[s]) = asg;
+        }
+        PH_APPLY_INSERT => apply_insert_phase(s, fabric),
+        PH_TRANSMIT => transmit_phase(s, fabric),
+        _ => unreachable!("phase {ph} is not a crossbar phase"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver: inline or barrier-phased threads
+// ---------------------------------------------------------------------------
+
+fn drive<W: Send>(
+    use_threads: bool,
+    comms: &Comms,
+    mut workers: Vec<W>,
+    worker_phase: impl Fn(u8, usize, &mut W) + Sync,
+    coordinate: impl FnOnce(&mut dyn FnMut(u8) -> Result<(), PolicyError>) -> Result<(), PolicyError>,
+) -> Result<(), PolicyError> {
+    let check = |comms: &Comms| -> Result<(), PolicyError> {
+        if let Some(msg) = lock(&comms.panic).take() {
+            panic!("sharded worker panicked: {msg}");
+        }
+        if comms.failed.load(Ordering::Acquire) {
+            return Err(lock(&comms.error)
+                .take()
+                .expect("failed flag implies a stored error"));
+        }
+        Ok(())
+    };
+
+    if !use_threads {
+        let mut do_phase = |ph: u8| -> Result<(), PolicyError> {
+            for (s, w) in workers.iter_mut().enumerate() {
+                worker_phase(ph, s, w);
+            }
+            check(comms)
+        };
+        return coordinate(&mut do_phase);
+    }
+
+    let k = workers.len();
+    let phase = AtomicU8::new(PH_EXIT);
+    let barrier = Barrier::new(k + 1);
+    std::thread::scope(|scope| {
+        for (s, mut worker) in workers.into_iter().enumerate() {
+            let phase = &phase;
+            let barrier = &barrier;
+            let worker_phase = &worker_phase;
+            let comms: &Comms = comms;
+            scope.spawn(move || loop {
+                barrier.wait();
+                let ph = phase.load(Ordering::Acquire);
+                if ph == PH_EXIT {
+                    break;
+                }
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_phase(ph, s, &mut worker)
+                }));
+                if let Err(payload) = result {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    let mut slot = lock(&comms.panic);
+                    if slot.is_none() {
+                        *slot = Some(msg);
+                    }
+                    comms.failed.store(true, Ordering::Release);
+                }
+                barrier.wait();
+            });
+        }
+
+        let mut do_phase = |ph: u8| -> Result<(), PolicyError> {
+            phase.store(ph, Ordering::Release);
+            barrier.wait();
+            barrier.wait();
+            check(comms)
+        };
+        // Catch coordinator panics so the workers can still be released
+        // (otherwise the scope would deadlock on join).
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| coordinate(&mut do_phase)));
+        phase.store(PH_EXIT, Ordering::Release);
+        barrier.wait();
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator helpers
+// ---------------------------------------------------------------------------
+
+/// Validate a transfer set: ports in range, ≤ 1 per marked side.
+fn validate_transfers(
+    pairs: impl Iterator<Item = (PortId, PortId)>,
+    cfg: &SwitchConfig,
+    scratch: &mut MergeScratch,
+    check_inputs: bool,
+    check_outputs: bool,
+) -> Result<(), PolicyError> {
+    scratch.begin(cfg.n_inputs, cfg.n_outputs);
+    for (input, output) in pairs {
+        if input.index() >= cfg.n_inputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "input",
+                port: input.index(),
+            });
+        }
+        if output.index() >= cfg.n_outputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "output",
+                port: output.index(),
+            });
+        }
+        if check_inputs {
+            if scratch.input_used(input.index()) {
+                return Err(PolicyError::DuplicateInput { input });
+            }
+            scratch.use_input(input.index());
+        }
+        if check_outputs {
+            if scratch.output_used(output.index()) {
+                return Err(PolicyError::DuplicateOutput { output });
+            }
+            scratch.use_output(output.index());
+        }
+    }
+    Ok(())
+}
+
+/// Pre-bucket the trace's in-window arrivals by row owner, validating
+/// ports. One pass at run start; the per-slot arrival phase is then a pure
+/// cursor walk (the sequential engine re-copies each slot's arrivals into a
+/// scratch buffer every slot — this is strictly cheaper).
+fn prebucket_arrivals(
+    cfg: &SwitchConfig,
+    partition: &Partition,
+    trace: &Trace,
+    arrival_slots: SlotId,
+) -> Result<Vec<Vec<(u64, Packet)>>, PolicyError> {
+    let mut buckets: Vec<Vec<(u64, Packet)>> = (0..partition.k()).map(|_| Vec::new()).collect();
+    for (idx, p) in trace.packets().iter().enumerate() {
+        if p.arrival >= arrival_slots {
+            break;
+        }
+        if p.input.index() >= cfg.n_inputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "input",
+                port: p.input.index(),
+            });
+        }
+        if p.output.index() >= cfg.n_outputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "output",
+                port: p.output.index(),
+            });
+        }
+        buckets[partition.input_owner(p.input.index())].push((idx as u64, *p));
+    }
+    Ok(buckets)
+}
+
+fn absorb_stats(acc: &mut StatsRecorder, s: &StatsRecorder) {
+    acc.arrived += s.arrived;
+    acc.arrived_value += s.arrived_value;
+    acc.accepted += s.accepted;
+    acc.transferred += s.transferred;
+    acc.transferred_to_crossbar += s.transferred_to_crossbar;
+    acc.transmitted += s.transmitted;
+    acc.benefit.0 += s.benefit.0;
+    acc.losses.rejected += s.losses.rejected;
+    acc.losses.rejected_value += s.losses.rejected_value;
+    acc.losses.preempted_input += s.losses.preempted_input;
+    acc.losses.preempted_input_value += s.losses.preempted_input_value;
+    acc.losses.preempted_crossbar += s.losses.preempted_crossbar;
+    acc.losses.preempted_crossbar_value += s.losses.preempted_crossbar_value;
+    acc.losses.preempted_output += s.losses.preempted_output;
+    acc.losses.preempted_output_value += s.losses.preempted_output_value;
+    acc.latency_sum += s.latency_sum;
+    for (a, b) in acc.latency_histogram.iter_mut().zip(&s.latency_histogram) {
+        *a += b;
+    }
+    for (a, b) in acc
+        .per_output_transmitted
+        .iter_mut()
+        .zip(&s.per_output_transmitted)
+    {
+        *a += b;
+    }
+}
+
+fn finish_run(
+    fabric: &Fabric<'_>,
+    name: String,
+    slots: SlotId,
+    options: &ShardedOptions,
+) -> (RunReport, Option<SwitchState>, Vec<bool>) {
+    let final_state = options.capture_final_state.then(|| fabric.assemble_state());
+    let mut merged = StatsRecorder::new(fabric.cfg.n_outputs);
+    let mut admits: Vec<(u64, bool)> = Vec::new();
+    for l in &fabric.shards {
+        let st = read_shard(l);
+        absorb_stats(&mut merged, &st.stats);
+        admits.extend_from_slice(&st.admits);
+    }
+    admits.sort_unstable_by_key(|&(idx, _)| idx);
+    let admissions = admits.into_iter().map(|(_, a)| a).collect();
+    let (residual_count, residual_value) = fabric.residual();
+    let report = merged.finish(name, slots, residual_count, residual_value);
+    debug_assert_eq!(report.check_conservation(), Ok(()));
+    (report, final_state, admissions)
+}
+
+fn post_slot_validate(fabric: &Fabric<'_>, options: &ShardedOptions) {
+    if options.validate {
+        if let Err(msg) = check_state_invariants(&fabric.assemble_state()) {
+            panic!("sharded engine invariant violated: {msg}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Run a sharded CIOQ policy over a recorded trace.
+///
+/// Produces a [`RunReport`] field-for-field equal to
+/// [`run_cioq`](crate::engine::run_cioq) with the sequential twin of
+/// `policy`, for every shard count and execution mode.
+pub fn run_cioq_sharded(
+    cfg: &SwitchConfig,
+    policy: &dyn CioqShardPolicy,
+    trace: &Trace,
+    options: ShardedOptions,
+) -> Result<ShardedOutcome, PolicyError> {
+    assert!(
+        cfg.crossbar_capacity.is_none(),
+        "run_cioq_sharded requires a CIOQ config"
+    );
+    let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
+    let k = partition.k();
+    let arrival_slots = options.slots.unwrap_or_else(|| trace.arrival_slots());
+    let arrivals = prebucket_arrivals(cfg, &partition, trace, arrival_slots)?;
+    let fabric = Fabric {
+        cfg,
+        shards: (0..k)
+            .map(|s| RwLock::new(ShardState::new(cfg, &partition, s)))
+            .collect(),
+        partition,
+        arrivals,
+        comms: Comms::new(k, options.record),
+    };
+    let workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
+        .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
+        .collect();
+
+    let speedup = cfg.speedup;
+    let mut recorded: Vec<Vec<(u16, u16)>> = Vec::new();
+    let mut final_slot: SlotId = 0;
+
+    let result = drive(
+        options.use_threads(),
+        &fabric.comms,
+        workers,
+        |ph, s, w| cioq_phase(ph, s, w, &fabric),
+        |do_phase| {
+            let mut slot: SlotId = 0;
+            let mut idle_slots = 0u32;
+            let mut transfers: Vec<Transfer> = Vec::new();
+            let mut merge_scratch = MergeScratch::default();
+            let mut validate_scratch = MergeScratch::default();
+            loop {
+                let in_arrival_window = slot < arrival_slots;
+                if !in_arrival_window {
+                    let done = !options.drain || fabric.residual().0 == 0 || idle_slots >= 2;
+                    if done {
+                        break;
+                    }
+                }
+                fabric.comms.slot.store(slot, Ordering::Relaxed);
+                let (tx_before, moved_before) = fabric.progress();
+
+                if in_arrival_window {
+                    do_phase(PH_ARRIVAL)?;
+                }
+
+                for s in 0..speedup {
+                    fabric.comms.cycle.store(s, Ordering::Relaxed);
+                    fabric.refresh_snapshot();
+                    do_phase(PH_PROPOSE)?;
+
+                    // Deterministic merge (coordinator only, state frozen).
+                    transfers.clear();
+                    {
+                        let cand_guards: Vec<_> =
+                            fabric.comms.candidates.iter().map(|m| lock(m)).collect();
+                        let sets: Vec<&CandidateSet> = cand_guards.iter().map(|g| &**g).collect();
+                        let snap = fabric
+                            .comms
+                            .snapshot
+                            .read()
+                            .unwrap_or_else(|e| e.into_inner());
+                        let ctx = MergeContext {
+                            cfg,
+                            partition: &fabric.partition,
+                            outputs: &snap,
+                            cycle: Cycle { slot, index: s },
+                            candidates: &sets,
+                        };
+                        policy.merge(&ctx, &mut merge_scratch, &mut transfers);
+                    }
+                    validate_transfers(
+                        transfers.iter().map(|t| (t.input, t.output)),
+                        cfg,
+                        &mut validate_scratch,
+                        true,
+                        true,
+                    )?;
+                    if options.record {
+                        recorded.push(transfers.iter().map(|t| (t.input.0, t.output.0)).collect());
+                    }
+                    {
+                        let mut asg_guards: Vec<_> =
+                            fabric.comms.assignments.iter().map(|m| lock(m)).collect();
+                        for t in &transfers {
+                            asg_guards[fabric.partition.input_owner(t.input.index())].push(*t);
+                        }
+                    }
+
+                    do_phase(PH_APPLY_POP)?;
+                    do_phase(PH_APPLY_INSERT)?;
+                }
+
+                do_phase(PH_TRANSMIT)?;
+                post_slot_validate(&fabric, &options);
+
+                let (tx_after, moved_after) = fabric.progress();
+                let progressed = tx_after != tx_before || moved_after != moved_before;
+                idle_slots = if progressed { 0 } else { idle_slots + 1 };
+                slot += 1;
+            }
+            final_slot = slot;
+            Ok(())
+        },
+    );
+    result?;
+
+    let (report, final_state, admissions) =
+        finish_run(&fabric, policy.name().to_string(), final_slot, &options);
+    Ok(ShardedOutcome {
+        report,
+        schedule: options.record.then_some(RecordedSchedule {
+            admissions,
+            transfers: recorded,
+        }),
+        crossbar_schedule: None,
+        final_state,
+    })
+}
+
+/// Run a sharded buffered-crossbar policy over a recorded trace.
+///
+/// Produces a [`RunReport`] field-for-field equal to
+/// [`run_crossbar`](crate::engine::run_crossbar) with the sequential twin
+/// of `policy`, for every shard count and execution mode.
+pub fn run_crossbar_sharded(
+    cfg: &SwitchConfig,
+    policy: &dyn CrossbarShardPolicy,
+    trace: &Trace,
+    options: ShardedOptions,
+) -> Result<ShardedOutcome, PolicyError> {
+    assert!(
+        cfg.crossbar_capacity.is_some(),
+        "run_crossbar_sharded requires a crossbar config"
+    );
+    let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
+    let k = partition.k();
+    let arrival_slots = options.slots.unwrap_or_else(|| trace.arrival_slots());
+    let arrivals = prebucket_arrivals(cfg, &partition, trace, arrival_slots)?;
+    let fabric = Fabric {
+        cfg,
+        shards: (0..k)
+            .map(|s| RwLock::new(ShardState::new(cfg, &partition, s)))
+            .collect(),
+        partition,
+        arrivals,
+        comms: Comms::new(k, options.record),
+    };
+    let workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
+        .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
+        .collect();
+
+    let speedup = cfg.speedup;
+    let mut rec_in: Vec<Vec<(u16, u16)>> = Vec::new();
+    let mut rec_out: Vec<Vec<(u16, u16)>> = Vec::new();
+    let mut final_slot: SlotId = 0;
+
+    let result = drive(
+        options.use_threads(),
+        &fabric.comms,
+        workers,
+        |ph, s, w| xbar_phase(ph, s, w, &fabric),
+        |do_phase| {
+            let mut slot: SlotId = 0;
+            let mut idle_slots = 0u32;
+            let mut validate_scratch = MergeScratch::default();
+            loop {
+                let in_arrival_window = slot < arrival_slots;
+                if !in_arrival_window {
+                    let done = !options.drain || fabric.residual().0 == 0 || idle_slots >= 2;
+                    if done {
+                        break;
+                    }
+                }
+                fabric.comms.slot.store(slot, Ordering::Relaxed);
+                let (tx_before, moved_before) = fabric.progress();
+
+                if in_arrival_window {
+                    do_phase(PH_ARRIVAL)?;
+                }
+
+                for s in 0..speedup {
+                    fabric.comms.cycle.store(s, Ordering::Relaxed);
+                    do_phase(PH_PROPOSE_IN)?;
+                    // Concatenated in shard order = ascending input port
+                    // order; validate the ≤ 1-per-input-port property.
+                    {
+                        let guards: Vec<_> = fabric
+                            .comms
+                            .in_assignments
+                            .iter()
+                            .map(|m| lock(m))
+                            .collect();
+                        validate_transfers(
+                            guards
+                                .iter()
+                                .flat_map(|g| g.iter().map(|t| (t.input, t.output))),
+                            cfg,
+                            &mut validate_scratch,
+                            true,
+                            false,
+                        )?;
+                        if options.record {
+                            rec_in.push(
+                                guards
+                                    .iter()
+                                    .flat_map(|g| g.iter().map(|t| (t.input.0, t.output.0)))
+                                    .collect(),
+                            );
+                        }
+                    }
+                    do_phase(PH_APPLY_IN)?;
+
+                    do_phase(PH_PROPOSE_OUT)?;
+                    // Output proposals go to the *row* owners for the pop
+                    // step; validate ≤ 1 per output port first.
+                    {
+                        let mut proposals: Vec<OutputTransfer> = Vec::new();
+                        for mbox in &fabric.comms.out_assignments {
+                            proposals.extend(lock(mbox).drain(..));
+                        }
+                        validate_transfers(
+                            proposals.iter().map(|t| (t.input, t.output)),
+                            cfg,
+                            &mut validate_scratch,
+                            false,
+                            true,
+                        )?;
+                        if options.record {
+                            rec_out
+                                .push(proposals.iter().map(|t| (t.input.0, t.output.0)).collect());
+                        }
+                        for t in proposals {
+                            let owner = fabric.partition.input_owner(t.input.index());
+                            lock(&fabric.comms.out_assignments[owner]).push(t);
+                        }
+                    }
+                    do_phase(PH_APPLY_OUT_POP)?;
+                    do_phase(PH_APPLY_INSERT)?;
+                }
+
+                do_phase(PH_TRANSMIT)?;
+                post_slot_validate(&fabric, &options);
+
+                let (tx_after, moved_after) = fabric.progress();
+                let progressed = tx_after != tx_before || moved_after != moved_before;
+                idle_slots = if progressed { 0 } else { idle_slots + 1 };
+                slot += 1;
+            }
+            final_slot = slot;
+            Ok(())
+        },
+    );
+    result?;
+
+    let (report, final_state, admissions) =
+        finish_run(&fabric, policy.name().to_string(), final_slot, &options);
+    Ok(ShardedOutcome {
+        report,
+        schedule: None,
+        crossbar_schedule: options.record.then_some(RecordedCrossbarSchedule {
+            admissions,
+            input_transfers: rec_in,
+            output_transfers: rec_out,
+        }),
+        final_state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_covering() {
+        for (k, n) in [(1, 5), (2, 5), (3, 7), (4, 4), (4, 2), (5, 16)] {
+            let p = Partition::new(k, n, n);
+            let mut seen = 0usize;
+            for s in 0..k {
+                let r = p.input_range(s);
+                assert_eq!(r.start, seen, "ranges are contiguous");
+                for i in r.clone() {
+                    assert_eq!(p.input_owner(i), s);
+                    assert_eq!(p.output_owner(i), s);
+                }
+                seen = r.end;
+            }
+            assert_eq!(seen, n, "ranges cover all ports");
+        }
+    }
+
+    #[test]
+    fn merge_scratch_stamps_reset_in_o1() {
+        let mut s = MergeScratch::default();
+        s.begin(3, 3);
+        assert!(!s.input_used(1));
+        s.use_input(1);
+        s.use_output(2);
+        assert!(s.input_used(1) && s.output_used(2));
+        s.begin(3, 3);
+        assert!(!s.input_used(1) && !s.output_used(2), "new cycle resets");
+    }
+}

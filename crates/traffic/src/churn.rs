@@ -1,0 +1,218 @@
+//! Dirty-set-width stress workloads: traffic engineered to dirty the
+//! *widest* possible slices of the VOQ grid per slot, probing where the
+//! O(changes) incremental bookkeeping stops paying.
+//!
+//! [`Incast`](crate::Incast) events dirty one column at a time; the
+//! generators here go further: [`IncastStorm`] fires several simultaneous
+//! fan-in events (several whole columns per slot), and [`FullFabricChurn`]
+//! touches every input row every slot with a rotating output pattern that
+//! sweeps the entire grid. The incremental-vs-rescan and sharded-vs-
+//! sequential equivalence suites run both, so wide dirty sets can't hide
+//! repair bugs that narrow traffic never exercises.
+
+use crate::gen::TrafficGen;
+use crate::values::ValueDist;
+use cioq_model::{PortId, SlotId, SwitchConfig};
+use cioq_sim::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Several synchronized fan-in events per storm slot: every `period` slots,
+/// `targets` distinct outputs (a rotating window) each receive
+/// `burst_size` packets from *every* input, over light uniform background
+/// traffic. Each event dirties a whole VOQ column; a storm dirties
+/// `targets` columns at once.
+#[derive(Debug, Clone)]
+pub struct IncastStorm {
+    /// Slots between storms (≥ 1).
+    pub period: u64,
+    /// Simultaneous target outputs per storm (≥ 1; capped at M).
+    pub targets: usize,
+    /// Packets each input contributes per target per storm.
+    pub burst_size: usize,
+    /// Background per-input Bernoulli load between storms.
+    pub background_load: f64,
+    /// Value distribution.
+    pub values: ValueDist,
+}
+
+impl IncastStorm {
+    /// New storm generator.
+    pub fn new(
+        period: u64,
+        targets: usize,
+        burst_size: usize,
+        background_load: f64,
+        values: ValueDist,
+    ) -> Self {
+        assert!(period >= 1);
+        assert!(targets >= 1);
+        assert!((0.0..=1.0).contains(&background_load));
+        IncastStorm {
+            period,
+            targets,
+            burst_size,
+            background_load,
+            values,
+        }
+    }
+}
+
+impl TrafficGen for IncastStorm {
+    fn name(&self) -> String {
+        format!(
+            "incast-storm(period={},targets={},burst={},bg={:.2},{})",
+            self.period,
+            self.targets,
+            self.burst_size,
+            self.background_load,
+            self.values.name()
+        )
+    }
+
+    fn generate(&self, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampler = self.values.sampler();
+        let targets = self.targets.min(cfg.n_outputs);
+        let mut tuples = Vec::new();
+        for slot in 0..slots {
+            if slot % self.period == 0 {
+                let storm = slot / self.period;
+                let base = (storm as usize) * targets;
+                for t in 0..targets {
+                    let target = (base + t) % cfg.n_outputs;
+                    for i in 0..cfg.n_inputs {
+                        for _ in 0..self.burst_size {
+                            let v = sampler.sample(&mut rng);
+                            tuples.push((slot, PortId::from(i), PortId::from(target), v));
+                        }
+                    }
+                }
+            }
+            for i in 0..cfg.n_inputs {
+                if rng.gen::<f64>() < self.background_load {
+                    let j = rng.gen_range(0..cfg.n_outputs);
+                    let v = sampler.sample(&mut rng);
+                    tuples.push((slot, PortId::from(i), PortId::from(j), v));
+                }
+            }
+        }
+        Trace::from_tuples(tuples)
+    }
+}
+
+/// Full-fabric churn: every slot, every input sends `degree` packets along
+/// a rotating output pattern `j = (i·stride + slot + d) mod M`, so the
+/// whole grid is swept and the dirty set is Θ(N·degree) *every* slot —
+/// the adversarial regime for O(changes) bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FullFabricChurn {
+    /// Packets per input per slot (≥ 1). Degree ≥ 2 overloads every input
+    /// line, keeping all queues churning (and preemption busy under PG).
+    pub degree: usize,
+    /// Row-dependent rotation stride (coprime-ish strides spread targets).
+    pub stride: usize,
+    /// Value distribution.
+    pub values: ValueDist,
+}
+
+impl FullFabricChurn {
+    /// New churn generator.
+    pub fn new(degree: usize, stride: usize, values: ValueDist) -> Self {
+        assert!(degree >= 1);
+        FullFabricChurn {
+            degree,
+            stride,
+            values,
+        }
+    }
+}
+
+impl TrafficGen for FullFabricChurn {
+    fn name(&self) -> String {
+        format!(
+            "full-fabric-churn(degree={},stride={},{})",
+            self.degree,
+            self.stride,
+            self.values.name()
+        )
+    }
+
+    fn generate(&self, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sampler = self.values.sampler();
+        let mut tuples = Vec::new();
+        for slot in 0..slots {
+            for i in 0..cfg.n_inputs {
+                for d in 0..self.degree {
+                    let j = (i * self.stride + slot as usize + d) % cfg.n_outputs;
+                    let v = sampler.sample(&mut rng);
+                    tuples.push((slot, PortId::from(i), PortId::from(j), v));
+                }
+            }
+        }
+        Trace::from_tuples(tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_hits_multiple_whole_columns() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = IncastStorm::new(10, 2, 1, 0.0, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 20, 7);
+        // Storms at slots 0 and 10; each hits 2 targets × 4 inputs.
+        assert_eq!(trace.len(), 2 * 2 * 4);
+        let slot0_targets: std::collections::BTreeSet<_> = trace
+            .packets()
+            .iter()
+            .filter(|p| p.arrival == 0)
+            .map(|p| p.output.index())
+            .collect();
+        assert_eq!(slot0_targets.len(), 2, "two simultaneous columns");
+        // Every input contributes to every target column of the storm.
+        for &j in &slot0_targets {
+            let senders: std::collections::BTreeSet<_> = trace
+                .packets()
+                .iter()
+                .filter(|p| p.arrival == 0 && p.output.index() == j)
+                .map(|p| p.input.index())
+                .collect();
+            assert_eq!(senders.len(), 4, "whole column dirtied");
+        }
+    }
+
+    #[test]
+    fn churn_touches_every_row_every_slot_and_sweeps_columns() {
+        let cfg = SwitchConfig::cioq(4, 8, 1);
+        let gen = FullFabricChurn::new(2, 3, ValueDist::Unit);
+        let trace = gen.generate(&cfg, 8, 1);
+        assert_eq!(trace.len(), 8 * 4 * 2, "N·degree packets per slot");
+        // Over the run, every (input, output) cell is hit.
+        let cells: std::collections::BTreeSet<_> = trace
+            .packets()
+            .iter()
+            .map(|p| (p.input.index(), p.output.index()))
+            .collect();
+        assert_eq!(cells.len(), 16, "full grid swept");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let cfg = SwitchConfig::cioq(3, 4, 1);
+        let gen = IncastStorm::new(4, 2, 1, 0.5, ValueDist::Uniform { max: 9 });
+        assert_eq!(gen.generate(&cfg, 12, 5), gen.generate(&cfg, 12, 5));
+        let churn = FullFabricChurn::new(
+            1,
+            1,
+            ValueDist::Zipf {
+                max: 8,
+                exponent: 1.0,
+            },
+        );
+        assert_eq!(churn.generate(&cfg, 12, 5), churn.generate(&cfg, 12, 5));
+    }
+}

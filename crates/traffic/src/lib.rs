@@ -10,7 +10,9 @@
 //!
 //! * Stochastic generators (all deterministic given a seed):
 //!   [`BernoulliUniform`], [`Hotspot`], [`PermutationTraffic`],
-//!   [`OnOffBursty`], [`Incast`] — each paired with a [`ValueDist`].
+//!   [`OnOffBursty`], [`Incast`] — each paired with a [`ValueDist`] — plus
+//!   the dirty-set-width stressors [`IncastStorm`] and [`FullFabricChurn`]
+//!   that dirty whole columns / the full fabric per slot.
 //! * Adversarial constructions ([`adversary`]): the IQ-model flood that
 //!   pins greedy unit algorithms to ratio `2 − 1/m`, an *adaptive* variant
 //!   that observes the online algorithm's queues (the true competitive-
@@ -23,6 +25,7 @@
 pub mod adversary;
 mod bernoulli;
 mod bursty;
+mod churn;
 mod gen;
 mod hotspot;
 mod incast;
@@ -31,6 +34,7 @@ mod values;
 
 pub use bernoulli::BernoulliUniform;
 pub use bursty::OnOffBursty;
+pub use churn::{FullFabricChurn, IncastStorm};
 pub use gen::{gen_trace, TrafficGen};
 pub use hotspot::Hotspot;
 pub use incast::Incast;

@@ -60,3 +60,16 @@ fn remaining_experiments_materialize() {
         }
     }
 }
+
+#[test]
+fn s1_sharded_sweep_agrees_with_sequential() {
+    let tables = suite::s1_sharded(true);
+    assert_eq!(tables.len(), 1);
+    let rendered = tables[0].render();
+    assert!(
+        !rendered.contains("DIVERGED"),
+        "sharded sweep diverged from the sequential engine:\n{rendered}"
+    );
+    // 4 policies × K ∈ {1, 2, 4}.
+    assert_eq!(tables[0].len(), 12);
+}

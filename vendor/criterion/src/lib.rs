@@ -141,10 +141,18 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `CRITERION_MEASURE_MS` widens the per-benchmark measurement
+        // budget (default 150 ms). Recording baselines on a noisy shared
+        // host wants a larger budget so the min-of-batches estimator sees
+        // enough batches to shed scheduler interference.
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(150);
         Criterion {
             results: Vec::new(),
             warmup: Duration::from_millis(20),
-            measure: Duration::from_millis(150),
+            measure: Duration::from_millis(measure_ms),
         }
     }
 }
