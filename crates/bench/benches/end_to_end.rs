@@ -6,7 +6,10 @@ use cioq_core::{
     ShardedCpg, ShardedGm, ShardedPg,
 };
 use cioq_model::SwitchConfig;
-use cioq_sim::{run_cioq, run_cioq_sharded, run_crossbar, run_crossbar_sharded, ShardedOptions};
+use cioq_sim::{
+    run_cioq, run_cioq_linked, run_cioq_sharded, run_crossbar, run_crossbar_linked,
+    run_crossbar_sharded, DelayLine, ShardedOptions,
+};
 use cioq_traffic::{gen_trace, OnOffBursty, ValueDist};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
@@ -80,6 +83,40 @@ fn bench_end_to_end(c: &mut Criterion) {
             group.bench_function(format!("xbar_cpg_sharded_k4_{n}x{n}_s2"), |b| {
                 b.iter(|| {
                     run_crossbar_sharded(&xbar, &ShardedCpg::new(), &xbar_trace, sharded).unwrap()
+                })
+            });
+        }
+        // Delayed fabric (d = 4): the in-flight accounting plus the
+        // landing phase are the extra cost over the immediate fast path;
+        // measured at 128 ports on both engines.
+        if n == 128 {
+            let link = DelayLine { d: 4 };
+            group.bench_function(format!("cioq_gm_delay4_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_cioq_linked(&cioq, &mut GreedyMatching::new(), &cioq_trace, &link).unwrap()
+                })
+            });
+            group.bench_function(format!("cioq_pg_delay4_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_cioq_linked(&cioq, &mut PreemptiveGreedy::new(), &cioq_trace, &link)
+                        .unwrap()
+                })
+            });
+            group.bench_function(format!("xbar_cpg_delay4_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_crossbar_linked(
+                        &xbar,
+                        &mut CrossbarPreemptiveGreedy::new(),
+                        &xbar_trace,
+                        &link,
+                    )
+                    .unwrap()
+                })
+            });
+            let sharded_delay = ShardedOptions::new(4).link(&link);
+            group.bench_function(format!("cioq_gm_sharded_k4_delay4_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded_delay).unwrap()
                 })
             });
         }

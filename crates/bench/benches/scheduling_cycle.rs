@@ -130,6 +130,7 @@ fn bench_cycles(c: &mut Criterion) {
             slots: Some(slots),
             drain: false,
             validate: false,
+            ..RunOptions::default()
         };
         let run_seq = |policy: &mut dyn CioqPolicy| {
             let mut source = TraceSource::new(&trace);

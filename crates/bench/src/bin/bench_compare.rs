@@ -1,10 +1,24 @@
-//! Compare two benchmark baseline snapshots (JSON-lines, as written by the
+//! Compare benchmark baseline snapshots (JSON-lines, as written by the
 //! harness under `CRITERION_BASELINE_JSON`) and fail on regressions.
 //!
+//! Two modes:
+//!
 //! ```text
+//! # Pairwise: candidate vs one explicit baseline.
 //! bench_compare <baseline.json> <candidate.json> \
 //!     [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]
+//!
+//! # History: candidate vs an append-mode directory of same-machine
+//! # snapshots. The newest snapshot (last filename in sorted order — name
+//! # them baseline-YYYY-MM-DD*.json) is the regression baseline; the whole
+//! # directory supplies a per-benchmark drift band [min..max], so a slow
+//! # creep that stays inside the band reads as drift, not regression.
+//! bench_compare --history <dir> <candidate.json> \
+//!     [--threshold 1.25] [--groups ...] [--save]
 //! ```
+//!
+//! `--save` appends the candidate into the history directory (under its
+//! own basename) after a clean run, growing the same-machine history.
 //!
 //! Exit codes: 0 = no regression, 1 = at least one benchmark in a guarded
 //! group regressed beyond the threshold, 2 = usage / parse error.
@@ -16,11 +30,20 @@
 //! writes — not general JSON.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Sample {
     ns_per_iter: f64,
+}
+
+/// Per-benchmark range observed across a snapshot history.
+#[derive(Debug, Clone, Copy)]
+struct Band {
+    min: f64,
+    max: f64,
+    snapshots: usize,
 }
 
 fn parse_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -56,55 +79,165 @@ fn parse_snapshot(path: &str) -> Result<BTreeMap<String, Sample>, String> {
     Ok(out)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut paths = Vec::new();
-    let mut threshold = 1.25_f64;
-    let mut groups: Vec<String> = vec![
-        "matching".into(),
-        "scheduling_cycle".into(),
-        "end_to_end".into(),
-    ];
+/// Snapshot files of a history directory in name order (oldest → newest
+/// under the baseline-YYYY-MM-DD naming convention).
+fn history_files(dir: &str) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read history dir {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("history dir {dir} holds no .json snapshots"));
+    }
+    Ok(files)
+}
+
+/// Fold a set of snapshots into per-benchmark drift bands.
+fn drift_bands(snapshots: &[BTreeMap<String, Sample>]) -> BTreeMap<String, Band> {
+    let mut bands: BTreeMap<String, Band> = BTreeMap::new();
+    for snap in snapshots {
+        for (key, sample) in snap {
+            bands
+                .entry(key.clone())
+                .and_modify(|b| {
+                    b.min = b.min.min(sample.ns_per_iter);
+                    b.max = b.max.max(sample.ns_per_iter);
+                    b.snapshots += 1;
+                })
+                .or_insert(Band {
+                    min: sample.ns_per_iter,
+                    max: sample.ns_per_iter,
+                    snapshots: 1,
+                });
+        }
+    }
+    bands
+}
+
+struct Args {
+    paths: Vec<String>,
+    history: Option<String>,
+    save: bool,
+    threshold: f64,
+    groups: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        paths: Vec::new(),
+        history: None,
+        save: false,
+        threshold: 1.25,
+        groups: vec![
+            "matching".into(),
+            "scheduling_cycle".into(),
+            "end_to_end".into(),
+        ],
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => threshold = v,
-                None => {
-                    eprintln!("--threshold needs a float argument");
-                    return ExitCode::from(2);
-                }
+                Some(v) => parsed.threshold = v,
+                None => return Err("--threshold needs a float argument".into()),
             },
             "--groups" => match it.next() {
-                Some(v) => groups = v.split(',').map(|s| s.trim().to_string()).collect(),
-                None => {
-                    eprintln!("--groups needs a comma-separated list");
-                    return ExitCode::from(2);
-                }
+                Some(v) => parsed.groups = v.split(',').map(|s| s.trim().to_string()).collect(),
+                None => return Err("--groups needs a comma-separated list".into()),
             },
-            _ => paths.push(arg.clone()),
+            "--history" => match it.next() {
+                Some(v) => parsed.history = Some(v.clone()),
+                None => return Err("--history needs a directory argument".into()),
+            },
+            "--save" => parsed.save = true,
+            _ => parsed.paths.push(arg.clone()),
         }
     }
-    if paths.len() != 2 {
-        eprintln!(
-            "usage: bench_compare <baseline.json> <candidate.json> \
-             [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]"
-        );
-        return ExitCode::from(2);
-    }
-    let (baseline, candidate) = match (parse_snapshot(&paths[0]), parse_snapshot(&paths[1])) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(e), _) | (_, Err(e)) => {
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(a) => a,
+        Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
 
-    let guarded = |key: &str| groups.iter().any(|g| key.starts_with(&format!("{g}/")));
+    let usage = "usage: bench_compare <baseline.json> <candidate.json> | \
+                 bench_compare --history <dir> <candidate.json> [--save] \
+                 [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]";
+
+    // Resolve the baseline (pairwise or history head) and drift bands.
+    let (baseline, bands, candidate_path) = if let Some(dir) = &args.history {
+        if args.paths.len() != 1 {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+        let files = match history_files(dir) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut snapshots = Vec::new();
+        for f in &files {
+            match parse_snapshot(&f.to_string_lossy()) {
+                Ok(s) => snapshots.push(s),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        println!(
+            "history: {} snapshots in {dir}, regression baseline = {}",
+            snapshots.len(),
+            files.last().expect("non-empty").display()
+        );
+        let bands = drift_bands(&snapshots);
+        let baseline = snapshots.pop().expect("non-empty");
+        (baseline, Some(bands), args.paths[0].clone())
+    } else {
+        if args.paths.len() != 2 {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+        let baseline = match parse_snapshot(&args.paths[0]) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        (baseline, None, args.paths[1].clone())
+    };
+    let candidate = match parse_snapshot(&candidate_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let guarded = |key: &str| {
+        args.groups
+            .iter()
+            .any(|g| key.starts_with(&format!("{g}/")))
+    };
     let mut regressions = 0u32;
     println!(
-        "{:<50} {:>12} {:>12} {:>8}",
-        "benchmark", "baseline", "candidate", "ratio"
+        "{:<50} {:>12} {:>12} {:>8}  {}",
+        "benchmark",
+        "baseline",
+        "candidate",
+        "ratio",
+        if bands.is_some() { "history band" } else { "" }
     );
     for (key, base) in &baseline {
         let Some(cand) = candidate.get(key) else {
@@ -115,14 +248,30 @@ fn main() -> ExitCode {
             continue;
         };
         let ratio = cand.ns_per_iter / base.ns_per_iter;
-        let verdict = if guarded(key) && ratio > threshold {
+        let band = bands.as_ref().and_then(|b| b.get(key));
+        let band_note = match band {
+            Some(b) if b.snapshots >= 2 => {
+                if cand.ns_per_iter <= b.max {
+                    format!("  [{:.0}..{:.0}] within band", b.min, b.max)
+                } else {
+                    format!(
+                        "  [{:.0}..{:.0}] {:.2}x beyond band",
+                        b.min,
+                        b.max,
+                        cand.ns_per_iter / b.max
+                    )
+                }
+            }
+            _ => String::new(),
+        };
+        let verdict = if guarded(key) && ratio > args.threshold {
             regressions += 1;
             "  REGRESSED"
         } else {
             ""
         };
         println!(
-            "{key:<50} {:>12.1} {:>12.1} {ratio:>7.2}x{verdict}",
+            "{key:<50} {:>12.1} {:>12.1} {ratio:>7.2}x{verdict}{band_note}",
             base.ns_per_iter, cand.ns_per_iter
         );
     }
@@ -135,14 +284,40 @@ fn main() -> ExitCode {
     if regressions > 0 {
         eprintln!(
             "{regressions} benchmark(s) regressed more than {:.0}% in guarded groups {:?}",
-            (threshold - 1.0) * 100.0,
-            groups
+            (args.threshold - 1.0) * 100.0,
+            args.groups
         );
-        ExitCode::from(1)
-    } else {
-        println!("no regressions beyond {threshold:.2}x in guarded groups {groups:?}");
-        ExitCode::SUCCESS
+        return ExitCode::from(1);
     }
+    println!(
+        "no regressions beyond {:.2}x in guarded groups {:?}",
+        args.threshold, args.groups
+    );
+
+    if args.save {
+        let Some(dir) = &args.history else {
+            eprintln!("--save requires --history");
+            return ExitCode::from(2);
+        };
+        let name = Path::new(&candidate_path)
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_else(|| "candidate.json".into());
+        let target = Path::new(dir).join(&name);
+        if target.exists() {
+            eprintln!(
+                "refusing to overwrite existing snapshot {}",
+                target.display()
+            );
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::copy(&candidate_path, &target) {
+            eprintln!("cannot save snapshot into history: {e}");
+            return ExitCode::from(2);
+        }
+        println!("saved {} into the history", target.display());
+    }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -159,5 +334,53 @@ mod tests {
         // Trailing field without a comma terminator.
         let tail = r#"{"group":"opt_bounds","name":"unit/4x4x128","ns_per_iter":3292836.4}"#;
         assert_eq!(parse_field(tail, "ns_per_iter"), Some("3292836.4"));
+    }
+
+    #[test]
+    fn drift_bands_fold_min_max_across_snapshots() {
+        let snap = |ns: f64| {
+            let mut m = BTreeMap::new();
+            m.insert("matching/greedy/16".to_string(), Sample { ns_per_iter: ns });
+            m
+        };
+        let bands = drift_bands(&[snap(100.0), snap(120.0), snap(90.0)]);
+        let b = bands.get("matching/greedy/16").expect("band exists");
+        assert_eq!(b.snapshots, 3);
+        assert_eq!(b.min, 90.0);
+        assert_eq!(b.max, 120.0);
+    }
+
+    #[test]
+    fn history_files_sort_and_filter() {
+        let dir = std::env::temp_dir().join(format!("bench_hist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "baseline-2026-07-28-b.json",
+            "baseline-2026-07-01.json",
+            "notes.txt",
+        ] {
+            std::fs::write(dir.join(name), "").unwrap();
+        }
+        let files = history_files(&dir.to_string_lossy()).unwrap();
+        assert_eq!(files.len(), 2, ".txt files are ignored");
+        assert!(
+            files[1]
+                .to_string_lossy()
+                .ends_with("baseline-2026-07-28-b.json"),
+            "newest snapshot sorts last"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arg_parser_handles_history_mode() {
+        let args: Vec<String> = ["--history", "benchmarks/history", "fresh.json", "--save"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_args(&args).unwrap();
+        assert_eq!(parsed.history.as_deref(), Some("benchmarks/history"));
+        assert!(parsed.save);
+        assert_eq!(parsed.paths, vec!["fresh.json".to_string()]);
     }
 }

@@ -30,6 +30,7 @@ fn main() {
         slots: Some(slots),
         drain,
         validate: false,
+        ..RunOptions::default()
     };
     let run_seq = |policy: &mut dyn cioq_sim::CioqPolicy, trace: &Trace| {
         let mut source = TraceSource::new(trace);

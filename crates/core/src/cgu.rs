@@ -148,7 +148,7 @@ impl CrossbarPolicy for CrossbarGreedyUnit {
             self.cache.sync(view);
         }
         for j in 0..view.n_outputs() {
-            if view.output_queue(PortId::from(j)).is_full() {
+            if view.output_full(PortId::from(j)) {
                 continue;
             }
             let start = match self.selection {

@@ -5,7 +5,9 @@ use cioq_model::{exceeds_factor, PortId};
 use cioq_sim::SwitchView;
 
 /// Build GM's scheduling graph (§2.1): edge `(u_i, v_j)` iff `Q_ij` is
-/// non-empty and `Q_j` is not full. Weights are 1 (unit model).
+/// non-empty and `Q_j` is not full. Weights are 1 (unit model). Output
+/// fullness is the *virtual* occupancy (landed + in flight), so the graph
+/// never schedules into space a delayed fabric has already committed.
 pub(crate) fn build_unit_graph(view: &SwitchView<'_>, graph: &mut BipartiteGraph) {
     graph.reset(view.n_inputs(), view.n_outputs());
     for i in 0..view.n_inputs() {
@@ -14,7 +16,7 @@ pub(crate) fn build_unit_graph(view: &SwitchView<'_>, graph: &mut BipartiteGraph
             if iq.is_empty() {
                 continue;
             }
-            if view.output_queue(PortId::from(j)).is_full() {
+            if view.output_full(PortId::from(j)) {
                 continue;
             }
             graph.add_edge(i, j, 1);
@@ -24,7 +26,8 @@ pub(crate) fn build_unit_graph(view: &SwitchView<'_>, graph: &mut BipartiteGraph
 
 /// Build PG's scheduling graph (§2.2): edge `(u_i, v_j)` iff
 /// `|Q_ij| > 0 ∧ (|Q_j| < B(Q_j) ∨ v(g_ij) > β·v(l_j))`,
-/// with weight `w(u_i, v_j) = v(g_ij)`.
+/// with weight `w(u_i, v_j) = v(g_ij)`. `|Q_j|` and `l_j` are read from
+/// the virtual output queue (landed + in flight).
 pub(crate) fn build_weighted_graph(view: &SwitchView<'_>, beta: f64, graph: &mut BipartiteGraph) {
     graph.reset(view.n_inputs(), view.n_outputs());
     for i in 0..view.n_inputs() {
@@ -33,9 +36,14 @@ pub(crate) fn build_weighted_graph(view: &SwitchView<'_>, beta: f64, graph: &mut
             let Some(g_ij) = iq.head_value() else {
                 continue;
             };
-            let oq = view.output_queue(PortId::from(j));
-            let eligible = !oq.is_full()
-                || exceeds_factor(g_ij, beta, oq.tail_value().expect("full queue has a tail"));
+            let output = PortId::from(j);
+            let eligible = !view.output_full(output)
+                || exceeds_factor(
+                    g_ij,
+                    beta,
+                    view.output_tail_value(output)
+                        .expect("full virtual queue has a tail"),
+                );
             if eligible {
                 graph.add_edge(i, j, g_ij);
             }

@@ -177,14 +177,15 @@ impl CrossbarPolicy for CrossbarPreemptiveGreedy {
             for (j, best) in self.cache.col_best.iter().enumerate() {
                 let Some((gc, i)) = *best else { continue };
                 let output = PortId::from(j);
-                // The α threshold involves the output queue, which changes
-                // every transmission — evaluated fresh, never cached.
-                let oq = view.output_queue(output);
-                let eligible = !oq.is_full()
+                // The α threshold involves the (virtual) output queue,
+                // which changes every transmission and every dispatch —
+                // evaluated fresh, never cached.
+                let eligible = !view.output_full(output)
                     || exceeds_factor(
                         gc,
                         self.alpha,
-                        oq.tail_value().expect("full queue has a tail"),
+                        view.output_tail_value(output)
+                            .expect("full virtual queue has a tail"),
                     );
                 if eligible {
                     out.push(OutputTransfer {
@@ -211,12 +212,12 @@ impl CrossbarPolicy for CrossbarPreemptiveGreedy {
                 }
             }
             let Some((gc, i)) = best else { continue };
-            let oq = view.output_queue(output);
-            let eligible = !oq.is_full()
+            let eligible = !view.output_full(output)
                 || exceeds_factor(
                     gc,
                     self.alpha,
-                    oq.tail_value().expect("full queue has a tail"),
+                    view.output_tail_value(output)
+                        .expect("full virtual queue has a tail"),
                 );
             if eligible {
                 out.push(OutputTransfer {

@@ -116,10 +116,13 @@ impl VoqCache {
         self.out_tail.clear();
         self.out_tail.resize(m, 0);
         for j in 0..m {
-            let oq = view.output_queue(PortId::from(j));
-            if oq.is_full() {
+            // Virtual occupancy: landed + in flight through the fabric.
+            let output = PortId::from(j);
+            if view.output_full(output) {
                 self.out_full[j] = true;
-                self.out_tail[j] = oq.tail_value().expect("full queue has a tail");
+                self.out_tail[j] = view
+                    .output_tail_value(output)
+                    .expect("full virtual queue has a tail");
             }
         }
     }

@@ -20,6 +20,10 @@ use cioq_sim::{FabricView, ShardView};
 /// Sentinel flush count meaning "never synced".
 const UNSYNCED: u64 = u64::MAX;
 
+/// A recorded weight-order repair: (cells whose entries drop, refreshed
+/// `(weight, cell)` entries to merge back in).
+type OrderDelta<'a> = (&'a mut Vec<u32>, &'a mut Vec<(Value, u32)>);
+
 /// Shard-local VOQ head graph over the shard's own rows: an edge per
 /// non-empty owned `Q_ij` weighted by `v(g_ij)`, with an optional cached
 /// descending-weight visit order (PG). Row indices in the graph are
@@ -50,6 +54,25 @@ impl ShardVoqCache {
 
     /// Bring the owned rows up to date from the shard's change log.
     pub(crate) fn sync(&mut self, view: &ShardView<'_>) {
+        self.sync_inner(view, None);
+    }
+
+    /// Like [`ShardVoqCache::sync`], additionally recording the weight
+    /// order's repair as an edit script (see
+    /// [`CachedWeightOrder::repair_recording`]). Returns `true` when the
+    /// sync was an incremental repair — i.e. the recorded delta transforms
+    /// the previous order into the current one — and `false` on a full
+    /// rebuild, after which the caller must publish the full order.
+    pub(crate) fn sync_recording(
+        &mut self,
+        view: &ShardView<'_>,
+        removed: &mut Vec<u32>,
+        refreshed: &mut Vec<(Value, u32)>,
+    ) -> bool {
+        self.sync_inner(view, Some((removed, refreshed)))
+    }
+
+    fn sync_inner(&mut self, view: &ShardView<'_>, delta: Option<OrderDelta<'_>>) -> bool {
         let range = view.input_range();
         let (rows, m) = (range.len(), view.n_outputs());
         let changes = view.changes();
@@ -68,7 +91,12 @@ impl ShardVoqCache {
                 }
             }
             if let Some(order) = &mut self.order {
-                order.repair(&self.graph);
+                match delta {
+                    Some((removed, refreshed)) => {
+                        order.repair_recording(&self.graph, removed, refreshed)
+                    }
+                    None => order.repair(&self.graph),
+                }
             }
         } else {
             self.in_lo = range.start;
@@ -87,6 +115,7 @@ impl ShardVoqCache {
             }
         }
         self.expected_flush = changes.flush_count() + 1;
+        in_sync
     }
 
     #[inline]

@@ -181,6 +181,9 @@ impl Default for ShardedPg {
 struct PgShardWorker {
     cache: ShardVoqCache,
     preemption_enabled: bool,
+    /// Sequence number of the next delta publish; 0 forces a full publish
+    /// (first cycle, or after a defensive cache rebuild).
+    next_seq: u64,
 }
 
 impl CioqShardPolicy for ShardedPg {
@@ -197,14 +200,36 @@ impl CioqShardPolicy for ShardedPg {
         Box::new(PgShardWorker {
             cache: ShardVoqCache::new(true),
             preemption_enabled: self.preemption_enabled,
+            next_seq: 0,
         })
     }
 
     fn merge(&self, ctx: &MergeContext<'_>, scratch: &mut MergeScratch, out: &mut Vec<Transfer>) {
         let (n, m) = (ctx.cfg.n_inputs, ctx.cfg.n_outputs);
+        let k = ctx.candidates.len();
+        // Bring the per-shard order mirrors up to date from this cycle's
+        // publishes: a full order on seq 0 (first cycle / resync), an edit
+        // script otherwise — so the steady-state publish cost is O(dirty),
+        // not a bulk copy of the whole order.
+        let mut mirrors = std::mem::take(&mut scratch.mirrors);
+        if mirrors.len() != k {
+            mirrors = (0..k).map(|_| cioq_sim::OrderMirror::default()).collect();
+        }
+        for (s, set) in ctx.candidates.iter().enumerate() {
+            let mirror = &mut mirrors[s];
+            if set.seq == 0 {
+                mirror.reset_from(&set.pairs);
+            } else {
+                assert_eq!(
+                    set.seq, mirror.expect_seq,
+                    "PG delta publish out of sequence (shard {s})"
+                );
+                mirror.apply(&set.removed, &set.refreshed);
+            }
+            mirror.expect_seq = set.seq + 1;
+        }
         scratch.begin(n, m);
         let cap = n.min(m);
-        let k = ctx.candidates.len();
         let mut heads = vec![0usize; k];
         // Shard-local cells translate to the global key by adding the
         // shard's base cell (streams stay sorted under the translation).
@@ -216,8 +241,8 @@ impl CioqShardPolicy for ShardedPg {
             // global cell asc) order — each stream is already sorted by
             // that key, so this is a K-way merge.
             let mut best: Option<(Value, u64, usize)> = None;
-            for (s, set) in ctx.candidates.iter().enumerate() {
-                if let Some(&(w, local_cell)) = set.pairs.get(heads[s]) {
+            for (s, mirror) in mirrors.iter().enumerate() {
+                if let Some(&(w, local_cell)) = mirror.entries.get(heads[s]) {
                     let cell = bases[s] + local_cell as u64;
                     let better = match best {
                         None => true,
@@ -252,6 +277,7 @@ impl CioqShardPolicy for ShardedPg {
                 break;
             }
         }
+        scratch.mirrors = mirrors;
     }
 }
 
@@ -276,11 +302,22 @@ impl CioqShardWorker for PgShardWorker {
         _cycle: Cycle,
         out: &mut CandidateSet,
     ) {
-        self.cache.sync(shard);
-        // Publish the repaired visit order as one bulk copy; the merge
-        // translates shard-local cells to global ones.
-        let order = self.cache.order.as_ref().expect("weighted cache");
-        out.pairs.extend_from_slice(order.entries());
+        // Steady state: publish only the repair's edit script (O(dirty));
+        // the coordinator's mirror replays it. A full bulk copy happens
+        // only on the first cycle or after a defensive cache rebuild.
+        let incremental = self
+            .cache
+            .sync_recording(shard, &mut out.removed, &mut out.refreshed);
+        if incremental && self.next_seq > 0 {
+            out.seq = self.next_seq;
+        } else {
+            out.seq = 0;
+            out.removed.clear();
+            out.refreshed.clear();
+            let order = self.cache.order.as_ref().expect("weighted cache");
+            out.pairs.extend_from_slice(order.entries());
+        }
+        self.next_seq = out.seq + 1;
     }
 }
 
@@ -392,13 +429,14 @@ impl CrossbarShardWorker for CguShardWorker {
         fabric: &FabricView<'_>,
         shard: usize,
         inbound_xbar: &[u32],
+        outputs: &OutputSnapshot,
         _cycle: Cycle,
         out: &mut Vec<OutputTransfer>,
     ) {
         self.cache.sync_out(fabric, shard, inbound_xbar);
         let n = fabric.n_inputs();
         for (local, j) in fabric.partition().output_range(shard).enumerate() {
-            if fabric.output_queue(j).is_full() {
+            if outputs.full[j] {
                 continue;
             }
             let start = match self.selection {
@@ -524,6 +562,7 @@ impl CrossbarShardWorker for CpgShardWorker {
         fabric: &FabricView<'_>,
         shard: usize,
         inbound_xbar: &[u32],
+        outputs: &OutputSnapshot,
         _cycle: Cycle,
         out: &mut Vec<OutputTransfer>,
     ) {
@@ -532,15 +571,10 @@ impl CrossbarShardWorker for CpgShardWorker {
         for (local, best) in self.cache.col_best.iter().enumerate() {
             let Some((gc, i)) = *best else { continue };
             let j = out_lo + local;
-            // The α threshold reads the output queue fresh every cycle,
-            // never cached (it changes with every transmission).
-            let oq = fabric.output_queue(j);
-            let eligible = !oq.is_full()
-                || exceeds_factor(
-                    gc,
-                    self.alpha,
-                    oq.tail_value().expect("full queue has a tail"),
-                );
+            // The α threshold reads the per-cycle output snapshot (virtual
+            // fullness/tail on a delayed fabric), never cached — it
+            // changes with every transmission and every dispatch.
+            let eligible = !outputs.full[j] || exceeds_factor(gc, self.alpha, outputs.tail[j]);
             if eligible {
                 out.push(OutputTransfer {
                     input: PortId::from(i),
@@ -549,6 +583,55 @@ impl CrossbarShardWorker for CpgShardWorker {
                     preempt_if_full: true,
                 });
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cioq_matching::{CachedWeightOrder, IncrementalGraph};
+    use cioq_sim::OrderMirror;
+
+    /// The delta-publish protocol's core invariant: replaying each repair's
+    /// recorded edit script on a mirror reproduces the repaired order
+    /// exactly — over a deterministic pseudo-random edit sequence with
+    /// inserts, removals, and reweights.
+    #[test]
+    fn order_mirror_tracks_repair_recording() {
+        let (rows, cols) = (5, 7);
+        let mut g = IncrementalGraph::new(rows, cols);
+        let mut order = CachedWeightOrder::default();
+        order.rebuild(&g);
+        let mut mirror = OrderMirror::default();
+        mirror.reset_from(order.entries());
+
+        let mut state = 0x5EED_1234_u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let (mut removed, mut refreshed) = (Vec::new(), Vec::new());
+        for _ in 0..200 {
+            // A batch of 1–4 edits, then one recorded repair.
+            removed.clear();
+            refreshed.clear();
+            for _ in 0..(1 + rng() % 4) {
+                let cell = (rng() % (rows * cols) as u64) as usize;
+                let (l, r) = (cell / cols, cell % cols);
+                if rng() % 4 == 0 {
+                    g.clear_edge(l, r);
+                } else {
+                    g.set_edge(l, r, 1 + rng() % 50);
+                }
+                order.mark(cell);
+            }
+            order.repair_recording(&g, &mut removed, &mut refreshed);
+            mirror.apply(&removed, &refreshed);
+            assert_eq!(
+                mirror.entries,
+                order.entries(),
+                "mirror must equal the repaired order after every publish"
+            );
         }
     }
 }

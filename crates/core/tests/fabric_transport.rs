@@ -1,0 +1,510 @@
+//! The fabric-transport layer's equivalence and conservation suite.
+//!
+//! Three pillars:
+//!
+//! 1. **`DelayLine { d: 0 }` ≡ `Immediate`** — the normalisation is checked
+//!    end to end (admissions, per-cycle transfer sets, reports, final
+//!    states) for all four policies × K ∈ {1, 2, 4} × {inline, threads}.
+//! 2. **Sharded `DelayLine { d }` ≡ sequential delayed engine** — the
+//!    sharded delay rings reproduce the reference delayed-sequential
+//!    engine bit for bit, for d ∈ {1, 2, 4}, the same policy/K/mode
+//!    matrix. This is the delayed analogue of `sharded_equivalence.rs`.
+//! 3. **Conservation in flight** — no packet is lost or duplicated while
+//!    riding the delay line, under `FullFabricChurn` (every row dirtied
+//!    every slot), drained and steady-state.
+
+use cioq_core::{
+    CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, ShardedCgu,
+    ShardedCpg, ShardedGm, ShardedPg,
+};
+use cioq_model::{PortId, SlotId, SwitchConfig};
+use cioq_sim::{
+    run_cioq_sharded, run_crossbar_sharded, CioqPolicy, CioqShardPolicy, CrossbarPolicy,
+    CrossbarRecording, CrossbarShardPolicy, DelayLine, Engine, ExecMode, RecordedCrossbarSchedule,
+    RecordedSchedule, Recording, RunOptions, RunReport, ShardedOptions, SwitchState, Trace,
+    TraceSource,
+};
+use cioq_traffic::{gen_trace, FullFabricChurn, IncastStorm, OnOffBursty, ValueDist};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const MODES: [ExecMode; 2] = [ExecMode::Inline, ExecMode::Threads];
+
+fn assert_reports_equal(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.policy, b.policy, "{what}: policy name");
+    assert_eq!(a.slots, b.slots, "{what}: slots");
+    assert_eq!(a.arrived, b.arrived, "{what}: arrived");
+    assert_eq!(a.arrived_value, b.arrived_value, "{what}: arrived value");
+    assert_eq!(a.accepted, b.accepted, "{what}: accepted");
+    assert_eq!(a.transferred, b.transferred, "{what}: transferred");
+    assert_eq!(
+        a.transferred_to_crossbar, b.transferred_to_crossbar,
+        "{what}: crossbar transfers"
+    );
+    assert_eq!(a.transmitted, b.transmitted, "{what}: transmitted");
+    assert_eq!(a.benefit, b.benefit, "{what}: benefit");
+    assert_eq!(a.losses, b.losses, "{what}: losses");
+    assert_eq!(a.latency_sum, b.latency_sum, "{what}: latency sum");
+    assert_eq!(
+        a.per_output_transmitted, b.per_output_transmitted,
+        "{what}: per-output counts"
+    );
+    assert_eq!(a.residual_count, b.residual_count, "{what}: residual count");
+    assert_eq!(a.residual_value, b.residual_value, "{what}: residual value");
+    assert_eq!(a.fabric_delay, b.fabric_delay, "{what}: fabric delay");
+}
+
+fn assert_states_equal(a: &SwitchState, b: &SwitchState, what: &str) {
+    let (va, vb) = (a.view(), b.view());
+    for i in 0..va.n_inputs() {
+        for j in 0..va.n_outputs() {
+            let (input, output) = (PortId::from(i), PortId::from(j));
+            assert_eq!(
+                va.input_queue(input, output),
+                vb.input_queue(input, output),
+                "{what}: Q_{i}{j}"
+            );
+            if va.has_crossbar() {
+                assert_eq!(
+                    va.crossbar_queue(input, output),
+                    vb.crossbar_queue(input, output),
+                    "{what}: C_{i}{j}"
+                );
+            }
+        }
+    }
+    for j in 0..va.n_outputs() {
+        let output = PortId::from(j);
+        assert_eq!(
+            va.output_queue(output),
+            vb.output_queue(output),
+            "{what}: Q_{j}"
+        );
+    }
+}
+
+/// Sequential reference run on a latency-`d` fabric.
+fn seq_cioq_delayed(
+    cfg: &SwitchConfig,
+    mut policy: Box<dyn CioqPolicy>,
+    trace: &Trace,
+    d: SlotId,
+) -> (RunReport, RecordedSchedule, SwitchState) {
+    struct Boxed<'a>(&'a mut dyn CioqPolicy);
+    impl CioqPolicy for Boxed<'_> {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            p: &cioq_model::Packet,
+        ) -> cioq_sim::Admission {
+            self.0.admit(view, p)
+        }
+        fn schedule(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::Transfer>,
+        ) {
+            self.0.schedule(view, cycle, out)
+        }
+        fn transmit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            output: PortId,
+        ) -> cioq_sim::TransmitChoice {
+            self.0.transmit(view, output)
+        }
+    }
+    let link = DelayLine { d };
+    let mut rec = Recording::with_link(Boxed(&mut *policy), &link);
+    let mut source = TraceSource::new(trace);
+    let (report, state) = Engine::new(cfg.clone(), RunOptions::default().link(&link))
+        .run_cioq_capturing(&mut rec, &mut source)
+        .expect("sequential delayed run");
+    (report, rec.into_schedule(), state)
+}
+
+fn seq_crossbar_delayed(
+    cfg: &SwitchConfig,
+    mut policy: Box<dyn CrossbarPolicy>,
+    trace: &Trace,
+    d: SlotId,
+) -> (RunReport, RecordedCrossbarSchedule, SwitchState) {
+    struct Boxed<'a>(&'a mut dyn CrossbarPolicy);
+    impl CrossbarPolicy for Boxed<'_> {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            p: &cioq_model::Packet,
+        ) -> cioq_sim::Admission {
+            self.0.admit(view, p)
+        }
+        fn schedule_input(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::InputTransfer>,
+        ) {
+            self.0.schedule_input(view, cycle, out)
+        }
+        fn schedule_output(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::OutputTransfer>,
+        ) {
+            self.0.schedule_output(view, cycle, out)
+        }
+        fn transmit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            output: PortId,
+        ) -> cioq_sim::TransmitChoice {
+            self.0.transmit(view, output)
+        }
+    }
+    let link = DelayLine { d };
+    let mut rec = CrossbarRecording::with_link(Boxed(&mut *policy), &link);
+    let mut source = TraceSource::new(trace);
+    let (report, state) = Engine::new(cfg.clone(), RunOptions::default().link(&link))
+        .run_crossbar_capturing(&mut rec, &mut source)
+        .expect("sequential delayed run");
+    (report, rec.into_schedule(), state)
+}
+
+fn sharded_options(k: usize, mode: ExecMode, d: SlotId) -> ShardedOptions {
+    let mut opts = ShardedOptions::new(k).link(&DelayLine { d });
+    opts.mode = mode;
+    opts.record = true;
+    opts.capture_final_state = true;
+    opts
+}
+
+/// Full K × mode sweep of a sharded CIOQ policy on a latency-`d` fabric
+/// against the delayed sequential reference.
+fn check_cioq_delayed(
+    cfg: &SwitchConfig,
+    seq: impl Fn() -> Box<dyn CioqPolicy>,
+    sharded: &dyn CioqShardPolicy,
+    trace: &Trace,
+    d: SlotId,
+) {
+    let (ref_report, ref_schedule, ref_state) = seq_cioq_delayed(cfg, seq(), trace, d);
+    for k in SHARD_COUNTS {
+        for mode in MODES {
+            let what = format!("{} d={d} k={k} mode={mode:?}", ref_report.policy);
+            let outcome = run_cioq_sharded(cfg, sharded, trace, sharded_options(k, mode, d))
+                .unwrap_or_else(|e| panic!("{what}: sharded run failed: {e}"));
+            let schedule = outcome.schedule.as_ref().expect("recording requested");
+            assert_eq!(schedule, &ref_schedule, "{what}: decision transcript");
+            assert_reports_equal(&outcome.report, &ref_report, &what);
+            assert_states_equal(
+                outcome.final_state.as_ref().expect("capture requested"),
+                &ref_state,
+                &what,
+            );
+        }
+    }
+}
+
+fn check_crossbar_delayed(
+    cfg: &SwitchConfig,
+    seq: impl Fn() -> Box<dyn CrossbarPolicy>,
+    sharded: &dyn CrossbarShardPolicy,
+    trace: &Trace,
+    d: SlotId,
+) {
+    let (ref_report, ref_schedule, ref_state) = seq_crossbar_delayed(cfg, seq(), trace, d);
+    for k in SHARD_COUNTS {
+        for mode in MODES {
+            let what = format!("{} d={d} k={k} mode={mode:?}", ref_report.policy);
+            let outcome = run_crossbar_sharded(cfg, sharded, trace, sharded_options(k, mode, d))
+                .unwrap_or_else(|e| panic!("{what}: sharded run failed: {e}"));
+            let schedule = outcome
+                .crossbar_schedule
+                .as_ref()
+                .expect("recording requested");
+            assert_eq!(schedule, &ref_schedule, "{what}: decision transcript");
+            assert_reports_equal(&outcome.report, &ref_report, &what);
+            assert_states_equal(
+                outcome.final_state.as_ref().expect("capture requested"),
+                &ref_state,
+                &what,
+            );
+        }
+    }
+}
+
+fn cioq_trace(cfg: &SwitchConfig, slots: u64, seed: u64) -> Trace {
+    gen_trace(
+        &OnOffBursty::new(
+            0.85,
+            6.0,
+            ValueDist::Bimodal {
+                high: 40,
+                p_high: 0.2,
+            },
+        ),
+        cfg,
+        slots,
+        seed,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// 1. DelayLine { d: 0 } ≡ Immediate
+// ---------------------------------------------------------------------------
+
+/// `DelayLine { d: 0 }` must normalise to the immediate fast path in every
+/// engine layer: identical transcripts, reports, and final states against
+/// the plain (link-free) sequential reference, for all four policies.
+#[test]
+fn delay_zero_is_bit_identical_to_immediate() {
+    let cfg = SwitchConfig::builder(6, 6)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap();
+    let trace = cioq_trace(&cfg, 48, 0xD0);
+    // d = 0 against the *immediate* sequential reference: both the
+    // normalisation and the transport plumbing must vanish.
+    check_cioq_delayed(
+        &cfg,
+        || Box::new(GreedyMatching::new()),
+        &ShardedGm::new(),
+        &trace,
+        0,
+    );
+    check_cioq_delayed(
+        &cfg,
+        || Box::new(PreemptiveGreedy::new()),
+        &ShardedPg::new(),
+        &trace,
+        0,
+    );
+
+    let xcfg = SwitchConfig::crossbar(6, 3, 1, 2);
+    let xtrace = cioq_trace(&xcfg, 48, 0xD1);
+    check_crossbar_delayed(
+        &xcfg,
+        || Box::new(CrossbarGreedyUnit::new()),
+        &ShardedCgu::new(),
+        &xtrace,
+        0,
+    );
+    check_crossbar_delayed(
+        &xcfg,
+        || Box::new(CrossbarPreemptiveGreedy::new()),
+        &ShardedCpg::new(),
+        &xtrace,
+        0,
+    );
+}
+
+/// A d = 0 *sequential* run through the link API equals the plain one.
+#[test]
+fn delay_zero_sequential_matches_plain_run() {
+    let cfg = SwitchConfig::cioq(5, 3, 1);
+    let trace = cioq_trace(&cfg, 40, 0xD2);
+    let plain = cioq_sim::run_cioq(&cfg, &mut PreemptiveGreedy::new(), &trace).unwrap();
+    let linked = cioq_sim::run_cioq_linked(
+        &cfg,
+        &mut PreemptiveGreedy::new(),
+        &trace,
+        &DelayLine { d: 0 },
+    )
+    .unwrap();
+    assert_reports_equal(&linked, &plain, "sequential d=0 vs plain");
+}
+
+// ---------------------------------------------------------------------------
+// 2. Sharded DelayLine { d } ≡ delayed sequential engine
+// ---------------------------------------------------------------------------
+
+/// CIOQ policies across the delay sweep: the sharded delay rings reproduce
+/// the delayed sequential reference bit for bit.
+#[test]
+fn cioq_delayed_sharded_equals_sequential() {
+    let cfg = SwitchConfig::builder(6, 6)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap();
+    let trace = cioq_trace(&cfg, 48, 0xD3);
+    for d in [1, 2, 4] {
+        check_cioq_delayed(
+            &cfg,
+            || Box::new(GreedyMatching::new()),
+            &ShardedGm::new(),
+            &trace,
+            d,
+        );
+        check_cioq_delayed(
+            &cfg,
+            || Box::new(PreemptiveGreedy::new()),
+            &ShardedPg::new(),
+            &trace,
+            d,
+        );
+        check_cioq_delayed(
+            &cfg,
+            || Box::new(PreemptiveGreedy::without_preemption()),
+            &ShardedPg::without_preemption(),
+            &trace,
+            d,
+        );
+    }
+}
+
+/// The crossbar policies across the delay sweep (the crosspoint → output
+/// hop is the delayed one; `Q_ij → C_ij` stays chassis-local).
+#[test]
+fn crossbar_delayed_sharded_equals_sequential() {
+    let cfg = SwitchConfig::crossbar(6, 3, 1, 2);
+    let trace = cioq_trace(&cfg, 48, 0xD4);
+    for d in [1, 2, 4] {
+        check_crossbar_delayed(
+            &cfg,
+            || Box::new(CrossbarGreedyUnit::new()),
+            &ShardedCgu::new(),
+            &trace,
+            d,
+        );
+        check_crossbar_delayed(
+            &cfg,
+            || Box::new(CrossbarPreemptiveGreedy::new()),
+            &ShardedCpg::new(),
+            &trace,
+            d,
+        );
+    }
+}
+
+/// Incast concentrates landings: several inputs dispatch to one output in
+/// consecutive cycles of one slot (speedup 2), so landing order within a
+/// slot matters — the (cycle, output) sort must reproduce dispatch order.
+#[test]
+fn delayed_incast_landing_order() {
+    let cfg = SwitchConfig::builder(8, 4)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap();
+    let gen = IncastStorm::new(
+        3,
+        2,
+        2,
+        0.5,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.1,
+        },
+    );
+    let trace = gen_trace(&gen, &cfg, 40, 0xD5);
+    for d in [1, 3] {
+        check_cioq_delayed(
+            &cfg,
+            || Box::new(PreemptiveGreedy::new()),
+            &ShardedPg::new(),
+            &trace,
+            d,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Conservation: nothing lost or duplicated in flight
+// ---------------------------------------------------------------------------
+
+/// Under full-fabric churn with drain, every arrived packet is accounted
+/// for — transmitted, lost to an explicit policy decision, or still
+/// buffered — at every delay. A packet dropped (or duplicated) by the
+/// transport would break the equality.
+#[test]
+fn conservation_under_churn_all_delays() {
+    let gen = FullFabricChurn::new(2, 5, ValueDist::Uniform { max: 50 });
+    let cfg = SwitchConfig::cioq(10, 2, 1);
+    let trace = gen_trace(&gen, &cfg, 40, 0xC0);
+    for d in [0u64, 1, 2, 4, 8] {
+        let link = DelayLine { d };
+        let seq =
+            cioq_sim::run_cioq_linked(&cfg, &mut PreemptiveGreedy::new(), &trace, &link).unwrap();
+        seq.check_conservation()
+            .unwrap_or_else(|e| panic!("sequential d={d}: {e}"));
+        assert_eq!(seq.residual_count, 0, "drained run leaves nothing, d={d}");
+        for k in SHARD_COUNTS {
+            let outcome = run_cioq_sharded(
+                &cfg,
+                &ShardedPg::new(),
+                &trace,
+                sharded_options(k, ExecMode::Inline, d),
+            )
+            .unwrap();
+            outcome
+                .report
+                .check_conservation()
+                .unwrap_or_else(|e| panic!("sharded d={d} k={k}: {e}"));
+            assert_reports_equal(&outcome.report, &seq, &format!("churn d={d} k={k}"));
+        }
+    }
+
+    let xcfg = SwitchConfig::crossbar(10, 2, 1, 1);
+    let xtrace = gen_trace(&gen, &xcfg, 40, 0xC1);
+    for d in [0u64, 2, 8] {
+        let link = DelayLine { d };
+        let seq =
+            cioq_sim::run_crossbar_linked(&xcfg, &mut CrossbarGreedyUnit::new(), &xtrace, &link)
+                .unwrap();
+        seq.check_conservation()
+            .unwrap_or_else(|e| panic!("crossbar sequential d={d}: {e}"));
+        assert_eq!(seq.residual_count, 0, "drained run leaves nothing, d={d}");
+    }
+}
+
+/// Steady state (drain off): packets still riding the delay line when the
+/// run stops must appear in the residual, keeping conservation exact.
+#[test]
+fn steady_state_residual_counts_in_flight() {
+    let gen = FullFabricChurn::new(2, 5, ValueDist::Uniform { max: 50 });
+    let cfg = SwitchConfig::cioq(8, 2, 1);
+    let slots = 24u64;
+    let trace = gen_trace(&gen, &cfg, slots, 0xC2);
+    for d in [1u64, 4, 8] {
+        let options = RunOptions {
+            slots: Some(slots),
+            drain: false,
+            ..RunOptions::default()
+        }
+        .link(&DelayLine { d });
+        let mut source = TraceSource::new(&trace);
+        let report = Engine::new(cfg.clone(), options)
+            .run_cioq(&mut GreedyMatching::new(), &mut source)
+            .unwrap();
+        report
+            .check_conservation()
+            .unwrap_or_else(|e| panic!("steady state d={d}: {e}"));
+        assert!(
+            report.residual_count > 0,
+            "churn at load keeps backlog, d={d}"
+        );
+
+        // The sharded engine stops at the same point with the same books.
+        let mut sh = ShardedOptions::new(2).link(&DelayLine { d });
+        sh.slots = Some(slots);
+        sh.drain = false;
+        let outcome = run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, sh).unwrap();
+        outcome
+            .report
+            .check_conservation()
+            .unwrap_or_else(|e| panic!("sharded steady state d={d}: {e}"));
+        assert_reports_equal(&outcome.report, &report, &format!("steady d={d}"));
+    }
+}

@@ -22,6 +22,7 @@ fn main() {
         ("T4", suite::t4_asymmetric),
         ("T5", suite::t5_ablation),
         ("S1", suite::s1_sharded),
+        ("S2", suite::s2_delay),
     ];
     for (id, run) in experiments {
         let t0 = Instant::now();

@@ -1050,6 +1050,245 @@ pub fn s1_sharded(quick: bool) -> Vec<Table> {
     vec![table]
 }
 
+/// S2 — latency-aware fabric transport: how the paper's guarantees degrade
+/// when fabric transfers land `d` slots after dispatch (the multi-chassis
+/// regime of Ye–Shen–Panwar), for d ∈ {0, 1, 2, 4, 8} and all four
+/// policies.
+///
+/// Table 1 (drained runs): benefit, delivered fraction, ratio against the
+/// *zero-latency* OPT upper bound — so the column shows the combined price
+/// of online scheduling plus fabric latency — and mean packet latency. An
+/// "agrees" tripwire runs the sharded engine (K = 2) through its
+/// `DelayLine` transport on every point and checks report equality with
+/// the delayed sequential reference.
+///
+/// Table 2 (steady state, drain off): backlog left in the switch —
+/// including packets still in flight — after a fixed arrival window, the
+/// buffering the delay forces the fabric to absorb.
+pub fn s2_delay(quick: bool) -> Vec<Table> {
+    use cioq_core::{ShardedCgu, ShardedCpg, ShardedGm, ShardedPg};
+    use cioq_sim::{
+        run_cioq_linked, run_cioq_sharded, run_crossbar_linked, run_crossbar_sharded, DelayLine,
+        Engine, RunOptions, RunReport, ShardedOptions, TraceSource,
+    };
+
+    let t = slots(384, quick);
+    let n = if quick { 8 } else { 16 };
+    let cioq_cfg = SwitchConfig::cioq(n, 4, 2);
+    let xbar_cfg = SwitchConfig::crossbar(n, 4, 2, 2);
+    let gen = OnOffBursty::new(
+        0.85,
+        8.0,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.1,
+        },
+    );
+    let cioq_trace = gen_trace(&gen, &cioq_cfg, t, SEED);
+    let xbar_trace = gen_trace(&gen, &xbar_cfg, t, SEED);
+    // The reference OPT is the zero-latency bound: degradation vs d reads
+    // directly as "what the fabric latency costs against an ideal fabric".
+    let cioq_opt = opt_upper_bound(&cioq_cfg, &cioq_trace).best();
+    let xbar_opt = opt_upper_bound(&xbar_cfg, &xbar_trace).best();
+
+    const DELAYS: [u64; 5] = [0, 1, 2, 4, 8];
+    #[derive(Clone, Copy)]
+    enum P {
+        Gm,
+        Pg,
+        Cgu,
+        Cpg,
+    }
+    const POLICIES: [P; 4] = [P::Gm, P::Pg, P::Cgu, P::Cpg];
+    let mut points = Vec::new();
+    for &p in &POLICIES {
+        for &d in &DELAYS {
+            points.push((p, d));
+        }
+    }
+
+    fn agrees(a: &RunReport, b: &RunReport) -> bool {
+        a.benefit == b.benefit
+            && a.transmitted == b.transmitted
+            && a.transferred == b.transferred
+            && a.losses == b.losses
+            && a.slots == b.slots
+            && a.residual_count == b.residual_count
+            && a.fabric_delay == b.fabric_delay
+    }
+
+    let rows = parallel_map(&points, |&(p, d)| {
+        let link = DelayLine { d };
+        let mut sharded_opts = ShardedOptions::new(2).link(&link);
+        sharded_opts.mode = cioq_sim::ExecMode::Inline;
+        let (label, opt, offered, report, sharded) = match p {
+            P::Gm => (
+                "GM",
+                cioq_opt,
+                cioq_trace.len(),
+                run_cioq_linked(
+                    &cioq_cfg,
+                    &mut cioq_core::GreedyMatching::new(),
+                    &cioq_trace,
+                    &link,
+                )
+                .expect("delayed run"),
+                run_cioq_sharded(&cioq_cfg, &ShardedGm::new(), &cioq_trace, sharded_opts)
+                    .expect("sharded delayed run")
+                    .report,
+            ),
+            P::Pg => (
+                "PG",
+                cioq_opt,
+                cioq_trace.len(),
+                run_cioq_linked(
+                    &cioq_cfg,
+                    &mut cioq_core::PreemptiveGreedy::new(),
+                    &cioq_trace,
+                    &link,
+                )
+                .expect("delayed run"),
+                run_cioq_sharded(&cioq_cfg, &ShardedPg::new(), &cioq_trace, sharded_opts)
+                    .expect("sharded delayed run")
+                    .report,
+            ),
+            P::Cgu => (
+                "CGU",
+                xbar_opt,
+                xbar_trace.len(),
+                run_crossbar_linked(
+                    &xbar_cfg,
+                    &mut cioq_core::CrossbarGreedyUnit::new(),
+                    &xbar_trace,
+                    &link,
+                )
+                .expect("delayed run"),
+                run_crossbar_sharded(&xbar_cfg, &ShardedCgu::new(), &xbar_trace, sharded_opts)
+                    .expect("sharded delayed run")
+                    .report,
+            ),
+            P::Cpg => (
+                "CPG",
+                xbar_opt,
+                xbar_trace.len(),
+                run_crossbar_linked(
+                    &xbar_cfg,
+                    &mut cioq_core::CrossbarPreemptiveGreedy::new(),
+                    &xbar_trace,
+                    &link,
+                )
+                .expect("delayed run"),
+                run_crossbar_sharded(&xbar_cfg, &ShardedCpg::new(), &xbar_trace, sharded_opts)
+                    .expect("sharded delayed run")
+                    .report,
+            ),
+        };
+        let ok = agrees(&report, &sharded);
+        (label, d, opt, offered, report, ok)
+    });
+
+    let mut degradation = Table::new(
+        format!("S2 — degradation vs fabric latency d (N={n}, bursty zipf, load 0.85, drained)"),
+        &[
+            "policy",
+            "d",
+            "benefit",
+            "delivered frac",
+            "ratio vs OPT-UB(d=0)",
+            "mean latency",
+            "sharded k=2 agrees",
+        ],
+    );
+    for (label, d, opt, offered, report, ok) in &rows {
+        degradation.push(vec![
+            label.to_string(),
+            d.to_string(),
+            report.benefit.0.to_string(),
+            format!(
+                "{:.3}",
+                report.transmitted as f64 / (*offered).max(1) as f64
+            ),
+            format!("{:.3}", *opt as f64 / report.benefit.0.max(1) as f64),
+            format!("{:.2}", report.mean_latency()),
+            if *ok { "yes".into() } else { "DIVERGED".into() },
+        ]);
+    }
+
+    // Steady state: fixed arrival window, no drain — the backlog column is
+    // everything still buffered (or in flight) when the window closes.
+    let backlog_rows = parallel_map(&points, |&(p, d)| {
+        let link = DelayLine { d };
+        let options = RunOptions {
+            slots: Some(t),
+            drain: false,
+            validate: false,
+            ..RunOptions::default()
+        }
+        .link(&link);
+        let (label, report) = match p {
+            P::Gm => (
+                "GM",
+                Engine::new(cioq_cfg.clone(), options)
+                    .run_cioq(
+                        &mut cioq_core::GreedyMatching::new(),
+                        &mut TraceSource::new(&cioq_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+            P::Pg => (
+                "PG",
+                Engine::new(cioq_cfg.clone(), options)
+                    .run_cioq(
+                        &mut cioq_core::PreemptiveGreedy::new(),
+                        &mut TraceSource::new(&cioq_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+            P::Cgu => (
+                "CGU",
+                Engine::new(xbar_cfg.clone(), options)
+                    .run_crossbar(
+                        &mut cioq_core::CrossbarGreedyUnit::new(),
+                        &mut TraceSource::new(&xbar_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+            P::Cpg => (
+                "CPG",
+                Engine::new(xbar_cfg.clone(), options)
+                    .run_crossbar(
+                        &mut cioq_core::CrossbarPreemptiveGreedy::new(),
+                        &mut TraceSource::new(&xbar_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+        };
+        (label, d, report)
+    });
+    let mut backlog = Table::new(
+        format!("S2 — steady-state backlog vs d (N={n}, {t} arrival slots, no drain)"),
+        &[
+            "policy",
+            "d",
+            "transmitted",
+            "backlog (incl. in flight)",
+            "dropped",
+            "mean latency",
+        ],
+    );
+    for (label, d, report) in &backlog_rows {
+        backlog.push(vec![
+            label.to_string(),
+            d.to_string(),
+            report.transmitted.to_string(),
+            report.residual_count.to_string(),
+            report.losses.total_count().to_string(),
+            format!("{:.2}", report.mean_latency()),
+        ]);
+    }
+    vec![degradation, backlog]
+}
+
 /// The full suite in order, as (id, tables) pairs.
 pub fn run_all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
     vec![
@@ -1065,6 +1304,7 @@ pub fn run_all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("T4", t4_asymmetric(quick)),
         ("T5", t5_ablation(quick)),
         ("S1", s1_sharded(quick)),
+        ("S2", s2_delay(quick)),
     ]
 }
 

@@ -314,6 +314,29 @@ impl CachedWeightOrder {
         self.dirty.clear();
     }
 
+    /// Like [`CachedWeightOrder::repair`], additionally recording the edit
+    /// script that transforms the pre-repair order into the post-repair
+    /// one: `removed` receives every dirty cell (whose old entries, if
+    /// any, must be dropped) and `refreshed` the re-sorted refreshed dirty
+    /// edges (to merge back in). A mirror holding the pre-repair entries
+    /// that drops `removed` cells and order-merges `refreshed` reproduces
+    /// the post-repair entries exactly — the sharded PG publishes this
+    /// script per cycle instead of bulk-copying the whole order.
+    pub fn repair_recording(
+        &mut self,
+        g: &IncrementalGraph,
+        removed: &mut Vec<u32>,
+        refreshed: &mut Vec<(Value, u32)>,
+    ) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        removed.extend_from_slice(&self.dirty);
+        self.repair(g);
+        // `repair` leaves the refreshed dirty edges in `pending`.
+        refreshed.extend_from_slice(&self.pending);
+    }
+
     /// The edges as `(weight, flat cell)` in visit order.
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (Value, usize)> + '_ {

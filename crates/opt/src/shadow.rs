@@ -109,6 +109,12 @@ pub fn gm_lemma1_machinery(
         trace.packets().iter().all(|p| p.value == 1),
         "the §2.1 machinery targets the unit-value model"
     );
+    assert_eq!(
+        schedule.fabric_delay, 0,
+        "the §2.1 machinery replays transcripts with same-cycle transfer \
+         semantics; a delay-line transcript (fabric_delay > 0) would be \
+         replayed infeasibly"
+    );
 
     let b_in = cfg.input_capacity as u32;
     let b_out = cfg.output_capacity as u32;
@@ -279,6 +285,7 @@ mod tests {
         let schedule = RecordedSchedule {
             admissions: vec![true, true],
             transfers: vec![vec![(0, 0), (1, 1)]],
+            fabric_delay: 0,
         };
         let report = gm_lemma1_machinery(&cfg, &trace, &schedule);
         assert_eq!(report.alg_sent, 2);
@@ -296,6 +303,7 @@ mod tests {
         let schedule = RecordedSchedule {
             admissions: vec![true],
             transfers: vec![vec![]],
+            fabric_delay: 0,
         };
         let report = gm_lemma1_machinery(&cfg, &trace, &schedule);
         assert_eq!(report.alg_sent, 1);

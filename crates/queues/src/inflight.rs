@@ -1,0 +1,133 @@
+//! Per-output accounting of packets that have been dispatched into the
+//! switching fabric but have not yet landed in their output queue.
+//!
+//! On an ideal (zero-latency) fabric a transfer scheduled in cycle `T[s]`
+//! is inserted into `Q_j` in the same cycle, so "how full is `Q_j`?" has a
+//! single answer. A latency-`d` fabric (multi-chassis, long cables) splits
+//! that question in two: the *landed* occupancy (what the output line card
+//! holds) and the *scheduler's* occupancy (landed plus everything already
+//! committed to the wire). Schedulers must reserve against the latter or
+//! they overrun the buffer `d` slots later; transmission can only use the
+//! former. [`InFlight`] is the bookkeeping for the difference: a per-output
+//! multiset of the values currently in flight, with O(1) dispatch and
+//! O(in-flight per output) landing/min queries — in-flight populations are
+//! bounded by `d · ŝ` per output, so small vectors beat any ordered
+//! structure.
+
+use cioq_model::Value;
+
+/// Per-output in-flight accounting for a latency-`d` fabric.
+///
+/// Tracks, for every output `j`, the multiset of packet values dispatched
+/// toward `Q_j` and not yet landed, plus running totals for residual
+/// (conservation) accounting. Empty at all times on an immediate fabric.
+#[derive(Debug, Clone, Default)]
+pub struct InFlight {
+    /// Values in flight toward each output (unordered multiset).
+    values: Vec<Vec<Value>>,
+    /// Total packets in flight (all outputs).
+    total: u64,
+    /// Total value in flight (all outputs).
+    total_value: u128,
+}
+
+impl InFlight {
+    /// Empty accounting for `n_outputs` outputs.
+    pub fn new(n_outputs: usize) -> Self {
+        InFlight {
+            values: vec![Vec::new(); n_outputs],
+            total: 0,
+            total_value: 0,
+        }
+    }
+
+    /// Total packets in flight across all outputs.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Total value in flight across all outputs.
+    #[inline]
+    pub fn total_value(&self) -> u128 {
+        self.total_value
+    }
+
+    /// Whether nothing is in flight anywhere.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Packets in flight toward output `j`.
+    #[inline]
+    pub fn len(&self, j: usize) -> usize {
+        self.values[j].len()
+    }
+
+    /// Least value in flight toward output `j`, if any.
+    #[inline]
+    pub fn min_value(&self, j: usize) -> Option<Value> {
+        self.values[j].iter().copied().min()
+    }
+
+    /// Record a packet of value `v` dispatched toward output `j`.
+    #[inline]
+    pub fn dispatch(&mut self, j: usize, v: Value) {
+        self.values[j].push(v);
+        self.total += 1;
+        self.total_value += v as u128;
+    }
+
+    /// Record the landing of a packet of value `v` at output `j`, removing
+    /// one matching in-flight entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no packet of value `v` is in flight toward `j` — a landing
+    /// that was never dispatched is an engine bug, never a policy error.
+    #[inline]
+    pub fn land(&mut self, j: usize, v: Value) {
+        let vs = &mut self.values[j];
+        let pos = vs
+            .iter()
+            .position(|&x| x == v)
+            .expect("landing packet must be in flight");
+        vs.swap_remove(pos);
+        self.total -= 1;
+        self.total_value -= v as u128;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_and_land_round_trip() {
+        let mut f = InFlight::new(3);
+        assert!(f.is_empty());
+        f.dispatch(1, 5);
+        f.dispatch(1, 2);
+        f.dispatch(2, 7);
+        assert_eq!(f.total(), 3);
+        assert_eq!(f.total_value(), 14);
+        assert_eq!(f.len(1), 2);
+        assert_eq!(f.min_value(1), Some(2));
+        assert_eq!(f.min_value(0), None);
+        f.land(1, 2);
+        assert_eq!(f.len(1), 1);
+        assert_eq!(f.min_value(1), Some(5));
+        f.land(1, 5);
+        f.land(2, 7);
+        assert!(f.is_empty());
+        assert_eq!(f.total_value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in flight")]
+    fn landing_without_dispatch_panics() {
+        let mut f = InFlight::new(1);
+        f.land(0, 1);
+    }
+}

@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 mod grid;
+mod inflight;
 mod sorted_queue;
 
 pub use grid::{Grid, RowBand};
+pub use inflight::InFlight;
 pub use sorted_queue::SortedQueue;

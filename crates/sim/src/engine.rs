@@ -9,6 +9,7 @@ use crate::source::{ArrivalSource, TraceSource};
 use crate::state::SwitchState;
 use crate::stats::{RunReport, StatsRecorder};
 use crate::trace::Trace;
+use crate::transport::{DelayRing, FabricLink, InFlightPacket};
 use crate::validate::check_state_invariants;
 use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig};
 use cioq_queues::SortedQueue;
@@ -25,6 +26,10 @@ pub struct RunOptions {
     /// Run full structural invariant checks after every phase (slow; meant
     /// for tests).
     pub validate: bool,
+    /// Fabric latency in slots: transfers dispatched in slot `t` land in
+    /// their output queue at the start of slot `t + d`. 0 (the default) is
+    /// the paper's same-cycle fabric. Set via [`RunOptions::link`].
+    pub fabric_delay: SlotId,
 }
 
 impl Default for RunOptions {
@@ -33,7 +38,16 @@ impl Default for RunOptions {
             slots: None,
             drain: true,
             validate: cfg!(debug_assertions),
+            fabric_delay: 0,
         }
+    }
+}
+
+impl RunOptions {
+    /// Use the given fabric transport (see [`crate::transport`]).
+    pub fn link(mut self, link: &dyn FabricLink) -> Self {
+        self.fabric_delay = link.delay();
+        self
     }
 }
 
@@ -43,6 +57,8 @@ pub struct Engine {
     state: SwitchState,
     stats: StatsRecorder,
     options: RunOptions,
+    /// Delay line of a latency-`d` fabric (`None` = immediate fabric).
+    ring: Option<DelayRing>,
     // Scratch (reused every slot — the hot path never allocates).
     arrivals: Vec<Packet>,
     transfers: Vec<Transfer>,
@@ -61,6 +77,7 @@ impl Engine {
             state: SwitchState::new(config),
             stats: StatsRecorder::new(n_outputs),
             options,
+            ring: (options.fabric_delay >= 1).then(|| DelayRing::new(options.fabric_delay)),
             arrivals: Vec::new(),
             transfers: Vec::new(),
             in_transfers: Vec::new(),
@@ -110,8 +127,11 @@ impl Engine {
         loop {
             let in_arrival_window = slot < arrival_slots;
             if !in_arrival_window {
-                let done =
-                    !self.options.drain || self.state.residual_count() == 0 || idle_slots >= 2;
+                // In-flight packets always land (and count as progress), so
+                // the idle cutoff only applies once the fabric is empty.
+                let done = !self.options.drain
+                    || self.state.residual_count() == 0
+                    || (idle_slots >= 2 && self.state.inflight.is_empty());
                 if done {
                     break;
                 }
@@ -119,6 +139,9 @@ impl Engine {
             self.state.slot = slot;
             let transmitted_before = self.stats.transmitted;
             let moved_before = self.stats.transferred + self.stats.transferred_to_crossbar;
+
+            // --- Landing phase (delayed fabric only) ---
+            self.land_due(slot)?;
 
             // --- Arrival phase ---
             if in_arrival_window {
@@ -134,7 +157,7 @@ impl Engine {
                 // The policy consumed the change log; everything from here
                 // on accumulates for its next scheduling call.
                 self.state.changes.flush();
-                self.apply_cioq_transfers(&transfers)?;
+                self.apply_cioq_transfers(&transfers, cycle)?;
                 self.transfers = transfers;
                 self.post_phase_check();
             }
@@ -195,8 +218,9 @@ impl Engine {
         loop {
             let in_arrival_window = slot < arrival_slots;
             if !in_arrival_window {
-                let done =
-                    !self.options.drain || self.state.residual_count() == 0 || idle_slots >= 2;
+                let done = !self.options.drain
+                    || self.state.residual_count() == 0
+                    || (idle_slots >= 2 && self.state.inflight.is_empty());
                 if done {
                     break;
                 }
@@ -204,6 +228,9 @@ impl Engine {
             self.state.slot = slot;
             let transmitted_before = self.stats.transmitted;
             let moved_before = self.stats.transferred + self.stats.transferred_to_crossbar;
+
+            // --- Landing phase (delayed fabric only) ---
+            self.land_due(slot)?;
 
             // --- Arrival phase ---
             if in_arrival_window {
@@ -225,7 +252,7 @@ impl Engine {
                 let mut output_transfers = std::mem::take(&mut self.out_transfers);
                 policy.schedule_output(&self.state.view(), cycle, &mut output_transfers);
                 self.state.changes.flush();
-                self.apply_output_subphase(&output_transfers)?;
+                self.apply_output_subphase(&output_transfers, cycle)?;
                 self.out_transfers = output_transfers;
                 self.post_phase_check();
             }
@@ -299,7 +326,89 @@ impl Engine {
         Ok(())
     }
 
-    fn apply_cioq_transfers(&mut self, transfers: &[Transfer]) -> Result<(), PolicyError> {
+    /// Insert a packet that has crossed the fabric into `Q_j`, preempting
+    /// `l_j` iff the transfer allowed it — the single landing site shared
+    /// by the immediate path and the delay line.
+    fn deliver_to_output(
+        &mut self,
+        input: PortId,
+        output: PortId,
+        preempt_if_full: bool,
+        packet: Packet,
+    ) -> Result<(), PolicyError> {
+        self.state.note_output(output);
+        let queue = &mut self.state.output_queues[output.index()];
+        if queue.is_full() {
+            if !preempt_if_full {
+                return Err(PolicyError::QueueFull {
+                    kind: "output",
+                    input: Some(input),
+                    output,
+                });
+            }
+            let victim = queue.pop_tail().expect("full queue has a tail");
+            self.stats.on_preempt_output(&victim);
+        }
+        queue.insert(packet).expect("space ensured");
+        self.stats.on_transfer();
+        Ok(())
+    }
+
+    /// Drain the delay-line bucket due at the start of `slot` into the
+    /// output queues: the landing half of every dispatch made `d` slots
+    /// ago. Bucket order is dispatch order, so per-queue operation order
+    /// matches the immediate fabric's. A `QueueFull` here is unreachable
+    /// with reservation-correct policies (the virtual occupancy they
+    /// scheduled against already counted this packet) but stays a loud
+    /// failure.
+    fn land_due(&mut self, slot: SlotId) -> Result<(), PolicyError> {
+        let Some(ring) = &mut self.ring else {
+            return Ok(());
+        };
+        let due = ring.take_due(slot);
+        for p in &due {
+            let (input, output) = (PortId(p.input), PortId(p.output));
+            self.state.inflight.land(output.index(), p.packet.value);
+            self.deliver_to_output(input, output, p.preempt, p.packet)?;
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.restore(due);
+        }
+        self.post_phase_check();
+        Ok(())
+    }
+
+    /// Hand a popped packet to the fabric: insert into `Q_j` now
+    /// (immediate), or commit it to the delay line to land `d` slots later.
+    fn through_fabric(
+        &mut self,
+        input: PortId,
+        output: PortId,
+        preempt_if_full: bool,
+        cycle: Cycle,
+        packet: Packet,
+    ) -> Result<(), PolicyError> {
+        if let Some(ring) = &mut self.ring {
+            self.state.inflight.dispatch(output.index(), packet.value);
+            ring.dispatch(
+                cycle.slot,
+                InFlightPacket {
+                    input: input.0,
+                    output: output.0,
+                    preempt: preempt_if_full,
+                    packet,
+                },
+            );
+            return Ok(());
+        }
+        self.deliver_to_output(input, output, preempt_if_full, packet)
+    }
+
+    fn apply_cioq_transfers(
+        &mut self,
+        transfers: &[Transfer],
+        cycle: Cycle,
+    ) -> Result<(), PolicyError> {
         self.begin_matching_check();
         for t in transfers {
             self.check_ports(t.input, t.output)?;
@@ -308,7 +417,6 @@ impl Engine {
         }
         for t in transfers {
             self.state.note_voq(t.input, t.output);
-            self.state.note_output(t.output);
             let queue = self.state.input_queues.at_mut(t.input, t.output);
             let packet = take_pick(queue, t.pick).ok_or(match t.pick {
                 PacketPick::ById(id) if !queue.is_empty() => PolicyError::NoSuchPacket { id },
@@ -318,20 +426,7 @@ impl Engine {
                     output: t.output,
                 },
             })?;
-            let out_queue = &mut self.state.output_queues[t.output.index()];
-            if out_queue.is_full() {
-                if !t.preempt_if_full {
-                    return Err(PolicyError::QueueFull {
-                        kind: "output",
-                        input: Some(t.input),
-                        output: t.output,
-                    });
-                }
-                let victim = out_queue.pop_tail().expect("full queue has a tail");
-                self.stats.on_preempt_output(&victim);
-            }
-            out_queue.insert(packet).expect("space ensured");
-            self.stats.on_transfer();
+            self.through_fabric(t.input, t.output, t.preempt_if_full, cycle, packet)?;
         }
         Ok(())
     }
@@ -378,7 +473,11 @@ impl Engine {
         Ok(())
     }
 
-    fn apply_output_subphase(&mut self, transfers: &[OutputTransfer]) -> Result<(), PolicyError> {
+    fn apply_output_subphase(
+        &mut self,
+        transfers: &[OutputTransfer],
+        cycle: Cycle,
+    ) -> Result<(), PolicyError> {
         self.begin_matching_check();
         for t in transfers {
             self.check_ports(t.input, t.output)?;
@@ -387,7 +486,6 @@ impl Engine {
         }
         for t in transfers {
             self.state.note_xbar(t.input, t.output);
-            self.state.note_output(t.output);
             let xbar = self
                 .state
                 .crossbar_queues
@@ -402,20 +500,7 @@ impl Engine {
                     output: t.output,
                 },
             })?;
-            let out_queue = &mut self.state.output_queues[t.output.index()];
-            if out_queue.is_full() {
-                if !t.preempt_if_full {
-                    return Err(PolicyError::QueueFull {
-                        kind: "output",
-                        input: Some(t.input),
-                        output: t.output,
-                    });
-                }
-                let victim = out_queue.pop_tail().expect("full queue has a tail");
-                self.stats.on_preempt_output(&victim);
-            }
-            out_queue.insert(packet).expect("space ensured");
-            self.stats.on_transfer();
+            self.through_fabric(t.input, t.output, t.preempt_if_full, cycle, packet)?;
         }
         Ok(())
     }
@@ -493,9 +578,10 @@ impl Engine {
     fn finish(self, policy: String, slots: SlotId) -> RunReport {
         let residual_count = self.state.residual_count();
         let residual_value = self.state.residual_value();
-        let report = self
+        let mut report = self
             .stats
             .finish(policy, slots, residual_count, residual_value);
+        report.fabric_delay = self.options.fabric_delay;
         debug_assert_eq!(report.check_conservation(), Ok(()));
         report
     }
@@ -569,6 +655,31 @@ pub fn run_cioq_with_source<P: CioqPolicy + ?Sized>(
         ..RunOptions::default()
     };
     Engine::new(config.clone(), options).run_cioq(policy, source)
+}
+
+/// Run a CIOQ policy over a recorded trace through the given fabric
+/// transport (default options otherwise). `Immediate` reproduces
+/// [`run_cioq`] exactly.
+pub fn run_cioq_linked<P: CioqPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    trace: &Trace,
+    link: &dyn crate::transport::FabricLink,
+) -> Result<RunReport, PolicyError> {
+    let mut source = TraceSource::new(trace);
+    Engine::new(config.clone(), RunOptions::default().link(link)).run_cioq(policy, &mut source)
+}
+
+/// Run a crossbar policy over a recorded trace through the given fabric
+/// transport (default options otherwise).
+pub fn run_crossbar_linked<P: CrossbarPolicy + ?Sized>(
+    config: &SwitchConfig,
+    policy: &mut P,
+    trace: &Trace,
+    link: &dyn crate::transport::FabricLink,
+) -> Result<RunReport, PolicyError> {
+    let mut source = TraceSource::new(trace);
+    Engine::new(config.clone(), RunOptions::default().link(link)).run_crossbar(policy, &mut source)
 }
 
 /// Run a crossbar policy over a recorded trace with default options.

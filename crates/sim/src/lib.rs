@@ -33,13 +33,16 @@ pub mod shard;
 mod source;
 mod state;
 mod stats;
+mod sync;
 mod trace;
+pub mod transport;
 mod validate;
 
 pub use changes::{ChangeLog, DirtySet};
 pub use engine::{
-    run_cioq, run_cioq_with_final_state, run_cioq_with_source, run_crossbar,
-    run_crossbar_with_final_state, run_crossbar_with_source, Engine, RunOptions,
+    run_cioq, run_cioq_linked, run_cioq_with_final_state, run_cioq_with_source, run_crossbar,
+    run_crossbar_linked, run_crossbar_with_final_state, run_crossbar_with_source, Engine,
+    RunOptions,
 };
 pub use policy::{
     Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
@@ -49,10 +52,13 @@ pub use record::{CrossbarRecording, RecordedCrossbarSchedule, RecordedSchedule, 
 pub use shard::{
     run_cioq_sharded, run_crossbar_sharded, Candidate, CandidateSet, CioqShardPolicy,
     CioqShardWorker, CrossbarShardPolicy, CrossbarShardWorker, ExecMode, FabricView, MergeContext,
-    MergeScratch, OutputSnapshot, Partition, ShardView, ShardedOptions, ShardedOutcome,
+    MergeScratch, OrderMirror, OutputSnapshot, Partition, ShardView, ShardedOptions,
+    ShardedOutcome,
 };
 pub use source::{ArrivalSource, TraceSource};
 pub use state::{QueueKind, SwitchState, SwitchView};
 pub use stats::{LossBreakdown, RunReport, StatsRecorder};
+pub use sync::SpinBarrier;
 pub use trace::{Trace, TraceError};
+pub use transport::{DelayLine, FabricLink, Immediate};
 pub use validate::check_state_invariants;

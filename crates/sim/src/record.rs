@@ -6,7 +6,8 @@ use crate::policy::{
     Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, Transfer, TransmitChoice,
 };
 use crate::state::SwitchView;
-use cioq_model::{Cycle, Packet, PortId};
+use crate::transport::FabricLink;
+use cioq_model::{Cycle, Packet, PortId, SlotId};
 
 /// A recorded CIOQ schedule: one admission decision per processed arrival
 /// (in trace order) and one transfer set per scheduling cycle (in global
@@ -15,8 +16,14 @@ use cioq_model::{Cycle, Packet, PortId};
 pub struct RecordedSchedule {
     /// `true` = accepted (with or without preemption), per arrival.
     pub admissions: Vec<bool>,
-    /// Transfers `(input, output)` per cycle, in engine call order.
+    /// Transfers `(input, output)` per cycle, in engine call order. On a
+    /// delayed fabric these are *dispatch* sets; the landings they imply
+    /// follow `fabric_delay` slots later.
     pub transfers: Vec<Vec<(u16, u16)>>,
+    /// Fabric latency the transcript was produced under — a replay (e.g.
+    /// the `cioq-opt` shadow analysis) must run the same transport for the
+    /// transcript to be feasible.
+    pub fabric_delay: SlotId,
 }
 
 impl RecordedSchedule {
@@ -35,12 +42,20 @@ pub struct Recording<P> {
 }
 
 impl<P: CioqPolicy> Recording<P> {
-    /// Wrap `inner` for recording.
+    /// Wrap `inner` for recording (immediate fabric).
     pub fn new(inner: P) -> Self {
         Recording {
             inner,
             schedule: RecordedSchedule::default(),
         }
+    }
+
+    /// Wrap `inner` for recording a run on the given fabric transport,
+    /// stamping the transcript with its delay.
+    pub fn with_link(inner: P, link: &dyn FabricLink) -> Self {
+        let mut rec = Self::new(inner);
+        rec.schedule.fabric_delay = link.delay();
+        rec
     }
 
     /// Unwrap into the transcript.
@@ -83,8 +98,11 @@ pub struct RecordedCrossbarSchedule {
     pub admissions: Vec<bool>,
     /// Input-subphase transfers `(input, output)` per cycle.
     pub input_transfers: Vec<Vec<(u16, u16)>>,
-    /// Output-subphase transfers `(input, output)` per cycle.
+    /// Output-subphase transfers `(input, output)` per cycle (dispatch
+    /// sets on a delayed fabric, like [`RecordedSchedule::transfers`]).
     pub output_transfers: Vec<Vec<(u16, u16)>>,
+    /// Fabric latency the transcript was produced under.
+    pub fabric_delay: SlotId,
 }
 
 impl RecordedCrossbarSchedule {
@@ -109,12 +127,19 @@ pub struct CrossbarRecording<P> {
 }
 
 impl<P: CrossbarPolicy> CrossbarRecording<P> {
-    /// Wrap `inner` for recording.
+    /// Wrap `inner` for recording (immediate fabric).
     pub fn new(inner: P) -> Self {
         CrossbarRecording {
             inner,
             schedule: RecordedCrossbarSchedule::default(),
         }
+    }
+
+    /// Wrap `inner` for recording a run on the given fabric transport.
+    pub fn with_link(inner: P, link: &dyn FabricLink) -> Self {
+        let mut rec = Self::new(inner);
+        rec.schedule.fabric_delay = link.delay();
+        rec
     }
 
     /// Unwrap into the transcript.

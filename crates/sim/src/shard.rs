@@ -43,13 +43,15 @@ use crate::policy::{Admission, InputTransfer, OutputTransfer, PacketPick, Policy
 use crate::record::{RecordedCrossbarSchedule, RecordedSchedule};
 use crate::state::SwitchState;
 use crate::stats::{RunReport, StatsRecorder};
+use crate::sync::SpinBarrier;
 use crate::trace::Trace;
+use crate::transport::FabricLink;
 use crate::validate::check_state_invariants;
 use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig, Value};
 use cioq_queues::{RowBand, SortedQueue};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 // ---------------------------------------------------------------------------
 // Partition
@@ -160,11 +162,17 @@ pub struct ShardedOptions {
     pub record: bool,
     /// Assemble and return the final global [`SwitchState`].
     pub capture_final_state: bool,
+    /// Fabric latency in slots (0 = the same-cycle fabric). With `d ≥ 1`
+    /// every fabric transfer — cross-shard *and* same-shard, so results
+    /// are partition-independent — rides a per-(dest, src) ring of `d`
+    /// slot-buckets and lands `d` slots after dispatch. Set via
+    /// [`ShardedOptions::link`].
+    pub fabric_delay: SlotId,
 }
 
 impl ShardedOptions {
     /// Default options for `k` shards: auto execution, drain on, no
-    /// validation or capture.
+    /// validation or capture, immediate fabric.
     pub fn new(k: usize) -> Self {
         ShardedOptions {
             shards: k,
@@ -174,7 +182,14 @@ impl ShardedOptions {
             validate: false,
             record: false,
             capture_final_state: false,
+            fabric_delay: 0,
         }
+    }
+
+    /// Use the given fabric transport (see [`crate::transport`]).
+    pub fn link(mut self, link: &dyn FabricLink) -> Self {
+        self.fabric_delay = link.delay();
+        self
     }
 
     fn use_threads(&self) -> bool {
@@ -352,18 +367,26 @@ impl<'a> FabricView<'a> {
 }
 
 /// Per-cycle snapshot of the output side, computed once before each
-/// proposal step: `full[j] = |Q_j| = B(Q_j)` and `tail[j] = v(l_j)` where
-/// full (0 otherwise). Exactly the output-eligibility inputs the sequential
-/// policies refresh at the top of every scheduling call.
+/// proposal step: `full[j]` is the *virtual* fullness (landed occupancy
+/// plus packets in flight through the fabric) and `tail[j]` the least value
+/// of the virtual queue where full (0 otherwise). On an immediate fabric
+/// this degenerates to `|Q_j| = B(Q_j)` / `v(l_j)` — exactly the
+/// output-eligibility inputs the sequential policies refresh at the top of
+/// every scheduling call.
 #[derive(Debug, Default)]
 pub struct OutputSnapshot {
-    /// Whether `Q_j` is full.
+    /// Whether the virtual queue at `j` is full.
     pub full: Vec<bool>,
-    /// `v(l_j)` where full, 0 otherwise.
+    /// Least virtual-queue value where full, 0 otherwise.
     pub tail: Vec<Value>,
     /// `full` as a packed bitmap (`full_words[j/64]` bit `j%64`), for
     /// word-level merge arithmetic.
     pub full_words: Vec<u64>,
+    /// Packets in flight toward each output (all zero when immediate).
+    pub in_flight: Vec<u32>,
+    /// Least value in flight toward each output; meaningful only where
+    /// `in_flight[j] > 0`.
+    pub in_flight_min: Vec<Value>,
 }
 
 // ---------------------------------------------------------------------------
@@ -392,11 +415,22 @@ pub struct CandidateSet {
     /// Ordered candidates (policy-defined order).
     pub list: Vec<Candidate>,
     /// Ordered `(weight, shard-local flat cell)` pairs — lets a policy
-    /// bulk-copy a cached visit order (PG publishes its repaired
-    /// descending-weight order this way, one memcpy per cycle).
+    /// bulk-copy a cached visit order (PG publishes its full repaired
+    /// descending-weight order this way on a resync cycle).
     pub pairs: Vec<(Value, u32)>,
     /// Auxiliary packed words (policy-defined layout).
     pub aux: Vec<u64>,
+    /// Delta-publish handshake (weighted policies): the sequence number of
+    /// this publish. `0` means `pairs` holds the full order (first cycle or
+    /// resync); `seq ≥ 1` means `removed` / `refreshed` hold an edit script
+    /// against publish `seq − 1`, applied to the coordinator's
+    /// [`OrderMirror`].
+    pub seq: u64,
+    /// Delta publish: shard-local cells whose old entries must be dropped.
+    pub removed: Vec<u32>,
+    /// Delta publish: refreshed `(weight, cell)` entries, sorted in
+    /// `(weight desc, cell asc)` order, to merge back in.
+    pub refreshed: Vec<(Value, u32)>,
 }
 
 impl CandidateSet {
@@ -404,6 +438,71 @@ impl CandidateSet {
         self.list.clear();
         self.pairs.clear();
         self.aux.clear();
+        self.seq = 0;
+        self.removed.clear();
+        self.refreshed.clear();
+    }
+}
+
+/// Coordinator-side mirror of one shard's published `(weight, cell)` visit
+/// order, kept in sync by the per-cycle delta publishes of
+/// [`CandidateSet::removed`] / [`CandidateSet::refreshed`]. Lives in
+/// [`MergeScratch`], so its lifetime is one run — a fresh run's workers
+/// publish `seq = 0` and rebuild it.
+#[derive(Debug, Default)]
+pub struct OrderMirror {
+    /// The mirrored entries in `(weight desc, cell asc)` order — equal to
+    /// the worker's `CachedWeightOrder::entries()` after every publish.
+    pub entries: Vec<(Value, u32)>,
+    /// The publish sequence number expected next (0 = full publish).
+    pub expect_seq: u64,
+    marked: Vec<bool>,
+    merged: Vec<(Value, u32)>,
+}
+
+impl OrderMirror {
+    /// Replace the mirror with a full publish.
+    pub fn reset_from(&mut self, full: &[(Value, u32)]) {
+        self.entries.clear();
+        self.entries.extend_from_slice(full);
+    }
+
+    /// Apply a delta publish: drop every entry whose cell appears in
+    /// `removed`, then merge the re-sorted `refreshed` entries back in —
+    /// the exact repair `CachedWeightOrder::repair` performed worker-side,
+    /// replayed on the mirror in O(E + k).
+    pub fn apply(&mut self, removed: &[u32], refreshed: &[(Value, u32)]) {
+        if removed.is_empty() && refreshed.is_empty() {
+            return;
+        }
+        let need = removed.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        if self.marked.len() < need {
+            self.marked.resize(need, false);
+        }
+        for &c in removed {
+            self.marked[c as usize] = true;
+        }
+        self.merged.clear();
+        let mut pending = refreshed.iter().copied().peekable();
+        for &entry in &self.entries {
+            if (entry.1 as usize) < self.marked.len() && self.marked[entry.1 as usize] {
+                continue;
+            }
+            while let Some(&p) = pending.peek() {
+                if p.0 > entry.0 || (p.0 == entry.0 && p.1 < entry.1) {
+                    self.merged.push(p);
+                    pending.next();
+                } else {
+                    break;
+                }
+            }
+            self.merged.push(entry);
+        }
+        self.merged.extend(pending);
+        std::mem::swap(&mut self.entries, &mut self.merged);
+        for &c in removed {
+            self.marked[c as usize] = false;
+        }
     }
 }
 
@@ -416,6 +515,9 @@ pub struct MergeScratch {
     input_stamp: Vec<u64>,
     output_stamp: Vec<u64>,
     words: Vec<u64>,
+    /// Per-shard mirrored publish streams for delta-publishing policies
+    /// (PG) — empty until the policy's merge first uses them.
+    pub mirrors: Vec<OrderMirror>,
 }
 
 impl MergeScratch {
@@ -554,11 +656,15 @@ pub trait CrossbarShardWorker: Send {
     /// `inbound_xbar` is the batch of global crossbar cells other shards
     /// dirtied in owned columns since this worker's previous output
     /// proposal — the cross-shard half of the change-log discipline.
+    /// `outputs` is the pre-subphase output snapshot (virtual fullness and
+    /// tails — the only legal way to read output occupancy, since a
+    /// delayed fabric has committed packets the queues don't show yet).
     fn propose_output(
         &mut self,
         fabric: &FabricView<'_>,
         shard: usize,
         inbound_xbar: &[u32],
+        outputs: &OutputSnapshot,
         cycle: Cycle,
         out: &mut Vec<OutputTransfer>,
     );
@@ -639,12 +745,22 @@ impl ShardState {
 
 /// A packet in flight between shards: popped by the row owner, to be
 /// inserted into `Q_j` by the column owner. At most one per output queue
-/// per cycle, so drain order cannot matter.
+/// per cycle, so same-slot mailbox drain order cannot matter.
 struct Routed {
     input: u16,
     output: u16,
     preempt: bool,
     packet: Packet,
+}
+
+/// A routed packet riding the delay line, tagged with its dispatch cycle:
+/// a landing slot can hold up to ŝ packets for one output (one per cycle
+/// of the dispatch slot), and with preemption their per-queue apply order
+/// matters — the landing phase sorts by `(cycle, output)` to reproduce the
+/// sequential engine's dispatch order exactly.
+struct Delayed {
+    cycle: u32,
+    r: Routed,
 }
 
 /// All cross-shard communication channels plus run-wide control state.
@@ -658,9 +774,21 @@ struct Comms {
     /// Per-shard crossbar output-subphase pop assignments (by row owner).
     out_assignments: Vec<Mutex<Vec<OutputTransfer>>>,
     /// Routed-packet mailboxes, one cell per (destination, source) pair so
-    /// a flush is a buffer swap, never a copy.
+    /// a flush is a buffer swap, never a copy. Same-slot transport only
+    /// (`fabric_delay == 0`); delayed transport rides `rings`.
     mail: Vec<Vec<Mutex<Vec<Routed>>>>,
+    /// Delay-line rings, one per (destination, source) pair, each holding
+    /// `d` slot-buckets: a dispatch in slot `t` pushes into bucket
+    /// `t % d`, the destination drains that bucket at the start of slot
+    /// `t + d` (the landing phase empties it before the slot's dispatches
+    /// refill it). Empty when `fabric_delay == 0`.
+    rings: Vec<Vec<Mutex<Vec<Vec<Delayed>>>>>,
+    /// Fabric latency in slots (0 = immediate).
+    delay: SlotId,
     /// Forwarded crossbar dirty-mark batches, likewise (destination, source).
+    /// Dirty marks are control-plane traffic (cache coherence for the
+    /// column-side incremental caches), so they are never delayed — only
+    /// packets ride the delay line.
     xbar_marks: Vec<Vec<Mutex<Vec<u32>>>>,
     /// Pre-cycle output snapshot.
     snapshot: RwLock<OutputSnapshot>,
@@ -676,13 +804,20 @@ struct Comms {
 }
 
 impl Comms {
-    fn new(k: usize, record: bool) -> Self {
+    fn new(k: usize, record: bool, delay: SlotId) -> Self {
         fn vecs<T>(k: usize) -> Vec<Mutex<Vec<T>>> {
             (0..k).map(|_| Mutex::new(Vec::new())).collect()
         }
         fn cells<T>(k: usize) -> Vec<Vec<Mutex<Vec<T>>>> {
             (0..k).map(|_| vecs(k)).collect()
         }
+        let rings = (0..if delay >= 1 { k } else { 0 })
+            .map(|_| {
+                (0..k)
+                    .map(|_| Mutex::new((0..delay).map(|_| Vec::new()).collect()))
+                    .collect()
+            })
+            .collect();
         Comms {
             candidates: (0..k)
                 .map(|_| Mutex::new(CandidateSet::default()))
@@ -691,6 +826,8 @@ impl Comms {
             in_assignments: vecs(k),
             out_assignments: vecs(k),
             mail: cells(k),
+            rings,
+            delay,
             xbar_marks: cells(k),
             snapshot: RwLock::new(OutputSnapshot::default()),
             slot: AtomicU64::new(0),
@@ -771,6 +908,28 @@ impl Fabric<'_> {
         (transmitted, moved)
     }
 
+    /// Visit every packet currently riding the delay line (coordinator
+    /// only, between phases).
+    fn for_each_in_flight(&self, mut f: impl FnMut(&Delayed)) {
+        for dest in &self.comms.rings {
+            for src in dest {
+                let cell = lock(src);
+                for bucket in cell.iter() {
+                    for p in bucket {
+                        f(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Packets currently in flight through the fabric (0 when immediate).
+    fn in_flight_total(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_in_flight(|_| n += 1);
+        n
+    }
+
     fn residual(&self) -> (u64, u128) {
         let mut count = 0;
         let mut value = 0;
@@ -779,11 +938,16 @@ impl Fabric<'_> {
             count += c;
             value += v;
         }
+        self.for_each_in_flight(|p| {
+            count += 1;
+            value += p.r.packet.value as u128;
+        });
         (count, value)
     }
 
     /// Refresh the pre-cycle output snapshot (coordinator only, between
-    /// phases).
+    /// phases): virtual fullness and tails — landed occupancy plus the
+    /// delay line's in-flight packets.
     fn refresh_snapshot(&self) {
         let m = self.cfg.n_outputs;
         let mut snap = self
@@ -791,20 +955,37 @@ impl Fabric<'_> {
             .snapshot
             .write()
             .unwrap_or_else(|e| e.into_inner());
+        let snap = &mut *snap;
         snap.full.clear();
         snap.full.resize(m, false);
         snap.tail.clear();
         snap.tail.resize(m, 0);
         snap.full_words.clear();
         snap.full_words.resize(m.div_ceil(64), 0);
+        snap.in_flight.clear();
+        snap.in_flight.resize(m, 0);
+        snap.in_flight_min.clear();
+        snap.in_flight_min.resize(m, Value::MAX);
+        self.for_each_in_flight(|p| {
+            let j = p.r.output as usize;
+            snap.in_flight[j] += 1;
+            snap.in_flight_min[j] = snap.in_flight_min[j].min(p.r.packet.value);
+        });
         for l in &self.shards {
             let st = read_shard(l);
             for (local_j, q) in st.outputs.iter().enumerate() {
                 let j = st.out_lo + local_j;
-                if q.is_full() {
+                let in_flight = snap.in_flight[j] as usize;
+                if q.len() + in_flight >= q.capacity() {
                     snap.full[j] = true;
-                    snap.tail[j] = q.tail_value().expect("full queue has a tail");
                     snap.full_words[j / 64] |= 1u64 << (j % 64);
+                    let landed = q.tail_value().unwrap_or(Value::MAX);
+                    let flying = if in_flight > 0 {
+                        snap.in_flight_min[j]
+                    } else {
+                        Value::MAX
+                    };
+                    snap.tail[j] = landed.min(flying);
                 }
             }
         }
@@ -850,6 +1031,9 @@ const PH_PROPOSE_OUT: u8 = 6;
 const PH_APPLY_OUT_POP: u8 = 7;
 const PH_TRANSMIT: u8 = 8;
 const PH_EXIT: u8 = 9;
+/// Landing phase (delayed fabric only): each column owner drains its due
+/// delay-line bucket into its output queues at the start of the slot.
+const PH_LAND: u8 = 10;
 
 // ---------------------------------------------------------------------------
 // Worker-side phase execution
@@ -980,6 +1164,28 @@ fn apply_insert_phase(s: usize, fabric: &Fabric<'_>) {
     }
 }
 
+/// Landing phase for shard `s` (delayed fabric): gather the due bucket of
+/// every (s, src) ring, order by `(dispatch cycle, output)` — per output
+/// queue that is exactly dispatch order, the order the sequential delayed
+/// engine applies — and deliver into the owned output queues.
+fn land_phase(s: usize, fabric: &Fabric<'_>, gather: &mut Vec<Delayed>) {
+    let d = fabric.comms.delay;
+    debug_assert!(d >= 1, "landing phase on an immediate fabric");
+    let slot = fabric.comms.slot.load(Ordering::Relaxed);
+    gather.clear();
+    for src in &fabric.comms.rings[s] {
+        let mut cell = lock(src);
+        gather.append(&mut cell[(slot % d) as usize]);
+    }
+    gather.sort_unstable_by_key(|p| (p.cycle, p.r.output));
+    let mut st = write_shard(&fabric.shards[s]);
+    for p in gather.drain(..) {
+        if !deliver(&mut st, fabric, p.r) {
+            return;
+        }
+    }
+}
+
 /// Per-worker batching scratch: routed packets and forwarded dirty marks
 /// are collected per destination locally and flushed with one lock per
 /// destination per phase (instead of one lock per item).
@@ -991,6 +1197,8 @@ struct WorkerCtx<W> {
     marks: Vec<Vec<u32>>,
     /// Reused gather buffer for inbound crossbar marks.
     inbound_scratch: Vec<u32>,
+    /// Reused gather buffer for the landing phase (delayed fabric).
+    land_scratch: Vec<Delayed>,
 }
 
 impl<W> WorkerCtx<W> {
@@ -1000,6 +1208,7 @@ impl<W> WorkerCtx<W> {
             arrival_cursor: 0,
             marks: (0..k).map(|_| Vec::new()).collect(),
             inbound_scratch: Vec::new(),
+            land_scratch: Vec::new(),
         }
     }
 
@@ -1055,17 +1264,27 @@ fn cioq_phase(
             *lock(&fabric.comms.candidates[s]) = out;
         }
         PH_APPLY_POP => {
+            let delay = fabric.comms.delay;
+            let slot = fabric.comms.slot.load(Ordering::Relaxed);
+            let cycle = fabric.comms.cycle.load(Ordering::Relaxed);
             let mut asg = std::mem::take(&mut *lock(&fabric.comms.assignments[s]));
             {
-                // Each (dest, src) mailbox cell has exactly one writer per
-                // phase (this worker), so holding the locks for the whole
-                // pop loop is contention-free and saves a copy per packet.
+                // Each (dest, src) mailbox / ring cell has exactly one
+                // writer per phase (this worker), so holding the locks for
+                // the whole pop loop is contention-free and saves a copy
+                // per packet.
                 let mut boxes: Vec<Option<MutexGuard<'_, Vec<Routed>>>> = fabric
                     .comms
                     .mail
                     .iter()
                     .enumerate()
-                    .map(|(dest, cells)| (dest != s).then(|| lock(&cells[s])))
+                    .map(|(dest, cells)| (delay == 0 && dest != s).then(|| lock(&cells[s])))
+                    .collect();
+                let mut ring_boxes: Vec<MutexGuard<'_, Vec<Vec<Delayed>>>> = fabric
+                    .comms
+                    .rings
+                    .iter()
+                    .map(|cells| lock(&cells[s]))
                     .collect();
                 let mut st = write_shard(&fabric.shards[s]);
                 // The proposal consumed the change log; everything from here
@@ -1097,7 +1316,12 @@ fn cioq_phase(
                         packet,
                     };
                     let dest = fabric.partition.output_owner(j);
-                    if dest == s {
+                    if delay >= 1 {
+                        // Every fabric transfer — same-shard included, so
+                        // results are partition-independent — rides the
+                        // delay line and lands d slots later.
+                        ring_boxes[dest][(slot % delay) as usize].push(Delayed { cycle, r });
+                    } else if dest == s {
                         // Both endpoints owned: skip the mailbox round-trip
                         // (inserts touch `Q_j`, pops touch `Q_ij` — the
                         // families are disjoint, so early delivery cannot
@@ -1113,6 +1337,7 @@ fn cioq_phase(
             *lock(&fabric.comms.assignments[s]) = asg;
         }
         PH_APPLY_INSERT => apply_insert_phase(s, fabric),
+        PH_LAND => land_phase(s, fabric, &mut ctx.land_scratch),
         PH_TRANSMIT => transmit_phase(s, fabric),
         _ => unreachable!("phase {ph} is not a CIOQ phase"),
     }
@@ -1211,12 +1436,18 @@ fn xbar_phase(
             {
                 let guards = fabric.read_all();
                 let view = fabric.view_of(&guards);
+                let snap = fabric
+                    .comms
+                    .snapshot
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner());
                 let mut proposals = std::mem::take(&mut *lock(&fabric.comms.out_assignments[s]));
                 proposals.clear();
                 ctx.worker.propose_output(
                     &view,
                     s,
                     &inbound,
+                    &snap,
                     fabric.comms.cycle_now(),
                     &mut proposals,
                 );
@@ -1225,6 +1456,9 @@ fn xbar_phase(
             ctx.inbound_scratch = inbound;
         }
         PH_APPLY_OUT_POP => {
+            let delay = fabric.comms.delay;
+            let slot = fabric.comms.slot.load(Ordering::Relaxed);
+            let cycle = fabric.comms.cycle.load(Ordering::Relaxed);
             let mut asg = std::mem::take(&mut *lock(&fabric.comms.out_assignments[s]));
             {
                 let mut boxes: Vec<Option<MutexGuard<'_, Vec<Routed>>>> = fabric
@@ -1232,7 +1466,13 @@ fn xbar_phase(
                     .mail
                     .iter()
                     .enumerate()
-                    .map(|(dest, cells)| (dest != s).then(|| lock(&cells[s])))
+                    .map(|(dest, cells)| (delay == 0 && dest != s).then(|| lock(&cells[s])))
+                    .collect();
+                let mut ring_boxes: Vec<MutexGuard<'_, Vec<Vec<Delayed>>>> = fabric
+                    .comms
+                    .rings
+                    .iter()
+                    .map(|cells| lock(&cells[s]))
                     .collect();
                 let mut st = write_shard(&fabric.shards[s]);
                 for t in asg.drain(..) {
@@ -1264,13 +1504,17 @@ fn xbar_phase(
                         preempt: t.preempt_if_full,
                         packet,
                     };
-                    if dest == s {
+                    if delay >= 1 {
+                        ring_boxes[dest][(slot % delay) as usize].push(Delayed { cycle, r });
+                    } else if dest == s {
                         if !deliver(st, fabric, r) {
                             break;
                         }
                     } else {
                         boxes[dest].as_mut().expect("foreign cell locked").push(r);
                     }
+                    // The crosspoint pop is control-plane news either way:
+                    // the column cache must see `C_ij` shrink now.
                     ctx.marks[dest].push((i * m + j) as u32);
                 }
             }
@@ -1278,6 +1522,7 @@ fn xbar_phase(
             *lock(&fabric.comms.out_assignments[s]) = asg;
         }
         PH_APPLY_INSERT => apply_insert_phase(s, fabric),
+        PH_LAND => land_phase(s, fabric, &mut ctx.land_scratch),
         PH_TRANSMIT => transmit_phase(s, fabric),
         _ => unreachable!("phase {ph} is not a crossbar phase"),
     }
@@ -1318,7 +1563,10 @@ fn drive<W: Send>(
 
     let k = workers.len();
     let phase = AtomicU8::new(PH_EXIT);
-    let barrier = Barrier::new(k + 1);
+    // Spin-then-park: phases are typically shorter than a condvar
+    // park/unpark round trip, so the barrier spins briefly before
+    // sleeping (see [`SpinBarrier`]).
+    let barrier = SpinBarrier::new(k + 1);
     std::thread::scope(|scope| {
         for (s, mut worker) in workers.into_iter().enumerate() {
             let phase = &phase;
@@ -1489,7 +1737,8 @@ fn finish_run(
     admits.sort_unstable_by_key(|&(idx, _)| idx);
     let admissions = admits.into_iter().map(|(_, a)| a).collect();
     let (residual_count, residual_value) = fabric.residual();
-    let report = merged.finish(name, slots, residual_count, residual_value);
+    let mut report = merged.finish(name, slots, residual_count, residual_value);
+    report.fabric_delay = options.fabric_delay;
     debug_assert_eq!(report.check_conservation(), Ok(()));
     (report, final_state, admissions)
 }
@@ -1532,13 +1781,14 @@ pub fn run_cioq_sharded(
             .collect(),
         partition,
         arrivals,
-        comms: Comms::new(k, options.record),
+        comms: Comms::new(k, options.record, options.fabric_delay),
     };
     let workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
         .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
         .collect();
 
     let speedup = cfg.speedup;
+    let delay = options.fabric_delay;
     let mut recorded: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut final_slot: SlotId = 0;
 
@@ -1556,7 +1806,11 @@ pub fn run_cioq_sharded(
             loop {
                 let in_arrival_window = slot < arrival_slots;
                 if !in_arrival_window {
-                    let done = !options.drain || fabric.residual().0 == 0 || idle_slots >= 2;
+                    // In-flight packets always land (and count as
+                    // progress), so the idle cutoff waits for the fabric.
+                    let done = !options.drain
+                        || fabric.residual().0 == 0
+                        || (idle_slots >= 2 && fabric.in_flight_total() == 0);
                     if done {
                         break;
                     }
@@ -1564,6 +1818,9 @@ pub fn run_cioq_sharded(
                 fabric.comms.slot.store(slot, Ordering::Relaxed);
                 let (tx_before, moved_before) = fabric.progress();
 
+                if delay >= 1 {
+                    do_phase(PH_LAND)?;
+                }
                 if in_arrival_window {
                     do_phase(PH_ARRIVAL)?;
                 }
@@ -1612,7 +1869,9 @@ pub fn run_cioq_sharded(
                     }
 
                     do_phase(PH_APPLY_POP)?;
-                    do_phase(PH_APPLY_INSERT)?;
+                    if delay == 0 {
+                        do_phase(PH_APPLY_INSERT)?;
+                    }
                 }
 
                 do_phase(PH_TRANSMIT)?;
@@ -1636,6 +1895,7 @@ pub fn run_cioq_sharded(
         schedule: options.record.then_some(RecordedSchedule {
             admissions,
             transfers: recorded,
+            fabric_delay: options.fabric_delay,
         }),
         crossbar_schedule: None,
         final_state,
@@ -1668,13 +1928,14 @@ pub fn run_crossbar_sharded(
             .collect(),
         partition,
         arrivals,
-        comms: Comms::new(k, options.record),
+        comms: Comms::new(k, options.record, options.fabric_delay),
     };
     let workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
         .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
         .collect();
 
     let speedup = cfg.speedup;
+    let delay = options.fabric_delay;
     let mut rec_in: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut rec_out: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut final_slot: SlotId = 0;
@@ -1691,7 +1952,9 @@ pub fn run_crossbar_sharded(
             loop {
                 let in_arrival_window = slot < arrival_slots;
                 if !in_arrival_window {
-                    let done = !options.drain || fabric.residual().0 == 0 || idle_slots >= 2;
+                    let done = !options.drain
+                        || fabric.residual().0 == 0
+                        || (idle_slots >= 2 && fabric.in_flight_total() == 0);
                     if done {
                         break;
                     }
@@ -1699,6 +1962,9 @@ pub fn run_crossbar_sharded(
                 fabric.comms.slot.store(slot, Ordering::Relaxed);
                 let (tx_before, moved_before) = fabric.progress();
 
+                if delay >= 1 {
+                    do_phase(PH_LAND)?;
+                }
                 if in_arrival_window {
                     do_phase(PH_ARRIVAL)?;
                 }
@@ -1735,6 +2001,11 @@ pub fn run_crossbar_sharded(
                     }
                     do_phase(PH_APPLY_IN)?;
 
+                    // The output subphase reads output occupancy through
+                    // the snapshot (virtual fullness on a delayed fabric);
+                    // refresh it at the exact point the sequential engine
+                    // would read live state.
+                    fabric.refresh_snapshot();
                     do_phase(PH_PROPOSE_OUT)?;
                     // Output proposals go to the *row* owners for the pop
                     // step; validate ≤ 1 per output port first.
@@ -1760,7 +2031,9 @@ pub fn run_crossbar_sharded(
                         }
                     }
                     do_phase(PH_APPLY_OUT_POP)?;
-                    do_phase(PH_APPLY_INSERT)?;
+                    if delay == 0 {
+                        do_phase(PH_APPLY_INSERT)?;
+                    }
                 }
 
                 do_phase(PH_TRANSMIT)?;
@@ -1786,6 +2059,7 @@ pub fn run_crossbar_sharded(
             admissions,
             input_transfers: rec_in,
             output_transfers: rec_out,
+            fabric_delay: options.fabric_delay,
         }),
         final_state,
     })

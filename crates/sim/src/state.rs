@@ -2,8 +2,9 @@
 //! handed to policies.
 
 use crate::changes::ChangeLog;
-use cioq_model::{FabricKind, PortId, SlotId, SwitchConfig};
-use cioq_queues::{Grid, SortedQueue};
+use crate::transport::virtualq;
+use cioq_model::{FabricKind, PortId, SlotId, SwitchConfig, Value};
+use cioq_queues::{Grid, InFlight, SortedQueue};
 
 /// Which family of queues a reference points into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,6 +31,9 @@ pub struct SwitchState {
     pub(crate) slot: SlotId,
     /// Queues dirtied since the engine's last flush (see [`ChangeLog`]).
     pub(crate) changes: ChangeLog,
+    /// Packets dispatched into the fabric but not yet landed (empty at all
+    /// times on an immediate fabric; see [`crate::transport`]).
+    pub(crate) inflight: InFlight,
 }
 
 impl SwitchState {
@@ -51,6 +55,7 @@ impl SwitchState {
             config.n_outputs,
             config.crossbar_capacity.is_some(),
         );
+        let inflight = InFlight::new(config.n_outputs);
         SwitchState {
             config,
             input_queues,
@@ -58,6 +63,7 @@ impl SwitchState {
             output_queues,
             slot: 0,
             changes,
+            inflight,
         }
     }
 
@@ -122,7 +128,7 @@ impl SwitchState {
             .iter()
             .map(|q| q.total_value())
             .sum::<u128>();
-        total
+        total + self.inflight.total_value()
     }
 
     /// Total number of packets still buffered anywhere in the switch.
@@ -140,7 +146,7 @@ impl SwitchState {
             .iter()
             .map(|q| q.len() as u64)
             .sum::<u64>();
-        total
+        total + self.inflight.total()
     }
 }
 
@@ -204,10 +210,45 @@ impl<'a> SwitchView<'a> {
         self.state.crossbar_queues.is_some()
     }
 
-    /// Output queue `Q_j`.
+    /// Output queue `Q_j` — the *landed* packets only. On a delayed fabric
+    /// this is what transmission sees; scheduling eligibility must use
+    /// [`SwitchView::output_full`] / [`SwitchView::output_tail_value`],
+    /// which also count packets in flight.
     #[inline]
     pub fn output_queue(&self, output: PortId) -> &'a SortedQueue {
         &self.state.output_queues[output.index()]
+    }
+
+    /// Whether output `j` is full *as a scheduler must see it*: landed
+    /// occupancy plus packets in flight through the fabric toward `j`.
+    /// Identical to `output_queue(j).is_full()` on an immediate fabric.
+    #[inline]
+    pub fn output_full(&self, output: PortId) -> bool {
+        virtualq::full(
+            &self.state.output_queues[output.index()],
+            &self.state.inflight,
+            output.index(),
+        )
+    }
+
+    /// Least value of the virtual output queue `j` — the landed tail
+    /// `v(l_j)` or the least value in flight toward `j`, whichever is
+    /// smaller. `None` when the virtual queue is empty. This is the tail
+    /// the preemption thresholds (PG's β, CPG's α) compare against.
+    #[inline]
+    pub fn output_tail_value(&self, output: PortId) -> Option<Value> {
+        virtualq::tail_value(
+            &self.state.output_queues[output.index()],
+            &self.state.inflight,
+            output.index(),
+        )
+    }
+
+    /// Packets currently in flight through the fabric toward output `j`
+    /// (always 0 on an immediate fabric).
+    #[inline]
+    pub fn output_in_flight(&self, output: PortId) -> usize {
+        self.state.inflight.len(output.index())
     }
 
     /// Queues dirtied since the engine's last scheduling call, plus the

@@ -151,6 +151,7 @@ impl StatsRecorder {
             per_output_transmitted: self.per_output_transmitted,
             residual_count,
             residual_value,
+            fabric_delay: 0,
         }
     }
 }
@@ -186,8 +187,13 @@ pub struct RunReport {
     pub per_output_transmitted: Vec<u64>,
     /// Packets still buffered when the run ended.
     pub residual_count: u64,
-    /// Value still buffered when the run ended.
+    /// Value still buffered when the run ended (including packets in
+    /// flight through a delayed fabric).
     pub residual_value: u128,
+    /// Fabric latency `d` (slots between dispatch and landing) the run was
+    /// executed under; 0 = the paper's immediate fabric. Set by the engine
+    /// from its [`FabricLink`](crate::FabricLink).
+    pub fabric_delay: SlotId,
 }
 
 impl RunReport {

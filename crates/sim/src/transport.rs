@@ -1,0 +1,205 @@
+//! Fabric transport: the model of the physical path between a scheduler's
+//! dispatch decision and the packet's arrival in its output queue.
+//!
+//! The paper's model assumes transfers land in the same cycle they are
+//! scheduled — true inside one chassis, false across a multi-rack fabric,
+//! where a transfer dispatched in slot `t` lands `d` slots later (the
+//! distributed-scheduling regime of Ye–Shen–Panwar). [`FabricLink`] is the
+//! seam: [`Immediate`] is the paper's `d = 0` fast path, [`DelayLine`] the
+//! latency-`d` fabric. Both engines (sequential and sharded) accept any
+//! link and implement identical semantics:
+//!
+//! * **Dispatch** (scheduling cycle): the packet is popped from its source
+//!   queue and committed to the wire. For `d ≥ 1` it enters a ring of `d`
+//!   slot-buckets and is counted *in flight* toward its output.
+//! * **Eligibility**: schedulers see the *virtual* occupancy of every
+//!   output — landed packets plus packets in flight — so non-preempting
+//!   policies never overrun a buffer they cannot observe, and preemption
+//!   thresholds compare against the least value of the virtual queue.
+//! * **Landing** (start of slot `t + d`, before arrivals): the due bucket
+//!   drains into the output queues in dispatch order (by cycle, then
+//!   output); a landing into a full queue preempts `l_j` iff the original
+//!   transfer allowed it. Transfer statistics count at landing.
+//! * **Transmission** only ever sends landed packets.
+//!
+//! `DelayLine { d: 0 }` normalises to [`Immediate`]: the two are one code
+//! path, so their bit-identity is structural, and the `d = 0` regression
+//! suite in `cioq-core` guards the normalisation itself.
+
+use cioq_model::{Packet, SlotId, Value};
+use cioq_queues::InFlight;
+
+/// A model of the fabric between dispatch and landing.
+///
+/// Implementations are stateless descriptors — engines read
+/// [`FabricLink::delay`] once at run start and own all transport state.
+pub trait FabricLink: std::fmt::Debug {
+    /// Slots between a transfer's dispatch and its landing in the output
+    /// queue. `0` means same-cycle delivery (the paper's model).
+    fn delay(&self) -> SlotId;
+
+    /// Short human-readable label for reports and tables.
+    fn label(&self) -> String {
+        match self.delay() {
+            0 => "immediate".to_string(),
+            d => format!("delay-line(d={d})"),
+        }
+    }
+}
+
+/// The ideal fabric: transfers land in the cycle they are dispatched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Immediate;
+
+impl FabricLink for Immediate {
+    #[inline]
+    fn delay(&self) -> SlotId {
+        0
+    }
+}
+
+/// A latency-`d` fabric: transfers dispatched in slot `t` land at the
+/// start of slot `t + d`. `d = 0` behaves exactly like [`Immediate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayLine {
+    /// Fabric latency in slots.
+    pub d: SlotId,
+}
+
+impl FabricLink for DelayLine {
+    #[inline]
+    fn delay(&self) -> SlotId {
+        self.d
+    }
+}
+
+/// A packet committed to the wire: everything the landing phase needs to
+/// finish the transfer exactly as an immediate fabric would have.
+#[derive(Debug, Clone)]
+pub(crate) struct InFlightPacket {
+    /// Global input port the transfer was popped from.
+    pub input: u16,
+    /// Global output port the packet lands at.
+    pub output: u16,
+    /// Whether the original transfer allowed preempting a full `Q_j`.
+    pub preempt: bool,
+    /// The packet itself.
+    pub packet: Packet,
+}
+
+/// The sequential engine's delay line: `d` slot-buckets plus the
+/// per-output in-flight accounting views read eligibility from.
+///
+/// A dispatch in slot `t` pushes into bucket `t % d`; the landing phase of
+/// slot `t` drains bucket `t % d` *before* any dispatch of slot `t`, so
+/// the bucket a slot refills is always the one just emptied.
+#[derive(Debug, Clone)]
+pub(crate) struct DelayRing {
+    d: SlotId,
+    buckets: Vec<Vec<InFlightPacket>>,
+    /// Drain scratch (swapped with the due bucket to avoid allocation).
+    scratch: Vec<InFlightPacket>,
+}
+
+impl DelayRing {
+    /// A ring for a latency-`d` fabric (`d ≥ 1`).
+    pub(crate) fn new(d: SlotId) -> Self {
+        assert!(d >= 1, "DelayRing models d >= 1; use the immediate path");
+        DelayRing {
+            d,
+            buckets: (0..d).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Commit a packet dispatched in `slot` to land at `slot + d`.
+    #[inline]
+    pub(crate) fn dispatch(&mut self, slot: SlotId, p: InFlightPacket) {
+        self.buckets[(slot % self.d) as usize].push(p);
+    }
+
+    /// Take the bucket due to land at the start of `slot` (dispatch order
+    /// preserved). Return the drained buffer via [`DelayRing::restore`].
+    #[inline]
+    pub(crate) fn take_due(&mut self, slot: SlotId) -> Vec<InFlightPacket> {
+        let bucket = &mut self.buckets[(slot % self.d) as usize];
+        std::mem::swap(bucket, &mut self.scratch);
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Give a drained buffer back for reuse.
+    #[inline]
+    pub(crate) fn restore(&mut self, mut buf: Vec<InFlightPacket>) {
+        buf.clear();
+        self.scratch = buf;
+    }
+}
+
+/// Compute virtual-output-queue facts shared by both engines.
+pub(crate) mod virtualq {
+    use super::*;
+    use cioq_queues::SortedQueue;
+
+    /// Whether output `j` is full as the scheduler must see it: landed
+    /// occupancy plus in-flight packets.
+    #[inline]
+    pub(crate) fn full(queue: &SortedQueue, inflight: &InFlight, j: usize) -> bool {
+        queue.len() + inflight.len(j) >= queue.capacity()
+    }
+
+    /// Least value of the virtual queue at output `j` (landed tail vs
+    /// least in flight), `None` when both are empty.
+    #[inline]
+    pub(crate) fn tail_value(queue: &SortedQueue, inflight: &InFlight, j: usize) -> Option<Value> {
+        match (queue.tail_value(), inflight.min_value(j)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::{PacketId, PortId};
+
+    fn pkt(v: Value) -> Packet {
+        Packet::new(PacketId(0), v, 0, PortId(0), PortId(0))
+    }
+
+    #[test]
+    fn labels_follow_delay() {
+        assert_eq!(Immediate.label(), "immediate");
+        assert_eq!(DelayLine { d: 0 }.label(), "immediate");
+        assert_eq!(DelayLine { d: 4 }.label(), "delay-line(d=4)");
+    }
+
+    #[test]
+    fn ring_lands_exactly_d_slots_later() {
+        let mut ring = DelayRing::new(3);
+        let mk = |v| InFlightPacket {
+            input: 0,
+            output: 0,
+            preempt: false,
+            packet: pkt(v),
+        };
+        ring.dispatch(5, mk(10));
+        ring.dispatch(5, mk(11));
+        ring.dispatch(6, mk(12));
+        // Slot 7: nothing due (dispatched at 5 → lands 8; at 6 → lands 9).
+        let due = ring.take_due(7);
+        assert!(due.is_empty());
+        ring.restore(due);
+        let due = ring.take_due(8);
+        assert_eq!(due.len(), 2, "slot-5 dispatches land at slot 8");
+        assert_eq!(
+            (due[0].packet.value, due[1].packet.value),
+            (10, 11),
+            "dispatch order preserved"
+        );
+        ring.restore(due);
+        let due = ring.take_due(9);
+        assert_eq!(due.len(), 1, "slot-6 dispatch lands at slot 9");
+        ring.restore(due);
+    }
+}

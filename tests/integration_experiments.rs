@@ -73,3 +73,17 @@ fn s1_sharded_sweep_agrees_with_sequential() {
     // 4 policies × K ∈ {1, 2, 4}.
     assert_eq!(tables[0].len(), 12);
 }
+
+#[test]
+fn s2_delay_sweep_degrades_monotonically_enough() {
+    let tables = suite::s2_delay(true);
+    assert_eq!(tables.len(), 2);
+    let degradation = tables[0].render();
+    assert!(
+        !degradation.contains("DIVERGED"),
+        "sharded DelayLine diverged from the delayed sequential engine:\n{degradation}"
+    );
+    // 4 policies × d ∈ {0, 1, 2, 4, 8} in both tables.
+    assert_eq!(tables[0].len(), 20);
+    assert_eq!(tables[1].len(), 20);
+}
