@@ -5,10 +5,10 @@ use cioq_core::{
     CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, ShardedCgu,
     ShardedCpg, ShardedGm, ShardedPg,
 };
-use cioq_model::SwitchConfig;
+use cioq_model::{SwitchConfig, Topology};
 use cioq_sim::{
     run_cioq, run_cioq_linked, run_cioq_sharded, run_crossbar, run_crossbar_linked,
-    run_crossbar_sharded, DelayLine, ShardedOptions,
+    run_crossbar_sharded, DelayLine, DelayMatrix, ShardedOptions,
 };
 use cioq_traffic::{gen_trace, OnOffBursty, ValueDist};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -70,19 +70,27 @@ fn bench_end_to_end(c: &mut Criterion) {
         if n >= 256 {
             let sharded = ShardedOptions::new(4);
             group.bench_function(format!("cioq_gm_sharded_k4_{n}x{n}_s2"), |b| {
-                b.iter(|| run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded).unwrap())
+                b.iter(|| {
+                    run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded.clone())
+                        .unwrap()
+                })
             });
             group.bench_function(format!("cioq_pg_sharded_k4_{n}x{n}_s2"), |b| {
-                b.iter(|| run_cioq_sharded(&cioq, &ShardedPg::new(), &cioq_trace, sharded).unwrap())
+                b.iter(|| {
+                    run_cioq_sharded(&cioq, &ShardedPg::new(), &cioq_trace, sharded.clone())
+                        .unwrap()
+                })
             });
             group.bench_function(format!("xbar_cgu_sharded_k4_{n}x{n}_s2"), |b| {
                 b.iter(|| {
-                    run_crossbar_sharded(&xbar, &ShardedCgu::new(), &xbar_trace, sharded).unwrap()
+                    run_crossbar_sharded(&xbar, &ShardedCgu::new(), &xbar_trace, sharded.clone())
+                        .unwrap()
                 })
             });
             group.bench_function(format!("xbar_cpg_sharded_k4_{n}x{n}_s2"), |b| {
                 b.iter(|| {
-                    run_crossbar_sharded(&xbar, &ShardedCpg::new(), &xbar_trace, sharded).unwrap()
+                    run_crossbar_sharded(&xbar, &ShardedCpg::new(), &xbar_trace, sharded.clone())
+                        .unwrap()
                 })
             });
         }
@@ -116,7 +124,44 @@ fn bench_end_to_end(c: &mut Criterion) {
             let sharded_delay = ShardedOptions::new(4).link(&link);
             group.bench_function(format!("cioq_gm_sharded_k4_delay4_{n}x{n}_s2"), |b| {
                 b.iter(|| {
-                    run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded_delay).unwrap()
+                    run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded_delay.clone())
+                        .unwrap()
+                })
+            });
+
+            // Two-tier topology (2 racks × 64 ports, chassis-local intra
+            // pairs at d = 0, cross-rack at d = 4): the per-pair delay
+            // lookup, the mixed mailbox + ring transport, and the
+            // canonical landing sort are the extra cost over the uniform
+            // delay line above.
+            let topo = DelayMatrix::new(Topology::two_tier(n, n, 2, 0, 4).expect("two racks"));
+            group.bench_function(format!("cioq_gm_twotier2_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_cioq_linked(&cioq, &mut GreedyMatching::new(), &cioq_trace, &topo).unwrap()
+                })
+            });
+            group.bench_function(format!("cioq_pg_twotier2_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_cioq_linked(&cioq, &mut PreemptiveGreedy::new(), &cioq_trace, &topo)
+                        .unwrap()
+                })
+            });
+            group.bench_function(format!("xbar_cpg_twotier2_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_crossbar_linked(
+                        &xbar,
+                        &mut CrossbarPreemptiveGreedy::new(),
+                        &xbar_trace,
+                        &topo,
+                    )
+                    .unwrap()
+                })
+            });
+            let sharded_topo = ShardedOptions::new(4).link(&topo);
+            group.bench_function(format!("cioq_gm_sharded_k4_twotier2_{n}x{n}_s2"), |b| {
+                b.iter(|| {
+                    run_cioq_sharded(&cioq, &ShardedGm::new(), &cioq_trace, sharded_topo.clone())
+                        .unwrap()
                 })
             });
         }

@@ -68,10 +68,14 @@ fn bench_cycles(c: &mut Criterion) {
         if n >= 128 {
             let sharded = ShardedOptions::new(4);
             group.bench_with_input(BenchmarkId::new("GM-sharded-k4", n), &(), |b, _| {
-                b.iter(|| run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, sharded).unwrap())
+                b.iter(|| {
+                    run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, sharded.clone()).unwrap()
+                })
             });
             group.bench_with_input(BenchmarkId::new("PG-sharded-k4", n), &(), |b, _| {
-                b.iter(|| run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, sharded).unwrap())
+                b.iter(|| {
+                    run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, sharded.clone()).unwrap()
+                })
             });
         }
         if n <= 64 {
@@ -134,7 +138,7 @@ fn bench_cycles(c: &mut Criterion) {
         };
         let run_seq = |policy: &mut dyn CioqPolicy| {
             let mut source = TraceSource::new(&trace);
-            Engine::new(cfg.clone(), run_options)
+            Engine::new(cfg.clone(), run_options.clone())
                 .run_cioq(policy, &mut source)
                 .unwrap()
         };
@@ -147,13 +151,13 @@ fn bench_cycles(c: &mut Criterion) {
             b.iter(|| run_seq(&mut GreedyMatching::new()))
         });
         group.bench_with_input(BenchmarkId::new("GM-sharded-k4-churn", n), &(), |b, _| {
-            b.iter(|| run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, sharded).unwrap())
+            b.iter(|| run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, sharded.clone()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("PG-churn", n), &(), |b, _| {
             b.iter(|| run_seq(&mut PreemptiveGreedy::new()))
         });
         group.bench_with_input(BenchmarkId::new("PG-sharded-k4-churn", n), &(), |b, _| {
-            b.iter(|| run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, sharded).unwrap())
+            b.iter(|| run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, sharded.clone()).unwrap())
         });
     }
     group.finish();

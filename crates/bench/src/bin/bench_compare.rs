@@ -8,11 +8,16 @@
 //! bench_compare <baseline.json> <candidate.json> \
 //!     [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]
 //!
-//! # History: candidate vs an append-mode directory of same-machine
-//! # snapshots. The newest snapshot (last filename in sorted order — name
-//! # them baseline-YYYY-MM-DD*.json) is the regression baseline; the whole
-//! # directory supplies a per-benchmark drift band [min..max], so a slow
-//! # creep that stays inside the band reads as drift, not regression.
+//! # History: candidate vs an append-mode directory of snapshots. The
+//! # newest same-machine snapshot (snapshots carry a machine/thread-count
+//! # meta line; filenames sort oldest → newest — name them
+//! # baseline-YYYY-MM-DD*.json) is the regression baseline, and only
+//! # same-machine entries supply the per-benchmark drift band
+//! # [min..max], so a slow creep that stays inside the band reads as
+//! # drift, not regression, and a foreign machine's numbers never
+//! # tighten or loosen the band. When the candidate is untagged or no
+//! # same-machine history exists, the whole directory is used with a
+//! # cross-machine warning.
 //! bench_compare --history <dir> <candidate.json> \
 //!     [--threshold 1.25] [--groups ...] [--save]
 //! ```
@@ -38,6 +43,15 @@ struct Sample {
     ns_per_iter: f64,
 }
 
+/// Recording-host metadata carried by a snapshot's meta line
+/// (`{"meta":"host","machine":…,"threads":…}`, written by the bench
+/// harness).
+#[derive(Debug, Clone, PartialEq)]
+struct Meta {
+    machine: String,
+    threads: Option<u64>,
+}
+
 /// Per-benchmark range observed across a snapshot history.
 #[derive(Debug, Clone, Copy)]
 struct Band {
@@ -57,12 +71,23 @@ fn parse_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-fn parse_snapshot(path: &str) -> Result<BTreeMap<String, Sample>, String> {
+fn parse_snapshot(path: &str) -> Result<(BTreeMap<String, Sample>, Option<Meta>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
+    let mut meta = None;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
+            continue;
+        }
+        if parse_field(line, "meta").is_some() {
+            // Host metadata record; last one wins (one per bench binary).
+            meta = Some(Meta {
+                machine: parse_field(line, "machine")
+                    .unwrap_or("unknown")
+                    .to_string(),
+                threads: parse_field(line, "threads").and_then(|v| v.parse().ok()),
+            });
             continue;
         }
         let group = parse_field(line, "group")
@@ -76,7 +101,7 @@ fn parse_snapshot(path: &str) -> Result<BTreeMap<String, Sample>, String> {
         // Last write wins: appended snapshots override earlier runs.
         out.insert(format!("{group}/{name}"), Sample { ns_per_iter: ns });
     }
-    Ok(out)
+    Ok((out, meta))
 }
 
 /// Snapshot files of a history directory in name order (oldest → newest
@@ -95,7 +120,9 @@ fn history_files(dir: &str) -> Result<Vec<PathBuf>, String> {
 }
 
 /// Fold a set of snapshots into per-benchmark drift bands.
-fn drift_bands(snapshots: &[BTreeMap<String, Sample>]) -> BTreeMap<String, Band> {
+fn drift_bands<'a>(
+    snapshots: impl IntoIterator<Item = &'a BTreeMap<String, Sample>>,
+) -> BTreeMap<String, Band> {
     let mut bands: BTreeMap<String, Band> = BTreeMap::new();
     for snap in snapshots {
         for (key, sample) in snap {
@@ -172,12 +199,26 @@ fn main() -> ExitCode {
                  bench_compare --history <dir> <candidate.json> [--save] \
                  [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]";
 
-    // Resolve the baseline (pairwise or history head) and drift bands.
-    let (baseline, bands, candidate_path) = if let Some(dir) = &args.history {
+    // Resolve the candidate, the baseline (pairwise or history head), and
+    // the drift bands.
+    let (baseline, bands, candidate, candidate_path) = if let Some(dir) = &args.history {
         if args.paths.len() != 1 {
             eprintln!("{usage}");
             return ExitCode::from(2);
         }
+        let candidate_path = args.paths[0].clone();
+        let (candidate, candidate_meta) = match parse_snapshot(&candidate_path) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        // A machine named "unknown" is the harness's could-not-tell
+        // fallback, shared by every host without a resolvable hostname —
+        // matching on it would band foreign machines as "same". Treat it
+        // as untagged instead.
+        let candidate_meta = candidate_meta.filter(|m| m.machine != "unknown");
         let files = match history_files(dir) {
             Ok(f) => f,
             Err(e) => {
@@ -195,34 +236,90 @@ fn main() -> ExitCode {
                 }
             }
         }
+        // Band only same-machine entries: a foreign machine's numbers
+        // must never widen or narrow this machine's drift band, and the
+        // regression baseline should be the newest snapshot this machine
+        // recorded. Untagged candidates (or a history with no entry from
+        // this machine) fall back to the whole directory, flagged as
+        // coarse.
+        let total = snapshots.len();
+        let (mut usable, which): (Vec<_>, &str) = match &candidate_meta {
+            Some(meta) => {
+                let same: Vec<usize> = (0..total)
+                    .filter(|&idx| {
+                        snapshots[idx]
+                            .1
+                            .as_ref()
+                            .is_some_and(|m| m.machine == meta.machine)
+                    })
+                    .collect();
+                if same.is_empty() {
+                    println!(
+                        "history: no snapshot from machine {:?}; comparing against all \
+                         {total} entries (cross-machine, coarse)",
+                        meta.machine
+                    );
+                    ((0..total).collect(), "cross-machine")
+                } else {
+                    (same, "same-machine")
+                }
+            }
+            None => {
+                println!(
+                    "history: candidate snapshot carries no machine tag; comparing \
+                     against all {total} entries (coarse)"
+                );
+                ((0..total).collect(), "untagged")
+            }
+        };
+        let newest = usable.pop().expect("non-empty history");
         println!(
-            "history: {} snapshots in {dir}, regression baseline = {}",
-            snapshots.len(),
-            files.last().expect("non-empty").display()
+            "history: banding {} of {total} snapshots in {dir} ({which}), \
+             regression baseline = {}",
+            usable.len() + 1,
+            files[newest].display()
         );
-        let bands = drift_bands(&snapshots);
-        let baseline = snapshots.pop().expect("non-empty");
-        (baseline, Some(bands), args.paths[0].clone())
+        // Same machine, different parallelism still shifts timings — say
+        // so rather than silently comparing across thread counts.
+        if let (Some(ct), Some(bt)) = (
+            candidate_meta.as_ref().and_then(|m| m.threads),
+            snapshots[newest].1.as_ref().and_then(|m| m.threads),
+        ) {
+            if ct != bt {
+                println!(
+                    "history: candidate recorded with {ct} threads, baseline with {bt} — \
+                     expect extra drift"
+                );
+            }
+        }
+        let bands = drift_bands(
+            usable
+                .iter()
+                .chain(std::iter::once(&newest))
+                .map(|&idx| &snapshots[idx].0),
+        );
+        let baseline = snapshots.swap_remove(newest).0;
+        (baseline, Some(bands), candidate, candidate_path)
     } else {
         if args.paths.len() != 2 {
             eprintln!("{usage}");
             return ExitCode::from(2);
         }
         let baseline = match parse_snapshot(&args.paths[0]) {
-            Ok(b) => b,
+            Ok((b, _)) => b,
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::from(2);
             }
         };
-        (baseline, None, args.paths[1].clone())
-    };
-    let candidate = match parse_snapshot(&candidate_path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
+        let candidate = match parse_snapshot(&args.paths[1]) {
+            Ok((c, _)) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        (baseline, None, candidate, args.paths[1].clone())
     };
 
     let guarded = |key: &str| {
@@ -369,6 +466,44 @@ mod tests {
                 .ends_with("baseline-2026-07-28-b.json"),
             "newest snapshot sorts last"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_lines_parse_and_skip_sample_records() {
+        let dir = std::env::temp_dir().join(format!("bench_meta_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"meta\":\"host\",\"machine\":\"rig-a\",\"threads\":8}\n",
+                "{\"group\":\"matching\",\"name\":\"greedy/16\",\"ns_per_iter\":100.0}\n",
+                "{\"meta\":\"host\",\"machine\":\"rig-b\",\"threads\":4}\n",
+            ),
+        )
+        .unwrap();
+        let (samples, meta) = parse_snapshot(&path.to_string_lossy()).unwrap();
+        assert_eq!(samples.len(), 1, "meta lines are not samples");
+        let meta = meta.expect("meta present");
+        assert_eq!(meta.machine, "rig-b", "last meta line wins");
+        assert_eq!(meta.threads, Some(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn untagged_snapshots_still_parse() {
+        let dir = std::env::temp_dir().join(format!("bench_untag_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        std::fs::write(
+            &path,
+            "{\"group\":\"matching\",\"name\":\"greedy/16\",\"ns_per_iter\":100.0}\n",
+        )
+        .unwrap();
+        let (samples, meta) = parse_snapshot(&path.to_string_lossy()).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert!(meta.is_none(), "pre-metadata snapshots carry no tag");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

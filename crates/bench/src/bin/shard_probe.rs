@@ -34,7 +34,7 @@ fn main() {
     };
     let run_seq = |policy: &mut dyn cioq_sim::CioqPolicy, trace: &Trace| {
         let mut source = TraceSource::new(trace);
-        Engine::new(cfg.clone(), run_options)
+        Engine::new(cfg.clone(), run_options.clone())
             .run_cioq(policy, &mut source)
             .unwrap();
     };
@@ -57,10 +57,10 @@ fn main() {
         opts.slots = Some(slots);
         opts.drain = drain;
         let gms = time(&mut || {
-            run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, opts).unwrap();
+            run_cioq_sharded(&cfg, &ShardedGm::new(), &trace, opts.clone()).unwrap();
         });
         let pgs = time(&mut || {
-            run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, opts).unwrap();
+            run_cioq_sharded(&cfg, &ShardedPg::new(), &trace, opts.clone()).unwrap();
         });
         println!("n={n} k={k} GM-sharded {gms:.2}ms PG-sharded {pgs:.2}ms");
     }

@@ -1,0 +1,542 @@
+//! The topology-aware fabric's equivalence and conservation suite.
+//!
+//! Three pillars:
+//!
+//! 1. **`DelayMatrix` (constant matrix) ≡ `DelayLine { d }`** — a uniform
+//!    topology must reproduce the uniform delay line bit for bit
+//!    (admissions, per-cycle transfer sets, reports, final states), for all
+//!    four policies × K ∈ {1, 2, 4} × {inline, threads}, sequential and
+//!    sharded. Unlike the `d = 0` normalisation this is *not* structural:
+//!    the matrix path runs the per-pair lookup, the landing calendar, and
+//!    the canonical landing sort, and must land on the same bits.
+//! 2. **Sharded `DelayMatrix` ≡ sequential reference** — on genuinely
+//!    heterogeneous fabrics (two-tier rack models, random explicit
+//!    matrices, racks scattered across ports) the sharded per-(dest, src)
+//!    rings reproduce the sequential topology-aware engine bit for bit —
+//!    including when rack boundaries do not align with shard boundaries.
+//! 3. **Conservation under heterogeneous delays** — property test over
+//!    random delay matrices: in-flight + landed + queued packets always
+//!    reconcile with arrivals, drained and steady-state.
+
+use cioq_core::{
+    CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, ShardedCgu,
+    ShardedCpg, ShardedGm, ShardedPg,
+};
+use cioq_model::{PortId, SwitchConfig, Topology};
+use cioq_sim::{
+    run_cioq_sharded, run_crossbar_sharded, CioqPolicy, CioqShardPolicy, CrossbarPolicy,
+    CrossbarRecording, CrossbarShardPolicy, DelayLine, DelayMatrix, Engine, ExecMode, FabricLink,
+    RecordedCrossbarSchedule, RecordedSchedule, Recording, RunOptions, RunReport, ShardedOptions,
+    SwitchState, Trace, TraceSource,
+};
+use cioq_traffic::{gen_trace, FullFabricChurn, IncastStorm, OnOffBursty, ValueDist};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const MODES: [ExecMode; 2] = [ExecMode::Inline, ExecMode::Threads];
+
+fn assert_reports_equal(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.policy, b.policy, "{what}: policy name");
+    assert_eq!(a.slots, b.slots, "{what}: slots");
+    assert_eq!(a.arrived, b.arrived, "{what}: arrived");
+    assert_eq!(a.arrived_value, b.arrived_value, "{what}: arrived value");
+    assert_eq!(a.accepted, b.accepted, "{what}: accepted");
+    assert_eq!(a.transferred, b.transferred, "{what}: transferred");
+    assert_eq!(
+        a.transferred_to_crossbar, b.transferred_to_crossbar,
+        "{what}: crossbar transfers"
+    );
+    assert_eq!(a.transmitted, b.transmitted, "{what}: transmitted");
+    assert_eq!(a.benefit, b.benefit, "{what}: benefit");
+    assert_eq!(a.losses, b.losses, "{what}: losses");
+    assert_eq!(a.latency_sum, b.latency_sum, "{what}: latency sum");
+    assert_eq!(
+        a.per_output_transmitted, b.per_output_transmitted,
+        "{what}: per-output counts"
+    );
+    assert_eq!(a.residual_count, b.residual_count, "{what}: residual count");
+    assert_eq!(a.residual_value, b.residual_value, "{what}: residual value");
+    assert_eq!(a.fabric_delay, b.fabric_delay, "{what}: fabric delay");
+}
+
+fn assert_states_equal(a: &SwitchState, b: &SwitchState, what: &str) {
+    let (va, vb) = (a.view(), b.view());
+    for i in 0..va.n_inputs() {
+        for j in 0..va.n_outputs() {
+            let (input, output) = (PortId::from(i), PortId::from(j));
+            assert_eq!(
+                va.input_queue(input, output),
+                vb.input_queue(input, output),
+                "{what}: Q_{i}{j}"
+            );
+            if va.has_crossbar() {
+                assert_eq!(
+                    va.crossbar_queue(input, output),
+                    vb.crossbar_queue(input, output),
+                    "{what}: C_{i}{j}"
+                );
+            }
+        }
+    }
+    for j in 0..va.n_outputs() {
+        let output = PortId::from(j);
+        assert_eq!(
+            va.output_queue(output),
+            vb.output_queue(output),
+            "{what}: Q_{j}"
+        );
+    }
+}
+
+/// Sequential reference run through an arbitrary fabric link.
+fn seq_cioq(
+    cfg: &SwitchConfig,
+    mut policy: Box<dyn CioqPolicy>,
+    trace: &Trace,
+    link: &dyn FabricLink,
+) -> (RunReport, RecordedSchedule, SwitchState) {
+    struct Boxed<'a>(&'a mut dyn CioqPolicy);
+    impl CioqPolicy for Boxed<'_> {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            p: &cioq_model::Packet,
+        ) -> cioq_sim::Admission {
+            self.0.admit(view, p)
+        }
+        fn schedule(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::Transfer>,
+        ) {
+            self.0.schedule(view, cycle, out)
+        }
+        fn transmit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            output: PortId,
+        ) -> cioq_sim::TransmitChoice {
+            self.0.transmit(view, output)
+        }
+    }
+    let mut rec = Recording::with_link(Boxed(&mut *policy), link);
+    let mut source = TraceSource::new(trace);
+    let (report, state) = Engine::new(cfg.clone(), RunOptions::default().link(link))
+        .run_cioq_capturing(&mut rec, &mut source)
+        .expect("sequential linked run");
+    (report, rec.into_schedule(), state)
+}
+
+fn seq_crossbar(
+    cfg: &SwitchConfig,
+    mut policy: Box<dyn CrossbarPolicy>,
+    trace: &Trace,
+    link: &dyn FabricLink,
+) -> (RunReport, RecordedCrossbarSchedule, SwitchState) {
+    struct Boxed<'a>(&'a mut dyn CrossbarPolicy);
+    impl CrossbarPolicy for Boxed<'_> {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            p: &cioq_model::Packet,
+        ) -> cioq_sim::Admission {
+            self.0.admit(view, p)
+        }
+        fn schedule_input(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::InputTransfer>,
+        ) {
+            self.0.schedule_input(view, cycle, out)
+        }
+        fn schedule_output(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            cycle: cioq_model::Cycle,
+            out: &mut Vec<cioq_sim::OutputTransfer>,
+        ) {
+            self.0.schedule_output(view, cycle, out)
+        }
+        fn transmit(
+            &mut self,
+            view: &cioq_sim::SwitchView<'_>,
+            output: PortId,
+        ) -> cioq_sim::TransmitChoice {
+            self.0.transmit(view, output)
+        }
+    }
+    let mut rec = CrossbarRecording::with_link(Boxed(&mut *policy), link);
+    let mut source = TraceSource::new(trace);
+    let (report, state) = Engine::new(cfg.clone(), RunOptions::default().link(link))
+        .run_crossbar_capturing(&mut rec, &mut source)
+        .expect("sequential linked run");
+    (report, rec.into_schedule(), state)
+}
+
+fn sharded_options(k: usize, mode: ExecMode, link: &dyn FabricLink) -> ShardedOptions {
+    let mut opts = ShardedOptions::new(k).link(link);
+    opts.mode = mode;
+    opts.record = true;
+    opts.capture_final_state = true;
+    opts
+}
+
+/// Sweep a sharded CIOQ policy over K × mode through `link`, comparing
+/// against a given sequential reference (transcripts, reports, states).
+fn check_cioq_against(
+    cfg: &SwitchConfig,
+    sharded: &dyn CioqShardPolicy,
+    trace: &Trace,
+    link: &dyn FabricLink,
+    reference: &(RunReport, RecordedSchedule, SwitchState),
+    what: &str,
+) {
+    let (ref_report, ref_schedule, ref_state) = reference;
+    for k in SHARD_COUNTS {
+        for mode in MODES {
+            let what = format!("{what} [{}] k={k} mode={mode:?}", ref_report.policy);
+            let outcome = run_cioq_sharded(cfg, sharded, trace, sharded_options(k, mode, link))
+                .unwrap_or_else(|e| panic!("{what}: sharded run failed: {e}"));
+            let schedule = outcome.schedule.as_ref().expect("recording requested");
+            assert_eq!(schedule, ref_schedule, "{what}: decision transcript");
+            assert_reports_equal(&outcome.report, ref_report, &what);
+            assert_states_equal(
+                outcome.final_state.as_ref().expect("capture requested"),
+                ref_state,
+                &what,
+            );
+        }
+    }
+}
+
+fn check_crossbar_against(
+    cfg: &SwitchConfig,
+    sharded: &dyn CrossbarShardPolicy,
+    trace: &Trace,
+    link: &dyn FabricLink,
+    reference: &(RunReport, RecordedCrossbarSchedule, SwitchState),
+    what: &str,
+) {
+    let (ref_report, ref_schedule, ref_state) = reference;
+    for k in SHARD_COUNTS {
+        for mode in MODES {
+            let what = format!("{what} [{}] k={k} mode={mode:?}", ref_report.policy);
+            let outcome = run_crossbar_sharded(cfg, sharded, trace, sharded_options(k, mode, link))
+                .unwrap_or_else(|e| panic!("{what}: sharded run failed: {e}"));
+            let schedule = outcome
+                .crossbar_schedule
+                .as_ref()
+                .expect("recording requested");
+            assert_eq!(schedule, ref_schedule, "{what}: decision transcript");
+            assert_reports_equal(&outcome.report, ref_report, &what);
+            assert_states_equal(
+                outcome.final_state.as_ref().expect("capture requested"),
+                ref_state,
+                &what,
+            );
+        }
+    }
+}
+
+fn cioq_trace(cfg: &SwitchConfig, slots: u64, seed: u64) -> Trace {
+    gen_trace(
+        &OnOffBursty::new(
+            0.85,
+            6.0,
+            ValueDist::Bimodal {
+                high: 40,
+                p_high: 0.2,
+            },
+        ),
+        cfg,
+        slots,
+        seed,
+    )
+}
+
+fn cioq_cfg() -> SwitchConfig {
+    SwitchConfig::builder(6, 6)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// 1. DelayMatrix with a constant matrix ≡ DelayLine { d }
+// ---------------------------------------------------------------------------
+
+/// A uniform topology must land on the delay line's exact bits — per-pair
+/// lookup, calendar, and canonical landing sort included — for all four
+/// policies, sequential and sharded (K ∈ {1, 2, 4} × {inline, threads}).
+#[test]
+fn constant_matrix_is_bit_identical_to_delay_line() {
+    let cfg = cioq_cfg();
+    let trace = cioq_trace(&cfg, 48, 0x70);
+    let xcfg = SwitchConfig::crossbar(6, 3, 1, 2);
+    let xtrace = cioq_trace(&xcfg, 48, 0x71);
+    for d in [0u64, 3] {
+        let line = DelayLine { d };
+        let matrix = DelayMatrix::new(Topology::uniform(6, 6, d));
+        let what = format!("const matrix d={d}");
+
+        for (seq, sharded) in [
+            (
+                Box::new(GreedyMatching::new()) as Box<dyn CioqPolicy>,
+                Box::new(ShardedGm::new()) as Box<dyn CioqShardPolicy>,
+            ),
+            (
+                Box::new(PreemptiveGreedy::new()),
+                Box::new(ShardedPg::new()),
+            ),
+        ] {
+            // The delay-line run is the reference…
+            let reference = seq_cioq(&cfg, seq, &trace, &line);
+            // …the sequential matrix run must already match it…
+            let name = reference.0.policy.clone();
+            let seq_again: Box<dyn CioqPolicy> = if name.starts_with("GM") {
+                Box::new(GreedyMatching::new())
+            } else {
+                Box::new(PreemptiveGreedy::new())
+            };
+            let matrix_run = seq_cioq(&cfg, seq_again, &trace, &matrix);
+            assert_eq!(
+                matrix_run.1, reference.1,
+                "{what}: sequential matrix transcript"
+            );
+            assert_reports_equal(&matrix_run.0, &reference.0, &format!("{what}: sequential"));
+            assert_states_equal(&matrix_run.2, &reference.2, &format!("{what}: sequential"));
+            // …and the sharded matrix runs must hit the same bits.
+            check_cioq_against(&cfg, &*sharded, &trace, &matrix, &reference, &what);
+        }
+
+        let reference = seq_crossbar(&xcfg, Box::new(CrossbarGreedyUnit::new()), &xtrace, &line);
+        let xmatrix = DelayMatrix::new(Topology::uniform(6, 6, d));
+        check_crossbar_against(
+            &xcfg,
+            &ShardedCgu::new(),
+            &xtrace,
+            &xmatrix,
+            &reference,
+            &what,
+        );
+        let reference = seq_crossbar(
+            &xcfg,
+            Box::new(CrossbarPreemptiveGreedy::new()),
+            &xtrace,
+            &line,
+        );
+        check_crossbar_against(
+            &xcfg,
+            &ShardedCpg::new(),
+            &xtrace,
+            &xmatrix,
+            &reference,
+            &what,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Heterogeneous matrices: sharded ≡ sequential reference
+// ---------------------------------------------------------------------------
+
+/// Two-tier topologies: chassis-local pairs land same-cycle (latency 0)
+/// while cross-rack pairs ride the rings — the mailbox path and the delay
+/// rings are live *simultaneously*. With 3 racks over 6 ports and
+/// K ∈ {1, 2, 4}, rack boundaries (2, 4) do not align with the K = 4
+/// shard boundaries (1, 3, 4).
+#[test]
+fn two_tier_sharded_equals_sequential() {
+    let cfg = cioq_cfg();
+    let trace = cioq_trace(&cfg, 48, 0x72);
+    for (racks, intra, inter) in [(3usize, 0u64, 2u64), (2, 1, 4)] {
+        let link = DelayMatrix::new(Topology::two_tier(6, 6, racks, intra, inter).unwrap());
+        let what = format!("two-tier racks={racks} intra={intra} inter={inter}");
+        let reference = seq_cioq(&cfg, Box::new(GreedyMatching::new()), &trace, &link);
+        check_cioq_against(&cfg, &ShardedGm::new(), &trace, &link, &reference, &what);
+        let reference = seq_cioq(&cfg, Box::new(PreemptiveGreedy::new()), &trace, &link);
+        check_cioq_against(&cfg, &ShardedPg::new(), &trace, &link, &reference, &what);
+    }
+
+    let xcfg = SwitchConfig::crossbar(6, 3, 1, 2);
+    let xtrace = cioq_trace(&xcfg, 48, 0x73);
+    for (racks, intra, inter) in [(3usize, 0u64, 2u64), (2, 1, 4)] {
+        let link = DelayMatrix::new(Topology::two_tier(6, 6, racks, intra, inter).unwrap());
+        let what = format!("two-tier crossbar racks={racks} intra={intra} inter={inter}");
+        let reference = seq_crossbar(&xcfg, Box::new(CrossbarGreedyUnit::new()), &xtrace, &link);
+        check_crossbar_against(&xcfg, &ShardedCgu::new(), &xtrace, &link, &reference, &what);
+        let reference = seq_crossbar(
+            &xcfg,
+            Box::new(CrossbarPreemptiveGreedy::new()),
+            &xtrace,
+            &link,
+        );
+        check_crossbar_against(&xcfg, &ShardedCpg::new(), &xtrace, &link, &reference, &what);
+    }
+}
+
+/// A random explicit matrix with racks *scattered* across ports (no
+/// contiguity at all, so no shard partition can align with them), mixing
+/// latencies 0 through 5.
+#[test]
+fn random_matrix_sharded_equals_sequential() {
+    let cfg = cioq_cfg();
+    let trace = cioq_trace(&cfg, 48, 0x74);
+    let topo = Topology::explicit(
+        6,
+        6,
+        4,
+        vec![2, 0, 3, 1, 0, 2],
+        vec![1, 3, 0, 2, 2, 0],
+        vec![0, 3, 1, 5, 2, 0, 4, 1, 3, 2, 0, 1, 5, 1, 2, 0],
+    )
+    .unwrap();
+    assert_eq!(topo.uniform_delay(), None);
+    let link = DelayMatrix::new(topo);
+    let what = "random matrix";
+    let reference = seq_cioq(&cfg, Box::new(GreedyMatching::new()), &trace, &link);
+    check_cioq_against(&cfg, &ShardedGm::new(), &trace, &link, &reference, what);
+    let reference = seq_cioq(&cfg, Box::new(PreemptiveGreedy::new()), &trace, &link);
+    check_cioq_against(&cfg, &ShardedPg::new(), &trace, &link, &reference, what);
+    let reference = seq_cioq(
+        &cfg,
+        Box::new(PreemptiveGreedy::without_preemption()),
+        &trace,
+        &link,
+    );
+    check_cioq_against(
+        &cfg,
+        &ShardedPg::without_preemption(),
+        &trace,
+        &link,
+        &reference,
+        what,
+    );
+}
+
+/// Incast through a two-tier fabric concentrates landings: transfers
+/// dispatched in *different slots* (near and far racks) land together at
+/// one output, so the canonical landing order — not just per-cycle order —
+/// decides who preempts whom.
+#[test]
+fn two_tier_incast_landing_order() {
+    let cfg = SwitchConfig::builder(8, 4)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap();
+    let gen = IncastStorm::new(
+        3,
+        2,
+        2,
+        0.5,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.1,
+        },
+    );
+    let trace = gen_trace(&gen, &cfg, 40, 0x75);
+    for (intra, inter) in [(1u64, 3u64), (0, 4)] {
+        let link = DelayMatrix::new(Topology::two_tier(8, 4, 2, intra, inter).unwrap());
+        let what = format!("incast intra={intra} inter={inter}");
+        let reference = seq_cioq(&cfg, Box::new(PreemptiveGreedy::new()), &trace, &link);
+        check_cioq_against(&cfg, &ShardedPg::new(), &trace, &link, &reference, &what);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Conservation over random delay matrices (property test)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Over random rack assignments and latency matrices: (1) queued +
+    /// in-flight + landed packets always reconcile with arrivals, drained
+    /// (residual 0) and steady-state (in-flight counted in the residual);
+    /// (2) the sharded engine books the same totals; (3) a *constant*
+    /// random matrix produces the same decision transcript as
+    /// `DelayLine` at that constant.
+    #[test]
+    fn conservation_over_random_matrices(
+        racks in 1usize..4,
+        iracks in prop::collection::vec(0u16..4, 8),
+        oracks in prop::collection::vec(0u16..4, 8),
+        latency in prop::collection::vec(0u64..6, 16),
+        const_d in 0u64..6,
+        seed in 0u64..1024,
+    ) {
+        let n = 8usize;
+        let cfg = SwitchConfig::cioq(n, 2, 2);
+        let gen = FullFabricChurn::new(2, 5, ValueDist::Uniform { max: 50 });
+        let trace = gen_trace(&gen, &cfg, 32, seed);
+
+        let topo = Topology::explicit(
+            n,
+            n,
+            racks,
+            iracks.iter().map(|&r| r % racks as u16).collect(),
+            oracks.iter().map(|&r| r % racks as u16).collect(),
+            latency[..racks * racks].to_vec(),
+        )
+        .expect("valid random topology");
+        let link = DelayMatrix::new(topo);
+
+        // Drained run: nothing may stay in flight or queued.
+        let mut source = TraceSource::new(&trace);
+        let drained = Engine::new(cfg.clone(), RunOptions::default().link(&link))
+            .run_cioq(&mut PreemptiveGreedy::new(), &mut source)
+            .expect("drained run");
+        prop_assert!(drained.check_conservation().is_ok());
+        prop_assert_eq!(drained.residual_count, 0);
+
+        // Steady state: the residual includes packets still on the wire.
+        let mut options = RunOptions::default().link(&link);
+        options.slots = Some(32);
+        options.drain = false;
+        let mut source = TraceSource::new(&trace);
+        let steady = Engine::new(cfg.clone(), options)
+            .run_cioq(&mut GreedyMatching::new(), &mut source)
+            .expect("steady-state run");
+        prop_assert!(steady.check_conservation().is_ok());
+
+        // The sharded engine books identical totals on the same fabric.
+        let outcome = run_cioq_sharded(
+            &cfg,
+            &ShardedPg::new(),
+            &trace,
+            ShardedOptions::new(2).link(&link),
+        )
+        .expect("sharded run");
+        prop_assert!(outcome.report.check_conservation().is_ok());
+        prop_assert_eq!(outcome.report.benefit, drained.benefit);
+        prop_assert_eq!(outcome.report.transmitted, drained.transmitted);
+        prop_assert_eq!(outcome.report.losses, drained.losses);
+
+        // Constant matrix ≡ delay line, transcript for transcript.
+        let const_link = DelayMatrix::new(Topology::uniform(n, n, const_d));
+        let mut rec_m = Recording::with_link(PreemptiveGreedy::new(), &const_link);
+        let mut source = TraceSource::new(&trace);
+        Engine::new(cfg.clone(), RunOptions::default().link(&const_link))
+            .run_cioq(&mut rec_m, &mut source)
+            .expect("const matrix run");
+        let line = DelayLine { d: const_d };
+        let mut rec_l = Recording::with_link(PreemptiveGreedy::new(), &line);
+        let mut source = TraceSource::new(&trace);
+        Engine::new(cfg.clone(), RunOptions::default().link(&line))
+            .run_cioq(&mut rec_l, &mut source)
+            .expect("delay line run");
+        prop_assert_eq!(rec_m.into_schedule(), rec_l.into_schedule());
+    }
+}

@@ -23,6 +23,7 @@ fn main() {
         ("T5", suite::t5_ablation),
         ("S1", suite::s1_sharded),
         ("S2", suite::s2_delay),
+        ("S3", suite::s3_topology),
     ];
     for (id, run) in experiments {
         let t0 = Instant::now();

@@ -1,8 +1,8 @@
 //! S2 — latency-aware fabric sweep: run GM/PG/CGU/CPG through `DelayLine`
 //! transports at d ∈ {0, 1, 2, 4, 8}, reporting competitive-ratio and
 //! backlog degradation versus the zero-latency fabric, with a sharded
-//! (K = 2) agreement tripwire per point. Pass `--quick` for reduced scale,
-//! `--markdown` for markdown output.
+//! (K ∈ {2, 4}) agreement tripwire per point. Pass `--quick` for reduced
+//! scale, `--markdown` for markdown output.
 
 use cioq_experiments::suite;
 

@@ -34,6 +34,19 @@ fn slots(full: u64, quick: bool) -> u64 {
     }
 }
 
+/// Whether a sharded run's report agrees with its sequential reference on
+/// every tripwire field the systems suites (S1/S2/S3) compare. Sharding is
+/// bit-identical by construction, so this is a tripwire, not a tolerance.
+fn reports_agree(a: &cioq_sim::RunReport, b: &cioq_sim::RunReport) -> bool {
+    a.benefit == b.benefit
+        && a.transmitted == b.transmitted
+        && a.transferred == b.transferred
+        && a.losses == b.losses
+        && a.slots == b.slots
+        && a.residual_count == b.residual_count
+        && a.fabric_delay == b.fabric_delay
+}
+
 /// T1 — headline summary: worst measured ratio per algorithm over the
 /// adversarial + stochastic suite, against the theorem bounds.
 ///
@@ -917,7 +930,7 @@ pub fn t5_ablation(quick: bool) -> Vec<Table> {
 pub fn s1_sharded(quick: bool) -> Vec<Table> {
     use cioq_core::{ShardedCgu, ShardedCpg, ShardedGm, ShardedPg};
     use cioq_sim::{
-        run_cioq, run_cioq_sharded, run_crossbar, run_crossbar_sharded, RunReport, ShardedOptions,
+        run_cioq, run_cioq_sharded, run_crossbar, run_crossbar_sharded, ShardedOptions,
     };
 
     let t = slots(256, quick);
@@ -943,15 +956,6 @@ pub fn s1_sharded(quick: bool) -> Vec<Table> {
         Cpg,
     }
     const POLICIES: [P; 4] = [P::Gm, P::Pg, P::Cgu, P::Cpg];
-
-    fn agrees(a: &RunReport, b: &RunReport) -> bool {
-        a.benefit == b.benefit
-            && a.transmitted == b.transmitted
-            && a.transferred == b.transferred
-            && a.losses == b.losses
-            && a.slots == b.slots
-            && a.residual_count == b.residual_count
-    }
 
     // The sequential reference is invariant in K: run (and time) it once
     // per policy, then sweep only the sharded runs.
@@ -1038,7 +1042,7 @@ pub fn s1_sharded(quick: bool) -> Vec<Table> {
             k.to_string(),
             sharded.benefit.0.to_string(),
             sharded.transmitted.to_string(),
-            if agrees(seq, &sharded) {
+            if reports_agree(seq, &sharded) {
                 "yes".into()
             } else {
                 "DIVERGED".into()
@@ -1058,9 +1062,10 @@ pub fn s1_sharded(quick: bool) -> Vec<Table> {
 /// Table 1 (drained runs): benefit, delivered fraction, ratio against the
 /// *zero-latency* OPT upper bound — so the column shows the combined price
 /// of online scheduling plus fabric latency — and mean packet latency. An
-/// "agrees" tripwire runs the sharded engine (K = 2) through its
-/// `DelayLine` transport on every point and checks report equality with
-/// the delayed sequential reference.
+/// "agrees" tripwire runs the sharded engine (K ∈ {2, 4}, so shard widths
+/// both align and misalign with the port count) through its `DelayLine`
+/// transport on every point and checks report equality with the delayed
+/// sequential reference.
 ///
 /// Table 2 (steady state, drain off): backlog left in the switch —
 /// including packets still in flight — after a fixed arrival window, the
@@ -1069,7 +1074,7 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
     use cioq_core::{ShardedCgu, ShardedCpg, ShardedGm, ShardedPg};
     use cioq_sim::{
         run_cioq_linked, run_cioq_sharded, run_crossbar_linked, run_crossbar_sharded, DelayLine,
-        Engine, RunOptions, RunReport, ShardedOptions, TraceSource,
+        Engine, RunOptions, ShardedOptions, TraceSource,
     };
 
     let t = slots(384, quick);
@@ -1107,21 +1112,9 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
         }
     }
 
-    fn agrees(a: &RunReport, b: &RunReport) -> bool {
-        a.benefit == b.benefit
-            && a.transmitted == b.transmitted
-            && a.transferred == b.transferred
-            && a.losses == b.losses
-            && a.slots == b.slots
-            && a.residual_count == b.residual_count
-            && a.fabric_delay == b.fabric_delay
-    }
-
     let rows = parallel_map(&points, |&(p, d)| {
         let link = DelayLine { d };
-        let mut sharded_opts = ShardedOptions::new(2).link(&link);
-        sharded_opts.mode = cioq_sim::ExecMode::Inline;
-        let (label, opt, offered, report, sharded) = match p {
+        let (label, opt, offered, report) = match p {
             P::Gm => (
                 "GM",
                 cioq_opt,
@@ -1133,9 +1126,6 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
                     &link,
                 )
                 .expect("delayed run"),
-                run_cioq_sharded(&cioq_cfg, &ShardedGm::new(), &cioq_trace, sharded_opts)
-                    .expect("sharded delayed run")
-                    .report,
             ),
             P::Pg => (
                 "PG",
@@ -1148,9 +1138,6 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
                     &link,
                 )
                 .expect("delayed run"),
-                run_cioq_sharded(&cioq_cfg, &ShardedPg::new(), &cioq_trace, sharded_opts)
-                    .expect("sharded delayed run")
-                    .report,
             ),
             P::Cgu => (
                 "CGU",
@@ -1163,9 +1150,6 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
                     &link,
                 )
                 .expect("delayed run"),
-                run_crossbar_sharded(&xbar_cfg, &ShardedCgu::new(), &xbar_trace, sharded_opts)
-                    .expect("sharded delayed run")
-                    .report,
             ),
             P::Cpg => (
                 "CPG",
@@ -1178,12 +1162,23 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
                     &link,
                 )
                 .expect("delayed run"),
-                run_crossbar_sharded(&xbar_cfg, &ShardedCpg::new(), &xbar_trace, sharded_opts)
-                    .expect("sharded delayed run")
-                    .report,
             ),
         };
-        let ok = agrees(&report, &sharded);
+        // Tripwire over k ∈ {2, 4}: k = 2 splits the switch in halves, k = 4
+        // exercises uneven shard widths against the delay rings.
+        let ok = [2usize, 4].iter().all(|&k| {
+            let mut opts = ShardedOptions::new(k).link(&link);
+            opts.mode = cioq_sim::ExecMode::Inline;
+            let sharded = match p {
+                P::Gm => run_cioq_sharded(&cioq_cfg, &ShardedGm::new(), &cioq_trace, opts),
+                P::Pg => run_cioq_sharded(&cioq_cfg, &ShardedPg::new(), &cioq_trace, opts),
+                P::Cgu => run_crossbar_sharded(&xbar_cfg, &ShardedCgu::new(), &xbar_trace, opts),
+                P::Cpg => run_crossbar_sharded(&xbar_cfg, &ShardedCpg::new(), &xbar_trace, opts),
+            }
+            .expect("sharded delayed run")
+            .report;
+            reports_agree(&report, &sharded)
+        });
         (label, d, opt, offered, report, ok)
     });
 
@@ -1196,7 +1191,7 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
             "delivered frac",
             "ratio vs OPT-UB(d=0)",
             "mean latency",
-            "sharded k=2 agrees",
+            "sharded k=2,4 agrees",
         ],
     );
     for (label, d, opt, offered, report, ok) in &rows {
@@ -1289,6 +1284,237 @@ pub fn s2_delay(quick: bool) -> Vec<Table> {
     vec![degradation, backlog]
 }
 
+/// S3 — topology-aware fabric sweep: a two-tier rack model (2 racks,
+/// chassis-local intra-rack pairs at latency 0, cross-rack pairs riding
+/// `inter` slots of wire) for inter ∈ {0, 1, 2, 4, 8} and all four
+/// policies — the heterogeneous counterpart of S2's uniform sweep. The
+/// `inter = 0` row degenerates to the paper's immediate fabric, so the
+/// column reads directly as "what the cross-rack latency costs".
+///
+/// Table 1 (drained runs): benefit, delivered fraction, ratio against the
+/// zero-latency OPT upper bound, and mean packet latency, with a sharded
+/// (K = 2, rack-aligned *and* ring-exercising) agreement tripwire per
+/// point: the sharded `DelayMatrix` engine must book the exact totals of
+/// the sequential topology-aware reference.
+///
+/// Table 2 (steady state, drain off): backlog left in the switch —
+/// including packets still crossing between racks — after a fixed arrival
+/// window.
+pub fn s3_topology(quick: bool) -> Vec<Table> {
+    use cioq_core::{ShardedCgu, ShardedCpg, ShardedGm, ShardedPg};
+    use cioq_model::Topology;
+    use cioq_sim::{
+        run_cioq_linked, run_cioq_sharded, run_crossbar_linked, run_crossbar_sharded, DelayMatrix,
+        Engine, RunOptions, ShardedOptions, TraceSource,
+    };
+
+    let t = slots(384, quick);
+    let n = if quick { 8 } else { 16 };
+    let cioq_cfg = SwitchConfig::cioq(n, 4, 2);
+    let xbar_cfg = SwitchConfig::crossbar(n, 4, 2, 2);
+    let gen = OnOffBursty::new(
+        0.85,
+        8.0,
+        ValueDist::Zipf {
+            max: 32,
+            exponent: 1.1,
+        },
+    );
+    let cioq_trace = gen_trace(&gen, &cioq_cfg, t, SEED);
+    let xbar_trace = gen_trace(&gen, &xbar_cfg, t, SEED);
+    let cioq_opt = opt_upper_bound(&cioq_cfg, &cioq_trace).best();
+    let xbar_opt = opt_upper_bound(&xbar_cfg, &xbar_trace).best();
+
+    const INTERS: [u64; 5] = [0, 1, 2, 4, 8];
+    const RACKS: usize = 2;
+    #[derive(Clone, Copy)]
+    enum P {
+        Gm,
+        Pg,
+        Cgu,
+        Cpg,
+    }
+    const POLICIES: [P; 4] = [P::Gm, P::Pg, P::Cgu, P::Cpg];
+    let mut points = Vec::new();
+    for &p in &POLICIES {
+        for &inter in &INTERS {
+            points.push((p, inter));
+        }
+    }
+
+    let link_for = move |inter: u64| {
+        DelayMatrix::new(Topology::two_tier(n, n, RACKS, 0, inter).expect("valid two-tier"))
+    };
+
+    let rows = parallel_map(&points, |&(p, inter)| {
+        let link = link_for(inter);
+        let (label, opt, offered, report) = match p {
+            P::Gm => (
+                "GM",
+                cioq_opt,
+                cioq_trace.len(),
+                run_cioq_linked(
+                    &cioq_cfg,
+                    &mut cioq_core::GreedyMatching::new(),
+                    &cioq_trace,
+                    &link,
+                )
+                .expect("topology run"),
+            ),
+            P::Pg => (
+                "PG",
+                cioq_opt,
+                cioq_trace.len(),
+                run_cioq_linked(
+                    &cioq_cfg,
+                    &mut cioq_core::PreemptiveGreedy::new(),
+                    &cioq_trace,
+                    &link,
+                )
+                .expect("topology run"),
+            ),
+            P::Cgu => (
+                "CGU",
+                xbar_opt,
+                xbar_trace.len(),
+                run_crossbar_linked(
+                    &xbar_cfg,
+                    &mut cioq_core::CrossbarGreedyUnit::new(),
+                    &xbar_trace,
+                    &link,
+                )
+                .expect("topology run"),
+            ),
+            P::Cpg => (
+                "CPG",
+                xbar_opt,
+                xbar_trace.len(),
+                run_crossbar_linked(
+                    &xbar_cfg,
+                    &mut cioq_core::CrossbarPreemptiveGreedy::new(),
+                    &xbar_trace,
+                    &link,
+                )
+                .expect("topology run"),
+            ),
+        };
+        let mut opts = ShardedOptions::new(2).link(&link);
+        opts.mode = cioq_sim::ExecMode::Inline;
+        let sharded = match p {
+            P::Gm => run_cioq_sharded(&cioq_cfg, &ShardedGm::new(), &cioq_trace, opts),
+            P::Pg => run_cioq_sharded(&cioq_cfg, &ShardedPg::new(), &cioq_trace, opts),
+            P::Cgu => run_crossbar_sharded(&xbar_cfg, &ShardedCgu::new(), &xbar_trace, opts),
+            P::Cpg => run_crossbar_sharded(&xbar_cfg, &ShardedCpg::new(), &xbar_trace, opts),
+        }
+        .expect("sharded topology run")
+        .report;
+        let ok = reports_agree(&report, &sharded);
+        (label, inter, opt, offered, report, ok)
+    });
+
+    let mut degradation = Table::new(
+        format!(
+            "S3 — degradation vs inter-rack delay (N={n}, 2 racks, intra=0, \
+             bursty zipf, load 0.85, drained)"
+        ),
+        &[
+            "policy",
+            "inter",
+            "benefit",
+            "delivered frac",
+            "ratio vs OPT-UB(d=0)",
+            "mean latency",
+            "sharded k=2 agrees",
+        ],
+    );
+    for (label, inter, opt, offered, report, ok) in &rows {
+        degradation.push(vec![
+            label.to_string(),
+            inter.to_string(),
+            report.benefit.0.to_string(),
+            format!(
+                "{:.3}",
+                report.transmitted as f64 / (*offered).max(1) as f64
+            ),
+            format!("{:.3}", *opt as f64 / report.benefit.0.max(1) as f64),
+            format!("{:.2}", report.mean_latency()),
+            if *ok { "yes".into() } else { "DIVERGED".into() },
+        ]);
+    }
+
+    let backlog_rows = parallel_map(&points, |&(p, inter)| {
+        let link = link_for(inter);
+        let mut options = RunOptions::default().link(&link);
+        options.slots = Some(t);
+        options.drain = false;
+        options.validate = false;
+        let (label, report) = match p {
+            P::Gm => (
+                "GM",
+                Engine::new(cioq_cfg.clone(), options)
+                    .run_cioq(
+                        &mut cioq_core::GreedyMatching::new(),
+                        &mut TraceSource::new(&cioq_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+            P::Pg => (
+                "PG",
+                Engine::new(cioq_cfg.clone(), options)
+                    .run_cioq(
+                        &mut cioq_core::PreemptiveGreedy::new(),
+                        &mut TraceSource::new(&cioq_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+            P::Cgu => (
+                "CGU",
+                Engine::new(xbar_cfg.clone(), options)
+                    .run_crossbar(
+                        &mut cioq_core::CrossbarGreedyUnit::new(),
+                        &mut TraceSource::new(&xbar_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+            P::Cpg => (
+                "CPG",
+                Engine::new(xbar_cfg.clone(), options)
+                    .run_crossbar(
+                        &mut cioq_core::CrossbarPreemptiveGreedy::new(),
+                        &mut TraceSource::new(&xbar_trace),
+                    )
+                    .expect("steady-state run"),
+            ),
+        };
+        (label, inter, report)
+    });
+    let mut backlog = Table::new(
+        format!(
+            "S3 — steady-state backlog vs inter-rack delay (N={n}, 2 racks, \
+             {t} arrival slots, no drain)"
+        ),
+        &[
+            "policy",
+            "inter",
+            "transmitted",
+            "backlog (incl. in flight)",
+            "dropped",
+            "mean latency",
+        ],
+    );
+    for (label, inter, report) in &backlog_rows {
+        backlog.push(vec![
+            label.to_string(),
+            inter.to_string(),
+            report.transmitted.to_string(),
+            report.residual_count.to_string(),
+            report.losses.total_count().to_string(),
+            format!("{:.2}", report.mean_latency()),
+        ]);
+    }
+    vec![degradation, backlog]
+}
+
 /// The full suite in order, as (id, tables) pairs.
 pub fn run_all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
     vec![
@@ -1305,6 +1531,7 @@ pub fn run_all(quick: bool) -> Vec<(&'static str, Vec<Table>)> {
         ("T5", t5_ablation(quick)),
         ("S1", s1_sharded(quick)),
         ("S2", s2_delay(quick)),
+        ("S3", s3_topology(quick)),
     ]
 }
 

@@ -28,6 +28,38 @@ pub enum ConfigError {
         /// The offending count.
         got: usize,
     },
+    /// A topology declared zero racks.
+    ZeroRacks,
+    /// Rack counts exceed the supported maximum (u16 rack indices).
+    TooManyRacks {
+        /// The offending count.
+        got: usize,
+    },
+    /// A topology's per-port rack map does not cover its ports.
+    RackMapLength {
+        /// Which side ("input" / "output") is mis-sized.
+        side: &'static str,
+        /// Entries supplied.
+        got: usize,
+        /// Ports to cover.
+        want: usize,
+    },
+    /// A port was assigned to a rack outside the declared rack count.
+    RackOutOfRange {
+        /// Which side ("input" / "output") the port is on.
+        side: &'static str,
+        /// The offending rack index.
+        rack: usize,
+        /// Declared number of racks.
+        racks: usize,
+    },
+    /// A topology's latency matrix is not `racks × racks`.
+    LatencyMatrixSize {
+        /// Entries supplied.
+        got: usize,
+        /// Entries required (`racks²`).
+        want: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -41,6 +73,22 @@ impl fmt::Display for ConfigError {
             ConfigError::CrossbarMismatch { detail } => write!(f, "crossbar config: {detail}"),
             ConfigError::TooManyPorts { got } => {
                 write!(f, "port count {got} exceeds the supported maximum of 65535")
+            }
+            ConfigError::ZeroRacks => write!(f, "topology must have >= 1 rack"),
+            ConfigError::TooManyRacks { got } => {
+                write!(f, "rack count {got} exceeds the supported maximum of 65535")
+            }
+            ConfigError::RackMapLength { side, got, want } => {
+                write!(f, "{side} rack map has {got} entries, need {want}")
+            }
+            ConfigError::RackOutOfRange { side, rack, racks } => {
+                write!(
+                    f,
+                    "{side} port assigned to rack {rack}, topology has {racks}"
+                )
+            }
+            ConfigError::LatencyMatrixSize { got, want } => {
+                write!(f, "latency matrix has {got} entries, need {want} (racks^2)")
             }
         }
     }

@@ -18,6 +18,7 @@ mod error;
 mod ids;
 mod packet;
 mod time;
+mod topology;
 mod value;
 
 pub use config::{FabricKind, SwitchConfig, SwitchConfigBuilder};
@@ -25,4 +26,5 @@ pub use error::{ConfigError, ModelError};
 pub use ids::{PacketId, PortId, QueuePos};
 pub use packet::Packet;
 pub use time::{Cycle, Phase, SlotId};
+pub use topology::Topology;
 pub use value::{exceeds_factor, Benefit, Value, UNIT_VALUE};

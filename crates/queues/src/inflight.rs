@@ -3,28 +3,33 @@
 //!
 //! On an ideal (zero-latency) fabric a transfer scheduled in cycle `T[s]`
 //! is inserted into `Q_j` in the same cycle, so "how full is `Q_j`?" has a
-//! single answer. A latency-`d` fabric (multi-chassis, long cables) splits
+//! single answer. A delayed fabric (multi-chassis, long cables) splits
 //! that question in two: the *landed* occupancy (what the output line card
 //! holds) and the *scheduler's* occupancy (landed plus everything already
 //! committed to the wire). Schedulers must reserve against the latter or
-//! they overrun the buffer `d` slots later; transmission can only use the
-//! former. [`InFlight`] is the bookkeeping for the difference: a per-output
-//! multiset of the values currently in flight, with O(1) dispatch and
-//! O(in-flight per output) landing/min queries — in-flight populations are
-//! bounded by `d · ŝ` per output, so small vectors beat any ordered
-//! structure.
+//! they overrun the buffer when the transfer lands; transmission can only
+//! use the former. [`InFlight`] is the bookkeeping for the difference: a
+//! per-output multiset of `(source input, value)` entries currently in
+//! flight, with O(1) dispatch and O(in-flight per output) landing/min
+//! queries — in-flight populations are bounded by `d̂ · ŝ` per output
+//! (`d̂` the largest per-pair latency), so small vectors beat any ordered
+//! structure. Entries are tagged with their source input so a
+//! heterogeneous (per-pair latency) fabric can be audited pair by pair: a
+//! landing must match both the pair it was dispatched on and its value.
 
 use cioq_model::Value;
 
-/// Per-output in-flight accounting for a latency-`d` fabric.
+/// Per-output, per-pair in-flight accounting for a delayed fabric.
 ///
-/// Tracks, for every output `j`, the multiset of packet values dispatched
-/// toward `Q_j` and not yet landed, plus running totals for residual
-/// (conservation) accounting. Empty at all times on an immediate fabric.
+/// Tracks, for every output `j`, the multiset of `(input, value)` pairs
+/// dispatched toward `Q_j` and not yet landed, plus running totals for
+/// residual (conservation) accounting. Empty at all times on an immediate
+/// fabric.
 #[derive(Debug, Clone, Default)]
 pub struct InFlight {
-    /// Values in flight toward each output (unordered multiset).
-    values: Vec<Vec<Value>>,
+    /// `(source input, value)` entries in flight toward each output
+    /// (unordered multiset).
+    values: Vec<Vec<(u16, Value)>>,
     /// Total packets in flight (all outputs).
     total: u64,
     /// Total value in flight (all outputs).
@@ -65,34 +70,45 @@ impl InFlight {
         self.values[j].len()
     }
 
+    /// Packets in flight on the specific pair (input `i` → output `j`).
+    #[inline]
+    pub fn pair_len(&self, i: usize, j: usize) -> usize {
+        self.values[j]
+            .iter()
+            .filter(|&&(src, _)| src as usize == i)
+            .count()
+    }
+
     /// Least value in flight toward output `j`, if any.
     #[inline]
     pub fn min_value(&self, j: usize) -> Option<Value> {
-        self.values[j].iter().copied().min()
+        self.values[j].iter().map(|&(_, v)| v).min()
     }
 
-    /// Record a packet of value `v` dispatched toward output `j`.
+    /// Record a packet of value `v` dispatched from input `i` toward
+    /// output `j`.
     #[inline]
-    pub fn dispatch(&mut self, j: usize, v: Value) {
-        self.values[j].push(v);
+    pub fn dispatch(&mut self, i: usize, j: usize, v: Value) {
+        self.values[j].push((i as u16, v));
         self.total += 1;
         self.total_value += v as u128;
     }
 
-    /// Record the landing of a packet of value `v` at output `j`, removing
-    /// one matching in-flight entry.
+    /// Record the landing at output `j` of a packet of value `v` that was
+    /// dispatched from input `i`, removing one matching in-flight entry.
     ///
     /// # Panics
     ///
-    /// Panics if no packet of value `v` is in flight toward `j` — a landing
-    /// that was never dispatched is an engine bug, never a policy error.
+    /// Panics if no packet of value `v` from input `i` is in flight toward
+    /// `j` — a landing that was never dispatched (or that crossed to the
+    /// wrong pair) is an engine bug, never a policy error.
     #[inline]
-    pub fn land(&mut self, j: usize, v: Value) {
+    pub fn land(&mut self, i: usize, j: usize, v: Value) {
         let vs = &mut self.values[j];
         let pos = vs
             .iter()
-            .position(|&x| x == v)
-            .expect("landing packet must be in flight");
+            .position(|&(src, x)| src as usize == i && x == v)
+            .expect("landing packet must be in flight on its pair");
         vs.swap_remove(pos);
         self.total -= 1;
         self.total_value -= v as u128;
@@ -107,19 +123,22 @@ mod tests {
     fn dispatch_and_land_round_trip() {
         let mut f = InFlight::new(3);
         assert!(f.is_empty());
-        f.dispatch(1, 5);
-        f.dispatch(1, 2);
-        f.dispatch(2, 7);
+        f.dispatch(0, 1, 5);
+        f.dispatch(4, 1, 2);
+        f.dispatch(0, 2, 7);
         assert_eq!(f.total(), 3);
         assert_eq!(f.total_value(), 14);
         assert_eq!(f.len(1), 2);
+        assert_eq!(f.pair_len(0, 1), 1);
+        assert_eq!(f.pair_len(4, 1), 1);
+        assert_eq!(f.pair_len(4, 2), 0);
         assert_eq!(f.min_value(1), Some(2));
         assert_eq!(f.min_value(0), None);
-        f.land(1, 2);
+        f.land(4, 1, 2);
         assert_eq!(f.len(1), 1);
         assert_eq!(f.min_value(1), Some(5));
-        f.land(1, 5);
-        f.land(2, 7);
+        f.land(0, 1, 5);
+        f.land(0, 2, 7);
         assert!(f.is_empty());
         assert_eq!(f.total_value(), 0);
     }
@@ -128,6 +147,14 @@ mod tests {
     #[should_panic(expected = "must be in flight")]
     fn landing_without_dispatch_panics() {
         let mut f = InFlight::new(1);
-        f.land(0, 1);
+        f.land(0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in flight")]
+    fn landing_on_the_wrong_pair_panics() {
+        let mut f = InFlight::new(2);
+        f.dispatch(3, 0, 9);
+        f.land(2, 0, 9);
     }
 }

@@ -9,13 +9,13 @@ use crate::source::{ArrivalSource, TraceSource};
 use crate::state::SwitchState;
 use crate::stats::{RunReport, StatsRecorder};
 use crate::trace::Trace;
-use crate::transport::{DelayRing, FabricLink, InFlightPacket};
+use crate::transport::{DelayCalendar, FabricLink, FabricSpec, InFlightPacket};
 use crate::validate::check_state_invariants;
 use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig};
 use cioq_queues::SortedQueue;
 
 /// Options controlling a run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Arrival slots to simulate; defaults to the source's horizon.
     pub slots: Option<SlotId>,
@@ -26,10 +26,10 @@ pub struct RunOptions {
     /// Run full structural invariant checks after every phase (slow; meant
     /// for tests).
     pub validate: bool,
-    /// Fabric latency in slots: transfers dispatched in slot `t` land in
-    /// their output queue at the start of slot `t + d`. 0 (the default) is
-    /// the paper's same-cycle fabric. Set via [`RunOptions::link`].
-    pub fabric_delay: SlotId,
+    /// Resolved fabric transport: per-pair latencies between dispatch and
+    /// landing. The default (uniform 0) is the paper's same-cycle fabric.
+    /// Set via [`RunOptions::link`].
+    pub fabric: FabricSpec,
 }
 
 impl Default for RunOptions {
@@ -38,7 +38,7 @@ impl Default for RunOptions {
             slots: None,
             drain: true,
             validate: cfg!(debug_assertions),
-            fabric_delay: 0,
+            fabric: FabricSpec::default(),
         }
     }
 }
@@ -46,7 +46,7 @@ impl Default for RunOptions {
 impl RunOptions {
     /// Use the given fabric transport (see [`crate::transport`]).
     pub fn link(mut self, link: &dyn FabricLink) -> Self {
-        self.fabric_delay = link.delay();
+        self.fabric = link.spec();
         self
     }
 }
@@ -57,8 +57,12 @@ pub struct Engine {
     state: SwitchState,
     stats: StatsRecorder,
     options: RunOptions,
-    /// Delay line of a latency-`d` fabric (`None` = immediate fabric).
-    ring: Option<DelayRing>,
+    /// Per-pair delays (clone of `options.fabric`, kept hot for the
+    /// per-transfer lookup).
+    spec: FabricSpec,
+    /// Landing calendar of a delayed fabric (`None` = every pair
+    /// immediate).
+    calendar: Option<DelayCalendar>,
     // Scratch (reused every slot — the hot path never allocates).
     arrivals: Vec<Packet>,
     transfers: Vec<Transfer>,
@@ -73,11 +77,15 @@ impl Engine {
     pub fn new(config: SwitchConfig, options: RunOptions) -> Self {
         let n_outputs = config.n_outputs;
         let n_inputs = config.n_inputs;
+        let spec = options.fabric.clone();
+        spec.assert_covers(&config);
+        let horizon = spec.max_delay();
         Engine {
             state: SwitchState::new(config),
             stats: StatsRecorder::new(n_outputs),
             options,
-            ring: (options.fabric_delay >= 1).then(|| DelayRing::new(options.fabric_delay)),
+            spec,
+            calendar: (horizon >= 1).then(|| DelayCalendar::new(horizon)),
             arrivals: Vec::new(),
             transfers: Vec::new(),
             in_transfers: Vec::new(),
@@ -354,32 +362,36 @@ impl Engine {
         Ok(())
     }
 
-    /// Drain the delay-line bucket due at the start of `slot` into the
-    /// output queues: the landing half of every dispatch made `d` slots
-    /// ago. Bucket order is dispatch order, so per-queue operation order
-    /// matches the immediate fabric's. A `QueueFull` here is unreachable
-    /// with reservation-correct policies (the virtual occupancy they
-    /// scheduled against already counted this packet) but stays a loud
-    /// failure.
+    /// Drain the calendar bucket due at the start of `slot` into the
+    /// output queues: the landing half of every dispatch whose pair
+    /// latency expires now. The bucket arrives in the canonical landing
+    /// order `(dispatch slot, dispatch cycle, output, input)` — per output
+    /// queue that is dispatch order, so per-queue operation order matches
+    /// the uniform fabric's. A `QueueFull` here is unreachable with
+    /// reservation-correct policies (the virtual occupancy they scheduled
+    /// against already counted this packet) but stays a loud failure.
     fn land_due(&mut self, slot: SlotId) -> Result<(), PolicyError> {
-        let Some(ring) = &mut self.ring else {
+        let Some(cal) = &mut self.calendar else {
             return Ok(());
         };
-        let due = ring.take_due(slot);
-        for p in &due {
-            let (input, output) = (PortId(p.input), PortId(p.output));
-            self.state.inflight.land(output.index(), p.packet.value);
-            self.deliver_to_output(input, output, p.preempt, p.packet)?;
+        let due = cal.take_due(slot);
+        for l in &due {
+            let (input, output) = (PortId(l.p.input), PortId(l.p.output));
+            self.state
+                .inflight
+                .land(input.index(), output.index(), l.p.packet.value);
+            self.deliver_to_output(input, output, l.p.preempt, l.p.packet)?;
         }
-        if let Some(ring) = &mut self.ring {
-            ring.restore(due);
+        if let Some(cal) = &mut self.calendar {
+            cal.restore(due);
         }
         self.post_phase_check();
         Ok(())
     }
 
-    /// Hand a popped packet to the fabric: insert into `Q_j` now
-    /// (immediate), or commit it to the delay line to land `d` slots later.
+    /// Hand a popped packet to the fabric: insert into `Q_j` now (pairs at
+    /// latency 0), or commit it to the calendar to land `delay(src, dst)`
+    /// slots later.
     fn through_fabric(
         &mut self,
         input: PortId,
@@ -388,10 +400,19 @@ impl Engine {
         cycle: Cycle,
         packet: Packet,
     ) -> Result<(), PolicyError> {
-        if let Some(ring) = &mut self.ring {
-            self.state.inflight.dispatch(output.index(), packet.value);
-            ring.dispatch(
+        let d = self.spec.delay(input, output);
+        if d >= 1 {
+            let cal = self
+                .calendar
+                .as_mut()
+                .expect("positive pair delay implies a calendar");
+            self.state
+                .inflight
+                .dispatch(input.index(), output.index(), packet.value);
+            cal.dispatch(
                 cycle.slot,
+                cycle.index,
+                d,
                 InFlightPacket {
                     input: input.0,
                     output: output.0,
@@ -581,7 +602,7 @@ impl Engine {
         let mut report = self
             .stats
             .finish(policy, slots, residual_count, residual_value);
-        report.fabric_delay = self.options.fabric_delay;
+        report.fabric_delay = self.spec.max_delay();
         debug_assert_eq!(report.check_conservation(), Ok(()));
         report
     }

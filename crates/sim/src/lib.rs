@@ -60,5 +60,5 @@ pub use state::{QueueKind, SwitchState, SwitchView};
 pub use stats::{LossBreakdown, RunReport, StatsRecorder};
 pub use sync::SpinBarrier;
 pub use trace::{Trace, TraceError};
-pub use transport::{DelayLine, FabricLink, Immediate};
+pub use transport::{DelayLine, DelayMatrix, FabricLink, FabricSpec, Immediate};
 pub use validate::check_state_invariants;

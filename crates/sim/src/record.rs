@@ -20,9 +20,10 @@ pub struct RecordedSchedule {
     /// delayed fabric these are *dispatch* sets; the landings they imply
     /// follow `fabric_delay` slots later.
     pub transfers: Vec<Vec<(u16, u16)>>,
-    /// Fabric latency the transcript was produced under — a replay (e.g.
-    /// the `cioq-opt` shadow analysis) must run the same transport for the
-    /// transcript to be feasible.
+    /// Largest per-pair fabric latency the transcript was produced under
+    /// — a replay (e.g. the `cioq-opt` shadow analysis) must run the same
+    /// transport for the transcript to be feasible. 0 = the paper's
+    /// immediate fabric.
     pub fabric_delay: SlotId,
 }
 
@@ -54,7 +55,7 @@ impl<P: CioqPolicy> Recording<P> {
     /// stamping the transcript with its delay.
     pub fn with_link(inner: P, link: &dyn FabricLink) -> Self {
         let mut rec = Self::new(inner);
-        rec.schedule.fabric_delay = link.delay();
+        rec.schedule.fabric_delay = link.max_delay();
         rec
     }
 
@@ -101,7 +102,7 @@ pub struct RecordedCrossbarSchedule {
     /// Output-subphase transfers `(input, output)` per cycle (dispatch
     /// sets on a delayed fabric, like [`RecordedSchedule::transfers`]).
     pub output_transfers: Vec<Vec<(u16, u16)>>,
-    /// Fabric latency the transcript was produced under.
+    /// Largest per-pair fabric latency the transcript was produced under.
     pub fabric_delay: SlotId,
 }
 
@@ -138,7 +139,7 @@ impl<P: CrossbarPolicy> CrossbarRecording<P> {
     /// Wrap `inner` for recording a run on the given fabric transport.
     pub fn with_link(inner: P, link: &dyn FabricLink) -> Self {
         let mut rec = Self::new(inner);
-        rec.schedule.fabric_delay = link.delay();
+        rec.schedule.fabric_delay = link.max_delay();
         rec
     }
 

@@ -45,7 +45,7 @@ use crate::state::SwitchState;
 use crate::stats::{RunReport, StatsRecorder};
 use crate::sync::SpinBarrier;
 use crate::trace::Trace;
-use crate::transport::FabricLink;
+use crate::transport::{FabricLink, FabricSpec};
 use crate::validate::check_state_invariants;
 use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig, Value};
 use cioq_queues::{RowBand, SortedQueue};
@@ -143,7 +143,7 @@ pub enum ExecMode {
 
 /// Options for a sharded run (the sharded analogue of
 /// [`RunOptions`](crate::engine::RunOptions)).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedOptions {
     /// Number of shards K ≥ 1.
     pub shards: usize,
@@ -162,12 +162,14 @@ pub struct ShardedOptions {
     pub record: bool,
     /// Assemble and return the final global [`SwitchState`].
     pub capture_final_state: bool,
-    /// Fabric latency in slots (0 = the same-cycle fabric). With `d ≥ 1`
-    /// every fabric transfer — cross-shard *and* same-shard, so results
-    /// are partition-independent — rides a per-(dest, src) ring of `d`
-    /// slot-buckets and lands `d` slots after dispatch. Set via
+    /// Resolved fabric transport: per-pair latencies (the default, uniform
+    /// 0, is the same-cycle fabric). Every positive-latency fabric
+    /// transfer — cross-shard *and* same-shard, so results are
+    /// partition-independent — rides a per-(dest, src) ring of slot-buckets
+    /// and lands `delay(src, dst)` slots after dispatch; latency-0 pairs
+    /// take the mailbox path within the cycle. Set via
     /// [`ShardedOptions::link`].
-    pub fabric_delay: SlotId,
+    pub fabric: FabricSpec,
 }
 
 impl ShardedOptions {
@@ -182,13 +184,13 @@ impl ShardedOptions {
             validate: false,
             record: false,
             capture_final_state: false,
-            fabric_delay: 0,
+            fabric: FabricSpec::default(),
         }
     }
 
     /// Use the given fabric transport (see [`crate::transport`]).
     pub fn link(mut self, link: &dyn FabricLink) -> Self {
-        self.fabric_delay = link.delay();
+        self.fabric = link.spec();
         self
     }
 
@@ -753,12 +755,15 @@ struct Routed {
     packet: Packet,
 }
 
-/// A routed packet riding the delay line, tagged with its dispatch cycle:
-/// a landing slot can hold up to ŝ packets for one output (one per cycle
-/// of the dispatch slot), and with preemption their per-queue apply order
-/// matters — the landing phase sorts by `(cycle, output)` to reproduce the
-/// sequential engine's dispatch order exactly.
+/// A routed packet riding the delay line, tagged with its dispatch time:
+/// with per-pair latencies one landing slot can gather transfers
+/// dispatched in *different* slots (and up to ŝ per output within a
+/// slot), and with preemption their per-queue apply order matters — the
+/// landing phase sorts by the canonical landing order
+/// `(dispatch slot, dispatch cycle, output, input)` to reproduce the
+/// sequential engine's delivery order exactly.
 struct Delayed {
+    slot: SlotId,
     cycle: u32,
     r: Routed,
 }
@@ -775,16 +780,27 @@ struct Comms {
     out_assignments: Vec<Mutex<Vec<OutputTransfer>>>,
     /// Routed-packet mailboxes, one cell per (destination, source) pair so
     /// a flush is a buffer swap, never a copy. Same-slot transport only
-    /// (`fabric_delay == 0`); delayed transport rides `rings`.
+    /// (latency-0 pairs); positive-latency pairs ride `rings`.
     mail: Vec<Vec<Mutex<Vec<Routed>>>>,
-    /// Delay-line rings, one per (destination, source) pair, each holding
-    /// `d` slot-buckets: a dispatch in slot `t` pushes into bucket
-    /// `t % d`, the destination drains that bucket at the start of slot
-    /// `t + d` (the landing phase empties it before the slot's dispatches
-    /// refill it). Empty when `fabric_delay == 0`.
+    /// Delay-line rings, one per (destination, source) shard pair, of
+    /// *heterogeneous* depth: ring `(dest, src)` holds
+    /// `ring_depth[dest][src]` slot-buckets — the largest per-pair latency
+    /// between a source-owned input and a destination-owned output, so a
+    /// shard pair whose racks sit close never pays for the fabric's worst
+    /// path. A dispatch in slot `t` on a pair at latency `dd ≥ 1` pushes
+    /// into bucket `(t + dd) % depth`; the destination drains bucket
+    /// `t % depth` at the start of slot `t` (before the slot's dispatches
+    /// refill it), so every packet in a drained bucket is due exactly now.
+    /// Empty when the fabric is immediate.
     rings: Vec<Vec<Mutex<Vec<Vec<Delayed>>>>>,
-    /// Fabric latency in slots (0 = immediate).
-    delay: SlotId,
+    /// Bucket count of each `(dest, src)` ring (0 = all pairs immediate).
+    ring_depth: Vec<Vec<SlotId>>,
+    /// Per-pair fabric latencies.
+    spec: FabricSpec,
+    /// Largest per-pair latency (0 = immediate fabric, no landing phase).
+    horizon: SlotId,
+    /// Whether any pair delivers same-cycle (the mailbox path is live).
+    has_zero: bool,
     /// Forwarded crossbar dirty-mark batches, likewise (destination, source).
     /// Dirty marks are control-plane traffic (cache coherence for the
     /// column-side incremental caches), so they are never delayed — only
@@ -804,17 +820,38 @@ struct Comms {
 }
 
 impl Comms {
-    fn new(k: usize, record: bool, delay: SlotId) -> Self {
+    fn new(k: usize, record: bool, spec: FabricSpec, partition: &Partition) -> Self {
         fn vecs<T>(k: usize) -> Vec<Mutex<Vec<T>>> {
             (0..k).map(|_| Mutex::new(Vec::new())).collect()
         }
         fn cells<T>(k: usize) -> Vec<Vec<Mutex<Vec<T>>>> {
             (0..k).map(|_| vecs(k)).collect()
         }
-        let rings = (0..if delay >= 1 { k } else { 0 })
-            .map(|_| {
+        let horizon = spec.max_delay();
+        let has_zero = spec.has_zero_pair();
+        // Heterogeneous ring depths: ring (dest, src) only needs buckets
+        // for the worst latency between a src-owned input and a dest-owned
+        // output. One pass at run start; the slot loop never recomputes.
+        let ring_depth: Vec<Vec<SlotId>> = (0..if horizon >= 1 { k } else { 0 })
+            .map(|dest| {
                 (0..k)
-                    .map(|_| Mutex::new((0..delay).map(|_| Vec::new()).collect()))
+                    .map(|src| {
+                        let mut depth = 0;
+                        for i in partition.input_range(src) {
+                            for j in partition.output_range(dest) {
+                                depth = depth.max(spec.delay(PortId::from(i), PortId::from(j)));
+                            }
+                        }
+                        depth
+                    })
+                    .collect()
+            })
+            .collect();
+        let rings = ring_depth
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&depth| Mutex::new((0..depth).map(|_| Vec::new()).collect()))
                     .collect()
             })
             .collect();
@@ -827,7 +864,10 @@ impl Comms {
             out_assignments: vecs(k),
             mail: cells(k),
             rings,
-            delay,
+            ring_depth,
+            spec,
+            horizon,
+            has_zero,
             xbar_marks: cells(k),
             snapshot: RwLock::new(OutputSnapshot::default()),
             slot: AtomicU64::new(0),
@@ -1165,19 +1205,28 @@ fn apply_insert_phase(s: usize, fabric: &Fabric<'_>) {
 }
 
 /// Landing phase for shard `s` (delayed fabric): gather the due bucket of
-/// every (s, src) ring, order by `(dispatch cycle, output)` — per output
-/// queue that is exactly dispatch order, the order the sequential delayed
-/// engine applies — and deliver into the owned output queues.
+/// every (s, src) ring, order by the canonical landing order
+/// `(dispatch slot, dispatch cycle, output, input)` — per output queue
+/// that is exactly dispatch order, the order the sequential delayed
+/// engine applies — and deliver into the owned output queues. The
+/// canonical order is partition-independent: it mentions only global
+/// ports and dispatch times, never shard or rack boundaries.
 fn land_phase(s: usize, fabric: &Fabric<'_>, gather: &mut Vec<Delayed>) {
-    let d = fabric.comms.delay;
-    debug_assert!(d >= 1, "landing phase on an immediate fabric");
+    debug_assert!(
+        fabric.comms.horizon >= 1,
+        "landing phase on an immediate fabric"
+    );
     let slot = fabric.comms.slot.load(Ordering::Relaxed);
     gather.clear();
-    for src in &fabric.comms.rings[s] {
-        let mut cell = lock(src);
-        gather.append(&mut cell[(slot % d) as usize]);
+    for (src, cell) in fabric.comms.rings[s].iter().enumerate() {
+        let depth = fabric.comms.ring_depth[s][src];
+        if depth == 0 {
+            continue;
+        }
+        let mut cell = lock(cell);
+        gather.append(&mut cell[(slot % depth) as usize]);
     }
-    gather.sort_unstable_by_key(|p| (p.cycle, p.r.output));
+    gather.sort_unstable_by_key(|p| (p.slot, p.cycle, p.r.output, p.r.input));
     let mut st = write_shard(&fabric.shards[s]);
     for p in gather.drain(..) {
         if !deliver(&mut st, fabric, p.r) {
@@ -1264,7 +1313,6 @@ fn cioq_phase(
             *lock(&fabric.comms.candidates[s]) = out;
         }
         PH_APPLY_POP => {
-            let delay = fabric.comms.delay;
             let slot = fabric.comms.slot.load(Ordering::Relaxed);
             let cycle = fabric.comms.cycle.load(Ordering::Relaxed);
             let mut asg = std::mem::take(&mut *lock(&fabric.comms.assignments[s]));
@@ -1278,7 +1326,9 @@ fn cioq_phase(
                     .mail
                     .iter()
                     .enumerate()
-                    .map(|(dest, cells)| (delay == 0 && dest != s).then(|| lock(&cells[s])))
+                    .map(|(dest, cells)| {
+                        (fabric.comms.has_zero && dest != s).then(|| lock(&cells[s]))
+                    })
                     .collect();
                 let mut ring_boxes: Vec<MutexGuard<'_, Vec<Vec<Delayed>>>> = fabric
                     .comms
@@ -1316,11 +1366,17 @@ fn cioq_phase(
                         packet,
                     };
                     let dest = fabric.partition.output_owner(j);
-                    if delay >= 1 {
-                        // Every fabric transfer — same-shard included, so
-                        // results are partition-independent — rides the
-                        // delay line and lands d slots later.
-                        ring_boxes[dest][(slot % delay) as usize].push(Delayed { cycle, r });
+                    let dd = fabric.comms.spec.delay(t.input, t.output);
+                    if dd >= 1 {
+                        // Every positive-latency transfer — same-shard
+                        // included, so results are partition-independent —
+                        // rides the delay line and lands `dd` slots later.
+                        let depth = fabric.comms.ring_depth[dest][s];
+                        ring_boxes[dest][((slot + dd) % depth) as usize].push(Delayed {
+                            slot,
+                            cycle,
+                            r,
+                        });
                     } else if dest == s {
                         // Both endpoints owned: skip the mailbox round-trip
                         // (inserts touch `Q_j`, pops touch `Q_ij` — the
@@ -1456,7 +1512,6 @@ fn xbar_phase(
             ctx.inbound_scratch = inbound;
         }
         PH_APPLY_OUT_POP => {
-            let delay = fabric.comms.delay;
             let slot = fabric.comms.slot.load(Ordering::Relaxed);
             let cycle = fabric.comms.cycle.load(Ordering::Relaxed);
             let mut asg = std::mem::take(&mut *lock(&fabric.comms.out_assignments[s]));
@@ -1466,7 +1521,9 @@ fn xbar_phase(
                     .mail
                     .iter()
                     .enumerate()
-                    .map(|(dest, cells)| (delay == 0 && dest != s).then(|| lock(&cells[s])))
+                    .map(|(dest, cells)| {
+                        (fabric.comms.has_zero && dest != s).then(|| lock(&cells[s]))
+                    })
                     .collect();
                 let mut ring_boxes: Vec<MutexGuard<'_, Vec<Vec<Delayed>>>> = fabric
                     .comms
@@ -1504,8 +1561,14 @@ fn xbar_phase(
                         preempt: t.preempt_if_full,
                         packet,
                     };
-                    if delay >= 1 {
-                        ring_boxes[dest][(slot % delay) as usize].push(Delayed { cycle, r });
+                    let dd = fabric.comms.spec.delay(t.input, t.output);
+                    if dd >= 1 {
+                        let depth = fabric.comms.ring_depth[dest][s];
+                        ring_boxes[dest][((slot + dd) % depth) as usize].push(Delayed {
+                            slot,
+                            cycle,
+                            r,
+                        });
                     } else if dest == s {
                         if !deliver(st, fabric, r) {
                             break;
@@ -1738,7 +1801,7 @@ fn finish_run(
     let admissions = admits.into_iter().map(|(_, a)| a).collect();
     let (residual_count, residual_value) = fabric.residual();
     let mut report = merged.finish(name, slots, residual_count, residual_value);
-    report.fabric_delay = options.fabric_delay;
+    report.fabric_delay = options.fabric.max_delay();
     debug_assert_eq!(report.check_conservation(), Ok(()));
     (report, final_state, admissions)
 }
@@ -1770,10 +1833,12 @@ pub fn run_cioq_sharded(
         cfg.crossbar_capacity.is_none(),
         "run_cioq_sharded requires a CIOQ config"
     );
+    options.fabric.assert_covers(cfg);
     let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
     let k = partition.k();
     let arrival_slots = options.slots.unwrap_or_else(|| trace.arrival_slots());
     let arrivals = prebucket_arrivals(cfg, &partition, trace, arrival_slots)?;
+    let comms = Comms::new(k, options.record, options.fabric.clone(), &partition);
     let fabric = Fabric {
         cfg,
         shards: (0..k)
@@ -1781,14 +1846,15 @@ pub fn run_cioq_sharded(
             .collect(),
         partition,
         arrivals,
-        comms: Comms::new(k, options.record, options.fabric_delay),
+        comms,
     };
     let workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
         .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
         .collect();
 
     let speedup = cfg.speedup;
-    let delay = options.fabric_delay;
+    let horizon = fabric.comms.horizon;
+    let has_zero = fabric.comms.has_zero;
     let mut recorded: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut final_slot: SlotId = 0;
 
@@ -1818,7 +1884,7 @@ pub fn run_cioq_sharded(
                 fabric.comms.slot.store(slot, Ordering::Relaxed);
                 let (tx_before, moved_before) = fabric.progress();
 
-                if delay >= 1 {
+                if horizon >= 1 {
                     do_phase(PH_LAND)?;
                 }
                 if in_arrival_window {
@@ -1869,7 +1935,7 @@ pub fn run_cioq_sharded(
                     }
 
                     do_phase(PH_APPLY_POP)?;
-                    if delay == 0 {
+                    if has_zero {
                         do_phase(PH_APPLY_INSERT)?;
                     }
                 }
@@ -1895,7 +1961,7 @@ pub fn run_cioq_sharded(
         schedule: options.record.then_some(RecordedSchedule {
             admissions,
             transfers: recorded,
-            fabric_delay: options.fabric_delay,
+            fabric_delay: options.fabric.max_delay(),
         }),
         crossbar_schedule: None,
         final_state,
@@ -1917,10 +1983,12 @@ pub fn run_crossbar_sharded(
         cfg.crossbar_capacity.is_some(),
         "run_crossbar_sharded requires a crossbar config"
     );
+    options.fabric.assert_covers(cfg);
     let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
     let k = partition.k();
     let arrival_slots = options.slots.unwrap_or_else(|| trace.arrival_slots());
     let arrivals = prebucket_arrivals(cfg, &partition, trace, arrival_slots)?;
+    let comms = Comms::new(k, options.record, options.fabric.clone(), &partition);
     let fabric = Fabric {
         cfg,
         shards: (0..k)
@@ -1928,14 +1996,15 @@ pub fn run_crossbar_sharded(
             .collect(),
         partition,
         arrivals,
-        comms: Comms::new(k, options.record, options.fabric_delay),
+        comms,
     };
     let workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
         .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
         .collect();
 
     let speedup = cfg.speedup;
-    let delay = options.fabric_delay;
+    let horizon = fabric.comms.horizon;
+    let has_zero = fabric.comms.has_zero;
     let mut rec_in: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut rec_out: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut final_slot: SlotId = 0;
@@ -1962,7 +2031,7 @@ pub fn run_crossbar_sharded(
                 fabric.comms.slot.store(slot, Ordering::Relaxed);
                 let (tx_before, moved_before) = fabric.progress();
 
-                if delay >= 1 {
+                if horizon >= 1 {
                     do_phase(PH_LAND)?;
                 }
                 if in_arrival_window {
@@ -2031,7 +2100,7 @@ pub fn run_crossbar_sharded(
                         }
                     }
                     do_phase(PH_APPLY_OUT_POP)?;
-                    if delay == 0 {
+                    if has_zero {
                         do_phase(PH_APPLY_INSERT)?;
                     }
                 }
@@ -2059,7 +2128,7 @@ pub fn run_crossbar_sharded(
             admissions,
             input_transfers: rec_in,
             output_transfers: rec_out,
-            fabric_delay: options.fabric_delay,
+            fabric_delay: options.fabric.max_delay(),
         }),
         final_state,
     })

@@ -251,6 +251,15 @@ impl<'a> SwitchView<'a> {
         self.state.inflight.len(output.index())
     }
 
+    /// Packets currently in flight on the specific pair
+    /// (input `i` → output `j`) — the per-pair slice of the virtual
+    /// occupancy, meaningful on heterogeneous (topology-aware) fabrics
+    /// where different pairs ride paths of different latency.
+    #[inline]
+    pub fn output_in_flight_from(&self, input: PortId, output: PortId) -> usize {
+        self.state.inflight.pair_len(input.index(), output.index())
+    }
+
     /// Queues dirtied since the engine's last scheduling call, plus the
     /// flush counter incremental policies use as a consistency handshake.
     #[inline]

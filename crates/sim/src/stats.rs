@@ -190,9 +190,10 @@ pub struct RunReport {
     /// Value still buffered when the run ended (including packets in
     /// flight through a delayed fabric).
     pub residual_value: u128,
-    /// Fabric latency `d` (slots between dispatch and landing) the run was
-    /// executed under; 0 = the paper's immediate fabric. Set by the engine
-    /// from its [`FabricLink`](crate::FabricLink).
+    /// Largest per-pair fabric latency (slots between dispatch and
+    /// landing) the run was executed under; 0 = the paper's immediate
+    /// fabric. Set by the engine from its [`FabricLink`](crate::FabricLink)
+    /// spec — a topology-aware run reports its worst path here.
     pub fabric_delay: SlotId,
 }
 

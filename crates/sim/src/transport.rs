@@ -3,47 +3,74 @@
 //!
 //! The paper's model assumes transfers land in the same cycle they are
 //! scheduled — true inside one chassis, false across a multi-rack fabric,
-//! where a transfer dispatched in slot `t` lands `d` slots later (the
-//! distributed-scheduling regime of Ye–Shen–Panwar). [`FabricLink`] is the
-//! seam: [`Immediate`] is the paper's `d = 0` fast path, [`DelayLine`] the
-//! latency-`d` fabric. Both engines (sequential and sharded) accept any
-//! link and implement identical semantics:
+//! where a transfer dispatched in slot `t` lands later (the
+//! distributed-scheduling regime of Ye–Shen–Panwar), and *how much* later
+//! depends on which racks the two ports live in. [`FabricLink`] is the
+//! seam, and its contract is **per pair**: `delay(src, dst)` is the
+//! latency, in slots, from input port `src` to output port `dst`.
+//!
+//! * [`Immediate`] — the paper's fabric: every pair at latency 0.
+//! * [`DelayLine`] — one uniform latency `d` for every pair.
+//! * [`DelayMatrix`] — a [`Topology`]: ports grouped into racks with a
+//!   per-(rack, rack) latency matrix (`TwoTier`, explicit, …).
+//!
+//! Both engines (sequential and sharded) accept any link and implement
+//! identical semantics:
 //!
 //! * **Dispatch** (scheduling cycle): the packet is popped from its source
-//!   queue and committed to the wire. For `d ≥ 1` it enters a ring of `d`
-//!   slot-buckets and is counted *in flight* toward its output.
+//!   queue and committed to the wire. A pair at latency 0 delivers within
+//!   the cycle (the immediate path); a pair at `d ≥ 1` enters a ring of
+//!   slot-buckets, is counted *in flight* toward its output, and lands `d`
+//!   slots later.
 //! * **Eligibility**: schedulers see the *virtual* occupancy of every
 //!   output — landed packets plus packets in flight — so non-preempting
 //!   policies never overrun a buffer they cannot observe, and preemption
 //!   thresholds compare against the least value of the virtual queue.
-//! * **Landing** (start of slot `t + d`, before arrivals): the due bucket
-//!   drains into the output queues in dispatch order (by cycle, then
-//!   output); a landing into a full queue preempts `l_j` iff the original
-//!   transfer allowed it. Transfer statistics count at landing.
+//! * **Landing** (start of slot `t`, before arrivals): every transfer due
+//!   at `t` is delivered in the **canonical landing order**, sorted by
+//!   `(landing slot, dispatch slot, dispatch cycle, output, input)`. With
+//!   heterogeneous delays, transfers dispatched in *different* slots can
+//!   land together; the canonical order makes the landing phase
+//!   well-defined and identical across engines and shard partitions. Per
+//!   output queue it reduces to dispatch order (at most one transfer
+//!   enters an output per cycle), so a constant matrix reproduces the
+//!   uniform delay line bit for bit. A landing into a full queue preempts
+//!   `l_j` iff the original transfer allowed it; transfer statistics count
+//!   at landing.
 //! * **Transmission** only ever sends landed packets.
 //!
-//! `DelayLine { d: 0 }` normalises to [`Immediate`]: the two are one code
-//! path, so their bit-identity is structural, and the `d = 0` regression
-//! suite in `cioq-core` guards the normalisation itself.
+//! `DelayLine { d: 0 }` and an all-zero matrix behave exactly like
+//! [`Immediate`]: a zero-latency pair takes the immediate per-transfer
+//! path, so the bit-identity is structural; the `d = 0` regression suite
+//! in `cioq-core` guards it.
 
-use cioq_model::{Packet, SlotId, Value};
+use cioq_model::{Packet, PortId, SlotId, SwitchConfig, Topology, Value};
 use cioq_queues::InFlight;
+use std::sync::Arc;
 
 /// A model of the fabric between dispatch and landing.
 ///
-/// Implementations are stateless descriptors — engines read
-/// [`FabricLink::delay`] once at run start and own all transport state.
+/// Implementations are stateless descriptors — engines resolve
+/// [`FabricLink::spec`] once at run start and own all transport state.
 pub trait FabricLink: std::fmt::Debug {
-    /// Slots between a transfer's dispatch and its landing in the output
-    /// queue. `0` means same-cycle delivery (the paper's model).
-    fn delay(&self) -> SlotId;
+    /// The resolved per-pair delay description engines run on.
+    fn spec(&self) -> FabricSpec;
+
+    /// Slots between a transfer's dispatch at input `src` and its landing
+    /// in output queue `dst`. `0` means same-cycle delivery (the paper's
+    /// model).
+    fn delay(&self, src: PortId, dst: PortId) -> SlotId {
+        self.spec().delay(src, dst)
+    }
+
+    /// Largest per-pair latency this link can produce.
+    fn max_delay(&self) -> SlotId {
+        self.spec().max_delay()
+    }
 
     /// Short human-readable label for reports and tables.
     fn label(&self) -> String {
-        match self.delay() {
-            0 => "immediate".to_string(),
-            d => format!("delay-line(d={d})"),
-        }
+        self.spec().label()
     }
 }
 
@@ -53,13 +80,14 @@ pub struct Immediate;
 
 impl FabricLink for Immediate {
     #[inline]
-    fn delay(&self) -> SlotId {
-        0
+    fn spec(&self) -> FabricSpec {
+        FabricSpec::uniform(0)
     }
 }
 
-/// A latency-`d` fabric: transfers dispatched in slot `t` land at the
-/// start of slot `t + d`. `d = 0` behaves exactly like [`Immediate`].
+/// A uniform latency-`d` fabric: every transfer dispatched in slot `t`
+/// lands at the start of slot `t + d`. `d = 0` behaves exactly like
+/// [`Immediate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DelayLine {
     /// Fabric latency in slots.
@@ -68,8 +96,157 @@ pub struct DelayLine {
 
 impl FabricLink for DelayLine {
     #[inline]
-    fn delay(&self) -> SlotId {
-        self.d
+    fn spec(&self) -> FabricSpec {
+        FabricSpec::uniform(self.d)
+    }
+}
+
+/// A topology-aware fabric: per-pair latencies from a rack/chassis model
+/// (see [`Topology`]). A constant matrix is bit-identical to
+/// [`DelayLine`] at that constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayMatrix {
+    topology: Arc<Topology>,
+}
+
+impl DelayMatrix {
+    /// A link over the given topology.
+    pub fn new(topology: Topology) -> Self {
+        DelayMatrix {
+            topology: Arc::new(topology),
+        }
+    }
+
+    /// The topology driving this link.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+impl FabricLink for DelayMatrix {
+    #[inline]
+    fn spec(&self) -> FabricSpec {
+        FabricSpec(SpecRepr::Matrix(Arc::clone(&self.topology)))
+    }
+
+    #[inline]
+    fn delay(&self, src: PortId, dst: PortId) -> SlotId {
+        self.topology.delay(src, dst)
+    }
+
+    #[inline]
+    fn max_delay(&self) -> SlotId {
+        self.topology.max_delay()
+    }
+
+    fn label(&self) -> String {
+        self.topology.label()
+    }
+}
+
+/// Resolved, engine-owned description of a fabric transport: either one
+/// uniform latency or a shared [`Topology`]. This is what run options carry
+/// and what the per-transfer hot path reads (two rack lookups plus one
+/// matrix index in the matrix case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricSpec(SpecRepr);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SpecRepr {
+    Uniform(SlotId),
+    Matrix(Arc<Topology>),
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec::uniform(0)
+    }
+}
+
+impl FabricSpec {
+    /// Every pair at latency `d` (0 = the paper's immediate fabric).
+    pub fn uniform(d: SlotId) -> Self {
+        FabricSpec(SpecRepr::Uniform(d))
+    }
+
+    /// Per-pair latencies from a topology.
+    pub fn matrix(topology: Topology) -> Self {
+        FabricSpec(SpecRepr::Matrix(Arc::new(topology)))
+    }
+
+    /// Latency of the pair (input `src` → output `dst`), in slots.
+    #[inline]
+    pub fn delay(&self, src: PortId, dst: PortId) -> SlotId {
+        match &self.0 {
+            SpecRepr::Uniform(d) => *d,
+            SpecRepr::Matrix(t) => t.delay(src, dst),
+        }
+    }
+
+    /// Smallest per-pair latency.
+    #[inline]
+    pub fn min_delay(&self) -> SlotId {
+        match &self.0 {
+            SpecRepr::Uniform(d) => *d,
+            SpecRepr::Matrix(t) => t.min_delay(),
+        }
+    }
+
+    /// Largest per-pair latency (engines size their rings by this).
+    #[inline]
+    pub fn max_delay(&self) -> SlotId {
+        match &self.0 {
+            SpecRepr::Uniform(d) => *d,
+            SpecRepr::Matrix(t) => t.max_delay(),
+        }
+    }
+
+    /// Whether any pair delivers same-cycle (the immediate per-transfer
+    /// path is live).
+    #[inline]
+    pub fn has_zero_pair(&self) -> bool {
+        self.min_delay() == 0
+    }
+
+    /// Whether every pair delivers same-cycle (no transport state at all).
+    #[inline]
+    pub fn is_immediate(&self) -> bool {
+        self.max_delay() == 0
+    }
+
+    /// The topology, when this spec is matrix-backed.
+    #[inline]
+    pub fn topology(&self) -> Option<&Topology> {
+        match &self.0 {
+            SpecRepr::Uniform(_) => None,
+            SpecRepr::Matrix(t) => Some(t),
+        }
+    }
+
+    /// Short human-readable label for reports and tables.
+    pub fn label(&self) -> String {
+        match &self.0 {
+            SpecRepr::Uniform(0) => "immediate".to_string(),
+            SpecRepr::Uniform(d) => format!("delay-line(d={d})"),
+            SpecRepr::Matrix(t) => t.label(),
+        }
+    }
+
+    /// Panic unless a matrix-backed spec covers exactly the switch's ports
+    /// — running a topology sized for a different switch is a programming
+    /// error, caught loudly at run start.
+    pub(crate) fn assert_covers(&self, cfg: &SwitchConfig) {
+        if let Some(t) = self.topology() {
+            assert!(
+                t.n_inputs() == cfg.n_inputs && t.n_outputs() == cfg.n_outputs,
+                "topology covers {}x{} ports but the switch is {}x{}",
+                t.n_inputs(),
+                t.n_outputs(),
+                cfg.n_inputs,
+                cfg.n_outputs,
+            );
+        }
     }
 }
 
@@ -87,49 +264,75 @@ pub(crate) struct InFlightPacket {
     pub packet: Packet,
 }
 
-/// The sequential engine's delay line: `d` slot-buckets plus the
-/// per-output in-flight accounting views read eligibility from.
-///
-/// A dispatch in slot `t` pushes into bucket `t % d`; the landing phase of
-/// slot `t` drains bucket `t % d` *before* any dispatch of slot `t`, so
-/// the bucket a slot refills is always the one just emptied.
+/// A committed packet riding the calendar, tagged with its dispatch time
+/// for the canonical landing sort.
 #[derive(Debug, Clone)]
-pub(crate) struct DelayRing {
-    d: SlotId,
-    buckets: Vec<Vec<InFlightPacket>>,
-    /// Drain scratch (swapped with the due bucket to avoid allocation).
-    scratch: Vec<InFlightPacket>,
+pub(crate) struct Landing {
+    /// Slot the transfer was dispatched in.
+    pub slot: SlotId,
+    /// Scheduling cycle (within the dispatch slot) of the transfer.
+    pub cycle: u32,
+    /// The committed packet.
+    pub p: InFlightPacket,
 }
 
-impl DelayRing {
-    /// A ring for a latency-`d` fabric (`d ≥ 1`).
-    pub(crate) fn new(d: SlotId) -> Self {
-        assert!(d >= 1, "DelayRing models d >= 1; use the immediate path");
-        DelayRing {
-            d,
-            buckets: (0..d).map(|_| Vec::new()).collect(),
+/// The sequential engine's transport state: a calendar of
+/// `horizon = max_delay` slot-buckets, shared by every pair. A dispatch in
+/// slot `t` on a pair at latency `d` (`1 ≤ d ≤ horizon`) pushes into
+/// bucket `(t + d) % horizon`; the landing phase of slot `t` drains bucket
+/// `t % horizon` *before* any dispatch of slot `t`, so every packet found
+/// in a bucket is due exactly now (for any mix of pair latencies: the slot
+/// a bucket next drains at is the only landing slot a later dispatch could
+/// have mapped onto it).
+///
+/// The drained bucket is sorted into the canonical landing order
+/// `(dispatch slot, dispatch cycle, output, input)` — per output queue
+/// that is dispatch order, which is what the uniform delay line delivered.
+#[derive(Debug, Clone)]
+pub(crate) struct DelayCalendar {
+    horizon: SlotId,
+    buckets: Vec<Vec<Landing>>,
+    /// Drain scratch (swapped with the due bucket to avoid allocation).
+    scratch: Vec<Landing>,
+}
+
+impl DelayCalendar {
+    /// A calendar for a fabric whose largest pair latency is `horizon`
+    /// (`≥ 1`; latency-0 pairs never enter the calendar).
+    pub(crate) fn new(horizon: SlotId) -> Self {
+        assert!(horizon >= 1, "calendar models max delay >= 1");
+        DelayCalendar {
+            horizon,
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
             scratch: Vec::new(),
         }
     }
 
-    /// Commit a packet dispatched in `slot` to land at `slot + d`.
+    /// Commit a packet dispatched in cycle `cycle` on a pair at latency
+    /// `d ≥ 1` to land at the start of slot `cycle.slot + d`.
     #[inline]
-    pub(crate) fn dispatch(&mut self, slot: SlotId, p: InFlightPacket) {
-        self.buckets[(slot % self.d) as usize].push(p);
+    pub(crate) fn dispatch(&mut self, slot: SlotId, cycle: u32, d: SlotId, p: InFlightPacket) {
+        debug_assert!((1..=self.horizon).contains(&d), "pair delay out of range");
+        self.buckets[((slot + d) % self.horizon) as usize].push(Landing { slot, cycle, p });
     }
 
-    /// Take the bucket due to land at the start of `slot` (dispatch order
-    /// preserved). Return the drained buffer via [`DelayRing::restore`].
+    /// Take the bucket due to land at the start of `slot`, sorted into the
+    /// canonical landing order. Return the drained buffer via
+    /// [`DelayCalendar::restore`].
     #[inline]
-    pub(crate) fn take_due(&mut self, slot: SlotId) -> Vec<InFlightPacket> {
-        let bucket = &mut self.buckets[(slot % self.d) as usize];
+    pub(crate) fn take_due(&mut self, slot: SlotId) -> Vec<Landing> {
+        let bucket = &mut self.buckets[(slot % self.horizon) as usize];
         std::mem::swap(bucket, &mut self.scratch);
-        std::mem::take(&mut self.scratch)
+        let mut due = std::mem::take(&mut self.scratch);
+        // Canonical landing order (see module docs). The key is unique:
+        // at most one transfer enters an output per cycle.
+        due.sort_unstable_by_key(|l| (l.slot, l.cycle, l.p.output, l.p.input));
+        due
     }
 
     /// Give a drained buffer back for reuse.
     #[inline]
-    pub(crate) fn restore(&mut self, mut buf: Vec<InFlightPacket>) {
+    pub(crate) fn restore(&mut self, mut buf: Vec<Landing>) {
         buf.clear();
         self.scratch = buf;
     }
@@ -161,10 +364,19 @@ pub(crate) mod virtualq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cioq_model::{PacketId, PortId};
+    use cioq_model::PacketId;
 
     fn pkt(v: Value) -> Packet {
         Packet::new(PacketId(0), v, 0, PortId(0), PortId(0))
+    }
+
+    fn mk(input: u16, output: u16, v: Value) -> InFlightPacket {
+        InFlightPacket {
+            input,
+            output,
+            preempt: false,
+            packet: pkt(v),
+        }
     }
 
     #[test]
@@ -172,34 +384,63 @@ mod tests {
         assert_eq!(Immediate.label(), "immediate");
         assert_eq!(DelayLine { d: 0 }.label(), "immediate");
         assert_eq!(DelayLine { d: 4 }.label(), "delay-line(d=4)");
+        let topo = Topology::two_tier(4, 4, 2, 1, 3).unwrap();
+        assert!(DelayMatrix::new(topo).label().contains("2 racks"));
+        assert_eq!(
+            DelayMatrix::new(Topology::uniform(4, 4, 0)).label(),
+            "immediate"
+        );
     }
 
     #[test]
-    fn ring_lands_exactly_d_slots_later() {
-        let mut ring = DelayRing::new(3);
-        let mk = |v| InFlightPacket {
-            input: 0,
-            output: 0,
-            preempt: false,
-            packet: pkt(v),
-        };
-        ring.dispatch(5, mk(10));
-        ring.dispatch(5, mk(11));
-        ring.dispatch(6, mk(12));
+    fn specs_resolve_per_pair() {
+        let topo = Topology::two_tier(4, 4, 2, 0, 3).unwrap();
+        let spec = DelayMatrix::new(topo).spec();
+        assert_eq!(spec.delay(PortId(0), PortId(1)), 0, "intra-rack");
+        assert_eq!(spec.delay(PortId(0), PortId(3)), 3, "cross-rack");
+        assert!(spec.has_zero_pair());
+        assert!(!spec.is_immediate());
+        assert_eq!(spec.max_delay(), 3);
+        let uniform = DelayLine { d: 2 }.spec();
+        assert_eq!(uniform.delay(PortId(3), PortId(0)), 2);
+        assert!(!uniform.has_zero_pair());
+    }
+
+    #[test]
+    fn calendar_lands_exactly_d_slots_later() {
+        let mut cal = DelayCalendar::new(3);
+        cal.dispatch(5, 0, 3, mk(0, 0, 10));
+        cal.dispatch(5, 1, 3, mk(0, 0, 11));
+        cal.dispatch(6, 0, 3, mk(0, 0, 12));
         // Slot 7: nothing due (dispatched at 5 → lands 8; at 6 → lands 9).
-        let due = ring.take_due(7);
+        let due = cal.take_due(7);
         assert!(due.is_empty());
-        ring.restore(due);
-        let due = ring.take_due(8);
+        cal.restore(due);
+        let due = cal.take_due(8);
         assert_eq!(due.len(), 2, "slot-5 dispatches land at slot 8");
         assert_eq!(
-            (due[0].packet.value, due[1].packet.value),
+            (due[0].p.packet.value, due[1].p.packet.value),
             (10, 11),
-            "dispatch order preserved"
+            "dispatch (cycle) order preserved"
         );
-        ring.restore(due);
-        let due = ring.take_due(9);
+        cal.restore(due);
+        let due = cal.take_due(9);
         assert_eq!(due.len(), 1, "slot-6 dispatch lands at slot 9");
-        ring.restore(due);
+        cal.restore(due);
+    }
+
+    #[test]
+    fn heterogeneous_delays_share_one_calendar() {
+        // Pair latencies 1 and 3 under one horizon-3 calendar: a slot-2
+        // dispatch at d=3 and a slot-4 dispatch at d=1 both land at 5, and
+        // the canonical order puts the older dispatch first.
+        let mut cal = DelayCalendar::new(3);
+        cal.dispatch(2, 0, 3, mk(7, 1, 30));
+        cal.dispatch(4, 0, 1, mk(3, 0, 10));
+        let due = cal.take_due(5);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].slot, 2, "earlier dispatch lands first");
+        assert_eq!(due[1].slot, 4);
+        cal.restore(due);
     }
 }

@@ -87,3 +87,17 @@ fn s2_delay_sweep_degrades_monotonically_enough() {
     assert_eq!(tables[0].len(), 20);
     assert_eq!(tables[1].len(), 20);
 }
+
+#[test]
+fn s3_topology_sweep_agrees_with_sequential() {
+    let tables = suite::s3_topology(true);
+    assert_eq!(tables.len(), 2);
+    let degradation = tables[0].render();
+    assert!(
+        !degradation.contains("DIVERGED"),
+        "sharded DelayMatrix diverged from the topology-aware sequential engine:\n{degradation}"
+    );
+    // 4 policies × inter ∈ {0, 1, 2, 4, 8} in both tables.
+    assert_eq!(tables[0].len(), 20);
+    assert_eq!(tables[1].len(), 20);
+}

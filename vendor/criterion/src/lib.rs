@@ -220,6 +220,18 @@ impl Criterion {
             eprintln!("criterion stand-in: cannot open {path}");
             return;
         };
+        // Tag the snapshot with the recording machine and its thread count
+        // so regression tooling (`bench_compare --history`) can band
+        // same-machine entries together and treat cross-machine ratios as
+        // coarse. One meta line per bench binary; last one wins on parse.
+        let _ = writeln!(
+            file,
+            "{{\"meta\":\"host\",\"machine\":\"{}\",\"threads\":{}}}",
+            machine_name(),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
         for r in &self.results {
             let thrpt = match r.throughput {
                 Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
@@ -238,6 +250,32 @@ impl Criterion {
 impl Drop for Criterion {
     fn drop(&mut self) {
         self.write_baseline();
+    }
+}
+
+/// The recording machine's name: `CRITERION_MACHINE` override, else the
+/// hostname, else `"unknown"`. Characters that would corrupt the JSON
+/// meta line (quotes, backslashes, control characters) are stripped.
+fn machine_name() -> String {
+    let raw = std::env::var("CRITERION_MACHINE")
+        .ok()
+        .filter(|m| !m.is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|h| !h.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string());
+    let clean: String = raw
+        .chars()
+        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+        .collect();
+    if clean.is_empty() {
+        "unknown".to_string()
+    } else {
+        clean
     }
 }
 
