@@ -1,0 +1,476 @@
+//! A hand-rolled Rust token scanner: just enough lexing to drive the
+//! detlint rulebook without a parser dependency (the build environment is
+//! vendored-only, so `syn`-style crates are off the table — and the rules
+//! only need identifiers, punctuation, and comment association anyway).
+//!
+//! The scanner understands line comments, (nested) block comments, string
+//! and raw-string literals, byte strings, char literals vs lifetimes, and
+//! numeric literals, so rule patterns never fire on text inside strings or
+//! comments. Output is a flat token stream with line numbers plus a
+//! per-line comment table that the justification rules (`// SAFETY:`,
+//! `// ORDERING:`, `// detlint: allow(...)`) read.
+
+use std::collections::{HashMap, HashSet};
+
+/// One lexical token. Literal contents are deliberately dropped: no rule
+/// matches inside a literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident {
+        /// The identifier text.
+        text: String,
+        /// 1-based source line of the first character.
+        line: u32,
+    },
+    /// A single punctuation character.
+    Punct {
+        /// The character.
+        ch: char,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A string/char/numeric literal (contents dropped).
+    Lit {
+        /// 1-based source line of the first character.
+        line: u32,
+    },
+}
+
+impl Tok {
+    /// Source line of the token.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tok::Ident { line, .. } | Tok::Punct { line, .. } | Tok::Lit { line } => *line,
+        }
+    }
+
+    /// The identifier text, when this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct { ch, .. } if *ch == c)
+    }
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub toks: Vec<Tok>,
+    /// Comment text by line: every line that carries (part of) a comment
+    /// maps to the concatenated comment text on that line.
+    pub comments: HashMap<u32, String>,
+    /// Lines that carry at least one token (used to tell comment-only
+    /// lines from code lines when associating justification comments).
+    pub token_lines: HashSet<u32>,
+    /// For each line with tokens, the last punctuation character on it
+    /// (used to spot statement boundaries in upward comment scans).
+    pub last_punct: HashMap<u32, char>,
+}
+
+impl Lexed {
+    /// Whether `line` consists of comment/whitespace only.
+    pub fn is_comment_only(&self, line: u32) -> bool {
+        self.comments.contains_key(&line) && !self.token_lines.contains(&line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comment tables.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let note_comment = |out: &mut Lexed, line: u32, text: &str| {
+        let entry = out.comments.entry(line).or_default();
+        if !entry.is_empty() {
+            entry.push(' ');
+        }
+        entry.push_str(text.trim());
+    };
+    let push = |out: &mut Lexed, tok: Tok| {
+        out.token_lines.insert(tok.line());
+        if let Tok::Punct { ch, line } = tok {
+            out.last_punct.insert(line, ch);
+        }
+        out.toks.push(tok);
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            note_comment(&mut out, line, &text);
+            continue;
+        }
+        // Block comment, possibly nested, possibly spanning lines.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            let mut seg = String::from("/*");
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    note_comment(&mut out, line, &seg);
+                    seg.clear();
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    seg.push_str("/*");
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    seg.push_str("*/");
+                    i += 2;
+                    continue;
+                }
+                seg.push(chars[i]);
+                i += 1;
+            }
+            if !seg.is_empty() {
+                note_comment(&mut out, line, &seg);
+            }
+            continue;
+        }
+        // Raw strings / byte strings: r"...", r#"..."#, br"...", b"...".
+        if c == 'r' || c == 'b' {
+            if let Some((next_i, next_line)) = try_raw_or_byte_string(&chars, i, line) {
+                push(&mut out, Tok::Lit { line });
+                i = next_i;
+                line = next_line;
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            push(&mut out, Tok::Ident { text, line });
+            continue;
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            push(&mut out, Tok::Lit { line });
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: consume to the closing quote.
+                push(&mut out, Tok::Lit { line });
+                i += 2;
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                // Plain char literal 'x'.
+                push(&mut out, Tok::Lit { line });
+                i += 3;
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                // Lifetime: skip the quote and let the identifier path
+                // consume the name (rules never match lifetime names, and
+                // a stray `static` ident is harmless).
+                i += 1;
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let _ = start;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Numeric literal (good enough: stops before `..` ranges).
+        if c.is_ascii_digit() {
+            push(&mut out, Tok::Lit { line });
+            i += 1;
+            while i < n {
+                let d = chars[i];
+                let in_number = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && i + 1 < n && chars[i + 1].is_ascii_digit());
+                if !in_number {
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        push(&mut out, Tok::Punct { ch: c, line });
+        i += 1;
+    }
+    out
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`, `br"`, …) or byte
+/// string (`b"`), consume it and return `(next index, next line)`.
+fn try_raw_or_byte_string(chars: &[char], i: usize, mut line: u32) -> Option<(usize, u32)> {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == '"' {
+            // Byte string b"...": same escape rules as a plain string.
+            j += 1;
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    '"' => return Some((j + 1, line)),
+                    _ => j += 1,
+                }
+            }
+            return Some((j, line));
+        }
+        if j >= n || chars[j] != 'r' {
+            return None;
+        }
+    }
+    if j < n && chars[j] == 'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || chars[j] != '"' {
+            return None;
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hash marks; no escapes.
+        while j < n {
+            if chars[j] == '\n' {
+                line += 1;
+                j += 1;
+                continue;
+            }
+            if chars[j] == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < n && chars[k] == '#' && seen < hashes {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((k, line));
+                }
+            }
+            j += 1;
+        }
+        return Some((j, line));
+    }
+    None
+}
+
+/// Compute a skip mask over `toks`: `true` for every token inside a
+/// `#[cfg(test)]`-gated item (the attribute itself, any stacked attributes,
+/// and the item body through its balanced braces or terminating `;`).
+/// Test modules legitimately spawn threads, unwrap, and use wall clocks;
+/// the rulebook governs shipped code.
+pub fn cfg_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut skip = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            if let Some(close) = matching(toks, i + 1, '[', ']') {
+                if attr_is_cfg_test(&toks[i + 2..close]) {
+                    let mut j = close + 1;
+                    // Stacked attributes between #[cfg(test)] and the item.
+                    while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                        match matching(toks, j + 1, '[', ']') {
+                            Some(c) => j = c + 1,
+                            None => break,
+                        }
+                    }
+                    // The item: ends at the first top-level `;` or at the
+                    // matching brace of its first `{`.
+                    let mut end = j;
+                    while end < toks.len() {
+                        if toks[end].is_punct(';') {
+                            break;
+                        }
+                        if toks[end].is_punct('{') {
+                            end = matching(toks, end, '{', '}').unwrap_or(toks.len() - 1);
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let end = end.min(toks.len() - 1);
+                    for s in skip.iter_mut().take(end + 1).skip(i) {
+                        *s = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    skip
+}
+
+/// Whether the attribute body (tokens between `[` and `]`) is a
+/// `cfg(...)` whose predicate mentions `test`.
+fn attr_is_cfg_test(body: &[Tok]) -> bool {
+    let first_is_cfg = body.first().and_then(Tok::ident) == Some("cfg");
+    first_is_cfg && body.iter().any(|t| t.ident() == Some("test"))
+}
+
+/// Index of the token matching the opener at `open` (which must hold an
+/// `open_ch` punct), balancing nested pairs.
+fn matching(toks: &[Tok], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (idx, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* SystemTime in /* a nested */ block */
+            let s = "Instant::now() inside a string";
+            let r = r#"thread_rng in a raw string"#;
+            let c = 'x';
+            let real = HashSet::new();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"HashSet".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let src = "let a = 1; // SAFETY: fine\n// ORDERING: also fine\nlet b = 2;\n";
+        let lx = lex(src);
+        assert!(lx.comments[&1].contains("SAFETY:"));
+        assert!(lx.comments[&2].contains("ORDERING:"));
+        assert!(!lx.is_comment_only(1), "line 1 has code");
+        assert!(lx.is_comment_only(2));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lx = lex(src);
+        assert!(lx.toks.iter().any(|t| t.ident() == Some("str")));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_test_modules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lx = lex(src);
+        let mask = cfg_test_mask(&lx.toks);
+        let unwrap_idx = lx
+            .toks
+            .iter()
+            .position(|t| t.ident() == Some("unwrap"))
+            .expect("unwrap token present");
+        assert!(mask[unwrap_idx], "test-module body is masked");
+        let after_idx = lx
+            .toks
+            .iter()
+            .position(|t| t.ident() == Some("after"))
+            .expect("after token present");
+        assert!(!mask[after_idx], "code after the test module is live");
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_gate() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn live() { x.unwrap(); }\n";
+        let lx = lex(src);
+        let mask = cfg_test_mask(&lx.toks);
+        let unwrap_idx = lx
+            .toks
+            .iter()
+            .position(|t| t.ident() == Some("unwrap"))
+            .expect("unwrap token present");
+        assert!(!mask[unwrap_idx], "cfg_attr does not gate the item out");
+    }
+}

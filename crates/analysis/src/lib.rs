@@ -1,0 +1,185 @@
+//! detlint: determinism and concurrency static analysis for the
+//! cioq-switch workspace.
+//!
+//! The reproduction's headline claims — sharded ≡ sequential
+//! bit-identity, delay-line equivalence, topology independence — all rest
+//! on the absence of nondeterminism sources in the simulation crates.
+//! detlint audits that mechanically: a dependency-free token scan of the
+//! workspace source tree enforces the rulebook in [`rules`], findings are
+//! serialized canonically (sorted, one line each) and diffed against a
+//! committed baseline, and CI blocks on any drift. See the README's
+//! "Determinism & static analysis" section for the rule table and the
+//! allowlist syntax.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Header line stamped at the top of the baseline file so a truncated or
+/// hand-mangled baseline is detected rather than silently treated as
+/// "no findings".
+pub const BASELINE_HEADER: &str =
+    "# detlint baseline v1 (regenerate: cargo run -p cioq-analysis -- --write-baseline)";
+
+/// Workspace-relative path of the committed baseline.
+pub const BASELINE_PATH: &str = "crates/analysis/detlint.baseline";
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Rule identifier (`"D1"` … `"D5"`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub what: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\t{}:{}\t{}",
+            self.rule, self.path, self.line, self.what
+        )
+    }
+}
+
+/// Scan one file's source text. `rel_path` must be workspace-relative
+/// with `/` separators — the rulebook keys its scopes off it. Returns
+/// findings that survive the allowlist, sorted.
+pub fn scan_str(rel_path: &str, source: &str) -> Vec<Finding> {
+    let lx = lexer::lex(source);
+    let mask = lexer::cfg_test_mask(&lx.toks);
+    let mut findings = rules::scan_file(rel_path, &lx, &mask);
+    findings.sort();
+    findings
+}
+
+/// Directory names never descended into: build output, vendored deps,
+/// integration tests/benches/examples (test code is exempt from the
+/// rulebook, matching the `#[cfg(test)]` mask for inline modules).
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", ".git", ".github",
+];
+
+/// Walk the workspace at `root` and scan every non-test `.rs` file.
+/// Returns all findings, sorted into canonical order.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source =
+            fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        findings.extend(scan_str(rel, &source));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Serialize findings canonically: header line, then one sorted line per
+/// finding, trailing newline. Byte-stable across runs and platforms so CI
+/// can hash-compare the baseline.
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::from(BASELINE_HEADER);
+    out.push('\n');
+    for f in sorted {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a baseline file back into its canonical finding lines.
+/// Returns `Err` if the header is missing (corrupt or truncated file).
+pub fn parse_baseline(text: &str) -> Result<BTreeSet<String>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == BASELINE_HEADER => {}
+        _ => return Err(format!("baseline missing header line `{BASELINE_HEADER}`")),
+    }
+    Ok(lines
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// The result of diffing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings present now but absent from the baseline (new violations).
+    pub added: Vec<String>,
+    /// Baseline lines with no matching finding (stale entries — the
+    /// violation was fixed; regenerate the baseline to drop them).
+    pub removed: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// Whether the scan matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Diff current findings against baseline lines.
+pub fn diff_baseline(findings: &[Finding], baseline: &BTreeSet<String>) -> BaselineDiff {
+    let current: BTreeSet<String> = findings.iter().map(ToString::to_string).collect();
+    BaselineDiff {
+        added: current.difference(baseline).cloned().collect(),
+        removed: baseline.difference(&current).cloned().collect(),
+    }
+}
+
+/// Locate the workspace root by walking ancestors of `start` looking for
+/// a `Cargo.toml` that declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,127 @@
+//! detlint CLI: scan the workspace and diff against the committed
+//! baseline.
+//!
+//! ```text
+//! detlint                    # print current findings
+//! detlint --check            # diff vs baseline; exit 1 on any drift
+//! detlint --write-baseline   # regenerate crates/analysis/detlint.baseline
+//! detlint --root DIR ...     # scan a different workspace root
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cioq_analysis::{
+    diff_baseline, find_root, parse_baseline, render_baseline, scan_workspace, BASELINE_PATH,
+};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut write = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--write-baseline" => write = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("detlint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: detlint [--root DIR] [--check | --write-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if check && write {
+        eprintln!("detlint: --check and --write-baseline are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    let root = match root_arg.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("detlint: could not locate the workspace root (pass --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write {
+        let text = render_baseline(&findings);
+        let path = root.join(BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("detlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "detlint: wrote {} finding(s) to {}",
+            findings.len(),
+            BASELINE_PATH
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if check {
+        let path = root.join(BASELINE_PATH);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("detlint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = diff_baseline(&findings, &baseline);
+        if diff.is_clean() {
+            println!(
+                "detlint: clean — {} finding(s), all match the baseline",
+                findings.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for line in &diff.added {
+            eprintln!("+ {line}");
+        }
+        for line in &diff.removed {
+            eprintln!("- {line}");
+        }
+        eprintln!(
+            "detlint: baseline drift — {} new, {} stale; fix the violation(s), \
+             add a `// detlint: allow(<rule>) reason=\"…\"` comment, or rerun \
+             with --write-baseline and commit the diff",
+            diff.added.len(),
+            diff.removed.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("detlint: {} finding(s)", findings.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,261 @@
+//! The detlint rulebook: determinism and concurrency rules D1–D5.
+//!
+//! Each rule is a pattern over the token stream of one file, filtered by
+//! the file's workspace-relative path. Findings are suppressed by an
+//! allowlist comment `// detlint: allow(<rule>) reason="…"` on the same
+//! line or on a contiguous run of comment lines directly above the
+//! offending statement, and by justification comments (`// SAFETY:`,
+//! `// ORDERING:`) for rule D4.
+
+use crate::lexer::{Lexed, Tok};
+use crate::Finding;
+
+/// Crates whose hot paths must not iterate unordered collections (D1) —
+/// an unordered `HashMap`/`HashSet` walk is the canonical way to break
+/// sharded ≡ sequential bit-identity.
+const D1_SCOPE: &[&str] = &[
+    "crates/sim/",
+    "crates/core/",
+    "crates/matching/",
+    "crates/queues/",
+];
+
+/// The only tree allowed to read wall clocks or entropy (D2): benchmarks
+/// measure real time by definition. Everything else must run on simulated
+/// slots and seeded RNGs.
+const D2_EXEMPT: &[&str] = &["crates/bench/"];
+
+/// The one module sanctioned to create threads (D3): the sharded engine's
+/// phase-stepped scoped workers, proven bit-identical to the sequential
+/// path by the lockstep suites.
+const D3_EXEMPT: &[&str] = &["crates/sim/src/shard.rs"];
+
+/// Engine slot-loop modules where every `unwrap()` must be allowlisted
+/// (D5); `expect("invariant message")` documents itself and is exempt.
+const D5_SCOPE: &[&str] = &["crates/sim/src/engine.rs", "crates/sim/src/shard.rs"];
+
+/// The memory-ordering names of `std::sync::atomic::Ordering` (D4b).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// How many comment-only lines above a finding are searched for an
+/// allowlist or justification comment.
+const COMMENT_SCAN_LINES: u32 = 8;
+
+fn in_scope(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Whether any comment attached to `line` (same line, or the contiguous
+/// comment-only block directly above) contains `needle`.
+fn comment_near(lx: &Lexed, line: u32, needle: &str) -> bool {
+    if let Some(c) = lx.comments.get(&line) {
+        if c.contains(needle) {
+            return true;
+        }
+    }
+    let mut l = line;
+    let mut budget = COMMENT_SCAN_LINES;
+    while l > 1 && budget > 0 {
+        l -= 1;
+        budget -= 1;
+        if lx.is_comment_only(l) {
+            if lx.comments[&l].contains(needle) {
+                return true;
+            }
+            continue;
+        }
+        if lx.token_lines.contains(&l) {
+            // A code line above: the comment block (if any) has ended —
+            // unless this line is a statement continuation (doesn't end in
+            // `;`/`{`/`}`), in which case the comment may sit above the
+            // statement's first line. Keep scanning in that case.
+            match lx.last_punct.get(&l) {
+                Some(';') | Some('{') | Some('}') => return false,
+                _ => continue,
+            }
+        }
+        // Blank line: stop, the comment must be adjacent.
+        return false;
+    }
+    false
+}
+
+/// Whether a finding of `rule` at `line` carries a
+/// `// detlint: allow(<rule>)` comment.
+fn allowlisted(lx: &Lexed, line: u32, rule: &str) -> bool {
+    comment_near(lx, line, &format!("detlint: allow({rule})"))
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    lx: &Lexed,
+    rule: &'static str,
+    path: &str,
+    line: u32,
+    what: String,
+) {
+    if !allowlisted(lx, line, rule) {
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            what,
+        });
+    }
+}
+
+/// Run the full rulebook over one lexed file. `live` masks out tokens in
+/// `#[cfg(test)]` regions; `path` is workspace-relative with `/` separators.
+pub fn scan_file(path: &str, lx: &Lexed, mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &lx.toks;
+    let live = |i: usize| !mask[i];
+
+    let d1 = in_scope(path, D1_SCOPE);
+    let d2 = !in_scope(path, D2_EXEMPT);
+    let d3 = !in_scope(path, D3_EXEMPT);
+    let d4b = path.ends_with("sync.rs");
+    let d5 = D5_SCOPE.contains(&path);
+
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        let line = toks[i].line();
+        let Some(id) = toks[i].ident() else {
+            // D4a: `unsafe` is a keyword but lexes as an identifier, so
+            // only identifier tokens matter; skip punctuation/literals.
+            continue;
+        };
+
+        // D1: unordered collections in determinism-critical crates.
+        if d1 && (id == "HashMap" || id == "HashSet") {
+            push(
+                &mut findings,
+                lx,
+                "D1",
+                path,
+                line,
+                format!("unordered collection `{id}` in determinism-critical crate (use BTreeMap/BTreeSet or a Vec with explicit sort)"),
+            );
+        }
+
+        // D2: wall clock / entropy outside bench.
+        if d2 {
+            if (id == "Instant" || id == "SystemTime")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).and_then(Tok::ident) == Some("now")
+            {
+                push(
+                    &mut findings,
+                    lx,
+                    "D2",
+                    path,
+                    line,
+                    format!("wall-clock read `{id}::now()` outside crates/bench"),
+                );
+            } else if id == "SystemTime" || id == "thread_rng" {
+                push(
+                    &mut findings,
+                    lx,
+                    "D2",
+                    path,
+                    line,
+                    format!("nondeterminism source `{id}` outside crates/bench"),
+                );
+            }
+        }
+
+        // D3: thread creation outside the sanctioned shard module.
+        if d3
+            && (id == "spawn" || id == "scope")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            // Match `thread::spawn(` / `thread::scope(` and method-style
+            // `scope.spawn(` is caught by the plain `.spawn(` arm below.
+            let receiver = (0..i.saturating_sub(2))
+                .rev()
+                .find(|&j| live(j))
+                .and_then(|j| toks[j].ident());
+            if receiver == Some("thread") {
+                push(
+                    &mut findings,
+                    lx,
+                    "D3",
+                    path,
+                    line,
+                    format!("thread creation `thread::{id}(` outside sim::shard"),
+                );
+            }
+        }
+        if d3
+            && id == "spawn"
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            push(
+                &mut findings,
+                lx,
+                "D3",
+                path,
+                line,
+                "scoped thread spawn `.spawn(` outside sim::shard".to_string(),
+            );
+        }
+
+        // D4a: unsafe without a SAFETY comment.
+        if id == "unsafe" && !comment_near(lx, line, "SAFETY:") {
+            push(
+                &mut findings,
+                lx,
+                "D4",
+                path,
+                line,
+                "`unsafe` without a `// SAFETY:` comment".to_string(),
+            );
+        }
+
+        // D4b: atomic Ordering in sync.rs without an ORDERING comment.
+        if d4b
+            && id == "Ordering"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(ord) = toks.get(i + 3).and_then(Tok::ident) {
+                if ATOMIC_ORDERINGS.contains(&ord) && !comment_near(lx, line, "ORDERING:") {
+                    push(
+                        &mut findings,
+                        lx,
+                        "D4",
+                        path,
+                        line,
+                        format!("atomic `Ordering::{ord}` in sync.rs without a `// ORDERING:` justification"),
+                    );
+                }
+            }
+        }
+
+        // D5: bare unwrap() in engine slot-loop modules.
+        if d5
+            && id == "unwrap"
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            push(
+                &mut findings,
+                lx,
+                "D5",
+                path,
+                line,
+                "bare `.unwrap()` in engine slot loop (use an invariant-message `expect()` or a ConfigError)".to_string(),
+            );
+        }
+    }
+    findings
+}

@@ -1,0 +1,43 @@
+//! Tier-1 enforcement: `cargo test` itself fails if the workspace drifts
+//! from the committed detlint baseline, so the determinism rulebook is
+//! enforced even without the dedicated CI job.
+
+use cioq_analysis::{diff_baseline, find_root, parse_baseline, scan_workspace, BASELINE_PATH};
+
+#[test]
+fn workspace_matches_committed_baseline() {
+    let root = find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analysis");
+    let findings = scan_workspace(&root).expect("workspace scan succeeds");
+    let text = std::fs::read_to_string(root.join(BASELINE_PATH))
+        .expect("committed baseline exists (regenerate with --write-baseline)");
+    let baseline = parse_baseline(&text).expect("baseline header intact");
+    let diff = diff_baseline(&findings, &baseline);
+    assert!(
+        diff.is_clean(),
+        "detlint drift — new: {:#?}, stale: {:#?}; fix the violation, add an \
+         allowlist comment, or run `cargo run -p cioq-analysis -- --write-baseline`",
+        diff.added,
+        diff.removed
+    );
+}
+
+#[test]
+fn synthetic_violation_is_detected() {
+    // The acceptance check from the issue, inverted into a test: seeding a
+    // HashMap use into engine.rs must produce a D1 finding that is NOT in
+    // the committed baseline.
+    let src = "fn f() { for (k, v) in std::collections::HashMap::<u32, u32>::new() { let _ = (k, v); } }\n";
+    let findings = cioq_analysis::scan_str("crates/sim/src/engine.rs", src);
+    assert!(findings.iter().any(|f| f.rule == "D1"));
+
+    let root = find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analysis");
+    let text = std::fs::read_to_string(root.join(BASELINE_PATH)).expect("baseline exists");
+    let baseline = parse_baseline(&text).expect("baseline header intact");
+    let diff = diff_baseline(&findings, &baseline);
+    assert!(
+        !diff.added.is_empty(),
+        "a synthetic D1 violation must register as baseline drift"
+    );
+}

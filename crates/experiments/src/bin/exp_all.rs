@@ -7,6 +7,7 @@ use std::time::Instant;
 fn main() {
     let quick = cioq_experiments::quick_mode();
     let markdown = std::env::args().any(|a| a == "--markdown");
+    // detlint: allow(D2) reason="progress log timestamps only; never feeds simulation state"
     let start = Instant::now();
     type Experiment = (&'static str, fn(bool) -> Vec<Table>);
     let experiments: Vec<Experiment> = vec![
@@ -26,6 +27,7 @@ fn main() {
         ("S3", suite::s3_topology),
     ];
     for (id, run) in experiments {
+        // detlint: allow(D2) reason="progress log timestamps only; never feeds simulation state"
         let t0 = Instant::now();
         let tables = run(quick);
         eprintln!(

@@ -65,8 +65,10 @@ where
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    // detlint: allow(D3) reason="per-item sweep parallelism; results land by index, byte-identity proven by sweep_determinism"
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
+            // detlint: allow(D3) reason="worker pool for the scope above; see sweep_determinism"
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= items.len() {

@@ -438,6 +438,7 @@ pub fn f6_matching_cost(quick: bool) -> Vec<Table> {
         let time_us = |f: &mut dyn FnMut()| -> f64 {
             // Warm-up.
             f();
+            // detlint: allow(D2) reason="matching-cost table reports wall time; never feeds simulation state"
             let start = Instant::now();
             for _ in 0..reps {
                 f();
@@ -960,6 +961,7 @@ pub fn s1_sharded(quick: bool) -> Vec<Table> {
     // The sequential reference is invariant in K: run (and time) it once
     // per policy, then sweep only the sharded runs.
     let references = parallel_map(&POLICIES, |&p| {
+        // detlint: allow(D2) reason="speedup column reports wall time; never feeds simulation state"
         let t0 = Instant::now();
         let (label, seq) = match p {
             P::Gm => (
@@ -1010,6 +1012,7 @@ pub fn s1_sharded(quick: bool) -> Vec<Table> {
     }
     let rows = parallel_map(&points, |&(p, k)| {
         let opts = ShardedOptions::new(k);
+        // detlint: allow(D2) reason="speedup column reports wall time; never feeds simulation state"
         let t1 = Instant::now();
         let sharded = match p {
             P::Gm => run_cioq_sharded(&cioq_cfg, &ShardedGm::new(), &cioq_trace, opts),

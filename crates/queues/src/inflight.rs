@@ -94,6 +94,38 @@ impl InFlight {
         self.total_value += v as u128;
     }
 
+    /// Verify the cached totals against a recount of the per-output
+    /// multisets, and that every entry's source input is a valid port.
+    /// O(total in flight); meant for the debug-build invariant auditor.
+    pub fn check_consistency(&self, n_inputs: usize) -> Result<(), String> {
+        let mut count = 0u64;
+        let mut value = 0u128;
+        for (j, vs) in self.values.iter().enumerate() {
+            for &(src, v) in vs {
+                if src as usize >= n_inputs {
+                    return Err(format!(
+                        "in-flight entry toward output {j} has source input {src} >= {n_inputs}"
+                    ));
+                }
+                count += 1;
+                value += v as u128;
+            }
+        }
+        if count != self.total {
+            return Err(format!(
+                "in-flight count cache {} != recount {count}",
+                self.total
+            ));
+        }
+        if value != self.total_value {
+            return Err(format!(
+                "in-flight value cache {} != recount {value}",
+                self.total_value
+            ));
+        }
+        Ok(())
+    }
+
     /// Record the landing at output `j` of a packet of value `v` that was
     /// dispatched from input `i`, removing one matching in-flight entry.
     ///
@@ -141,6 +173,19 @@ mod tests {
         f.land(0, 2, 7);
         assert!(f.is_empty());
         assert_eq!(f.total_value(), 0);
+    }
+
+    #[test]
+    fn consistency_check_accepts_live_state() {
+        let mut f = InFlight::new(2);
+        f.dispatch(0, 1, 5);
+        f.dispatch(1, 0, 3);
+        assert_eq!(f.check_consistency(2), Ok(()));
+        f.land(0, 1, 5);
+        assert_eq!(f.check_consistency(2), Ok(()));
+        // A source port outside the switch is flagged.
+        f.dispatch(7, 0, 1);
+        assert!(f.check_consistency(2).is_err());
     }
 
     #[test]

@@ -178,6 +178,7 @@ impl Engine {
             }
             self.post_phase_check();
 
+            self.audit_slot();
             let progressed = self.stats.transmitted != transmitted_before
                 || self.stats.transferred + self.stats.transferred_to_crossbar != moved_before;
             idle_slots = if progressed { 0 } else { idle_slots + 1 };
@@ -273,6 +274,7 @@ impl Engine {
             }
             self.post_phase_check();
 
+            self.audit_slot();
             let progressed = self.stats.transmitted != transmitted_before
                 || self.stats.transferred + self.stats.transferred_to_crossbar != moved_before;
             idle_slots = if progressed { 0 } else { idle_slots + 1 };
@@ -375,6 +377,13 @@ impl Engine {
             return Ok(());
         };
         let due = cal.take_due(slot);
+        if cfg!(debug_assertions) {
+            if let Err(msg) = crate::invariants::check_canonical_order(&due, |l| {
+                (l.slot, l.cycle, l.p.output, l.p.input)
+            }) {
+                panic!("engine landing-order invariant violated: {msg}");
+            }
+        }
         for l in &due {
             let (input, output) = (PortId(l.p.input), PortId(l.p.output));
             self.state
@@ -475,7 +484,7 @@ impl Engine {
                 .state
                 .crossbar_queues
                 .as_mut()
-                .expect("crossbar config")
+                .expect("invariant: crossbar queues exist, asserted at run entry")
                 .at_mut(t.input, t.output);
             if xbar.is_full() {
                 if !t.preempt_if_full {
@@ -511,7 +520,7 @@ impl Engine {
                 .state
                 .crossbar_queues
                 .as_mut()
-                .expect("crossbar config")
+                .expect("invariant: crossbar queues exist, asserted at run entry")
                 .at_mut(t.input, t.output);
             let packet = take_pick(xbar, t.pick).ok_or(match t.pick {
                 PacketPick::ById(id) if !xbar.is_empty() => PolicyError::NoSuchPacket { id },
@@ -592,6 +601,24 @@ impl Engine {
         if self.options.validate {
             if let Err(msg) = check_state_invariants(&self.state) {
                 panic!("engine invariant violated: {msg}");
+            }
+        }
+    }
+
+    /// Per-slot invariant audit (see [`crate::invariants`]): conservation
+    /// and in-flight/calendar consistency, debug builds only — every
+    /// equivalence suite run under `cargo test` exercises it for free.
+    fn audit_slot(&self) {
+        if cfg!(debug_assertions) {
+            if let Err(msg) = crate::invariants::audit_engine_slot(
+                &self.state,
+                &self.stats,
+                self.calendar.as_ref(),
+            ) {
+                panic!(
+                    "engine invariant violated at slot {}: {msg}",
+                    self.state.slot
+                );
             }
         }
     }

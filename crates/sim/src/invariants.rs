@@ -1,0 +1,282 @@
+//! Runtime invariant auditor for the simulation engines.
+//!
+//! The static pass (`cargo run -p cioq-analysis`) proves the *sources* of
+//! nondeterminism are absent; this module audits the *consequences* while
+//! a run executes. Both engines call [`audit`](self) hooks at every slot
+//! boundary in debug builds (`cfg!(debug_assertions)` — the checks and
+//! their O(state) scans compile out of release binaries), so every
+//! existing lockstep/equivalence suite exercises the auditor for free:
+//!
+//! 1. **Conservation** — at any slot boundary, packets that arrived equal
+//!    packets transmitted + lost + still buffered (queued or in flight
+//!    through the fabric), and likewise for value. The end-of-run
+//!    [`RunReport::check_conservation`](crate::RunReport::check_conservation)
+//!    is this check applied once; auditing per slot localizes a leak to
+//!    the slot that caused it.
+//! 2. **In-flight consistency** — the [`InFlight`](cioq_queues::InFlight)
+//!    accounting agrees with itself (cached totals vs a recount) and with
+//!    the transport's delay calendar, pair by pair: every committed packet
+//!    is accounted on exactly the (input, output) pair it was dispatched
+//!    on.
+//! 3. **Canonical landing order** — the landing phase applies fabric
+//!    deliveries in strictly increasing
+//!    `(dispatch slot, dispatch cycle, output, input)` order, the order
+//!    that makes delayed and sharded runs bit-identical to sequential
+//!    ones.
+//! 4. **Schedule validity** — a recorded transcript matches each input
+//!    and output port at most once per cycle (the crossbar subphases
+//!    constrain only their own side), with all ports in range.
+
+use crate::state::SwitchState;
+use crate::stats::StatsRecorder;
+use crate::transport::DelayCalendar;
+use crate::{RecordedCrossbarSchedule, RecordedSchedule};
+use cioq_model::{SlotId, SwitchConfig};
+
+/// Check packet and value conservation for a run in progress:
+/// `arrived == transmitted + lost + residual`, where `residual` counts
+/// everything still buffered (input/crossbar/output queues and the
+/// fabric's in-flight packets).
+pub fn check_conservation(
+    stats: &StatsRecorder,
+    residual_count: u64,
+    residual_value: u128,
+) -> Result<(), String> {
+    let count_rhs = stats.transmitted + stats.losses.total_count() + residual_count;
+    if stats.arrived != count_rhs {
+        return Err(format!(
+            "packet conservation violated mid-run: arrived {} != transmitted {} + lost {} + residual {}",
+            stats.arrived,
+            stats.transmitted,
+            stats.losses.total_count(),
+            residual_count
+        ));
+    }
+    let value_rhs = stats.benefit.0 + stats.losses.total_value() + residual_value;
+    if stats.arrived_value != value_rhs {
+        return Err(format!(
+            "value conservation violated mid-run: arrived {} != benefit {} + lost {} + residual {}",
+            stats.arrived_value,
+            stats.benefit.0,
+            stats.losses.total_value(),
+            residual_value
+        ));
+    }
+    Ok(())
+}
+
+/// Check that a sequence of landings is in strictly increasing canonical
+/// landing order `(dispatch slot, dispatch cycle, output, input)`. Strict:
+/// at most one transfer enters an output per cycle, so a duplicate key is
+/// itself a violation.
+pub fn check_canonical_order<T>(
+    items: &[T],
+    key: impl Fn(&T) -> (SlotId, u32, u16, u16),
+) -> Result<(), String> {
+    for w in items.windows(2) {
+        let (a, b) = (key(&w[0]), key(&w[1]));
+        if a >= b {
+            return Err(format!(
+                "canonical landing order violated: {a:?} applied before {b:?} \
+                 (expected strictly increasing (slot, cycle, output, input))"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Cross-check the [`InFlight`](cioq_queues::InFlight) accounting of
+/// `state` against the delay calendar: internal totals recount cleanly,
+/// calendar and accounting agree in total, and each committed packet is
+/// accounted on the exact (input, output) pair it rides.
+pub(crate) fn check_inflight(
+    state: &SwitchState,
+    calendar: Option<&DelayCalendar>,
+) -> Result<(), String> {
+    let cfg = state.config();
+    state.inflight.check_consistency(cfg.n_inputs)?;
+    let Some(cal) = calendar else {
+        if !state.inflight.is_empty() {
+            return Err(format!(
+                "{} packets accounted in flight on an immediate fabric",
+                state.inflight.total()
+            ));
+        }
+        return Ok(());
+    };
+    let mut pending = 0u64;
+    let mut pair_mismatch = None;
+    let mut pair_counts = vec![0u32; cfg.n_inputs * cfg.n_outputs];
+    cal.for_each_pending(|p| {
+        pending += 1;
+        pair_counts[p.input as usize * cfg.n_outputs + p.output as usize] += 1;
+    });
+    if pending != state.inflight.total() {
+        return Err(format!(
+            "calendar holds {pending} committed packets but in-flight accounting says {}",
+            state.inflight.total()
+        ));
+    }
+    for i in 0..cfg.n_inputs {
+        for j in 0..cfg.n_outputs {
+            let accounted = state.inflight.pair_len(i, j);
+            let committed = pair_counts[i * cfg.n_outputs + j] as usize;
+            if accounted != committed && pair_mismatch.is_none() {
+                pair_mismatch = Some(format!(
+                    "pair ({i} -> {j}): calendar holds {committed} packets, accounting says {accounted}"
+                ));
+            }
+        }
+    }
+    match pair_mismatch {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+/// Full per-slot audit for the sequential engine: conservation plus
+/// in-flight/calendar consistency. The caller gates on debug builds.
+pub(crate) fn audit_engine_slot(
+    state: &SwitchState,
+    stats: &StatsRecorder,
+    calendar: Option<&DelayCalendar>,
+) -> Result<(), String> {
+    check_conservation(stats, state.residual_count(), state.residual_value())?;
+    check_inflight(state, calendar)
+}
+
+fn check_cycle(
+    cycle_idx: usize,
+    transfers: &[(u16, u16)],
+    cfg: &SwitchConfig,
+    constrain_inputs: bool,
+    constrain_outputs: bool,
+    used_in: &mut [bool],
+    used_out: &mut [bool],
+) -> Result<(), String> {
+    used_in.iter_mut().for_each(|b| *b = false);
+    used_out.iter_mut().for_each(|b| *b = false);
+    for &(i, j) in transfers {
+        if i as usize >= cfg.n_inputs || j as usize >= cfg.n_outputs {
+            return Err(format!(
+                "cycle {cycle_idx}: transfer ({i} -> {j}) outside a {}x{} switch",
+                cfg.n_inputs, cfg.n_outputs
+            ));
+        }
+        if constrain_inputs {
+            let used = &mut used_in[i as usize];
+            if *used {
+                return Err(format!("cycle {cycle_idx}: input {i} matched twice"));
+            }
+            *used = true;
+        }
+        if constrain_outputs {
+            let used = &mut used_out[j as usize];
+            if *used {
+                return Err(format!("cycle {cycle_idx}: output {j} matched twice"));
+            }
+            *used = true;
+        }
+    }
+    Ok(())
+}
+
+/// Validate a recorded CIOQ transcript: every cycle's transfer set is a
+/// partial matching (each input and each output used at most once) over
+/// in-range ports.
+pub fn check_schedule(schedule: &RecordedSchedule, cfg: &SwitchConfig) -> Result<(), String> {
+    let mut used_in = vec![false; cfg.n_inputs];
+    let mut used_out = vec![false; cfg.n_outputs];
+    for (c, transfers) in schedule.transfers.iter().enumerate() {
+        check_cycle(c, transfers, cfg, true, true, &mut used_in, &mut used_out)?;
+    }
+    Ok(())
+}
+
+/// Validate a recorded buffered-crossbar transcript: input-subphase sets
+/// use each *input* at most once per cycle, output-subphase sets each
+/// *output* at most once (the crossbar decouples the two sides; that is
+/// its point), all ports in range.
+pub fn check_crossbar_schedule(
+    schedule: &RecordedCrossbarSchedule,
+    cfg: &SwitchConfig,
+) -> Result<(), String> {
+    let mut used_in = vec![false; cfg.n_inputs];
+    let mut used_out = vec![false; cfg.n_outputs];
+    for (c, transfers) in schedule.input_transfers.iter().enumerate() {
+        check_cycle(c, transfers, cfg, true, false, &mut used_in, &mut used_out)?;
+    }
+    for (c, transfers) in schedule.output_transfers.iter().enumerate() {
+        check_cycle(c, transfers, cfg, false, true, &mut used_in, &mut used_out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::{Packet, PacketId, PortId};
+
+    #[test]
+    fn conservation_flags_a_vanished_packet() {
+        let mut s = StatsRecorder::new(1);
+        s.on_arrival(&Packet::new(PacketId(0), 5, 0, PortId(0), PortId(0)));
+        assert!(check_conservation(&s, 0, 0).is_err());
+        assert_eq!(check_conservation(&s, 1, 5), Ok(()));
+    }
+
+    #[test]
+    fn canonical_order_rejects_swaps_and_duplicates() {
+        let ok = [
+            (0u64, 0u32, 0u16, 0u16),
+            (0, 0, 0, 1),
+            (0, 1, 0, 0),
+            (2, 0, 3, 1),
+        ];
+        assert_eq!(check_canonical_order(&ok, |&k| k), Ok(()));
+        let swapped = [(0u64, 0u32, 1u16, 0u16), (0, 0, 0, 1)];
+        assert!(check_canonical_order(&swapped, |&k| k).is_err());
+        let dup = [(0u64, 0u32, 0u16, 0u16), (0, 0, 0, 0)];
+        assert!(check_canonical_order(&dup, |&k| k).is_err());
+    }
+
+    #[test]
+    fn schedule_checker_enforces_matchings() {
+        let cfg = SwitchConfig::cioq(4, 4, 1);
+        let mut s = RecordedSchedule {
+            transfers: vec![vec![(0, 1), (1, 0)], vec![(2, 2)]],
+            ..Default::default()
+        };
+        assert_eq!(check_schedule(&s, &cfg), Ok(()));
+        s.transfers.push(vec![(0, 1), (0, 2)]);
+        assert!(check_schedule(&s, &cfg).unwrap_err().contains("input 0"));
+        s.transfers.last_mut().expect("just pushed")[1] = (3, 1);
+        assert!(check_schedule(&s, &cfg).unwrap_err().contains("output 1"));
+        s.transfers.last_mut().expect("just pushed")[1] = (9, 2);
+        assert!(check_schedule(&s, &cfg).is_err());
+    }
+
+    #[test]
+    fn crossbar_checker_constrains_only_the_owning_side() {
+        let cfg = SwitchConfig::crossbar(4, 4, 1, 1);
+        let s = RecordedCrossbarSchedule {
+            // Same output twice in an input subphase is legal (two inputs
+            // may feed two different crosspoint buffers of one column) …
+            input_transfers: vec![vec![(0, 1), (1, 1)]],
+            // … and same input twice in an output subphase is legal too.
+            output_transfers: vec![vec![(0, 1), (0, 2)]],
+            ..Default::default()
+        };
+        assert_eq!(check_crossbar_schedule(&s, &cfg), Ok(()));
+        let bad_in = RecordedCrossbarSchedule {
+            input_transfers: vec![vec![(0, 1), (0, 2)]],
+            ..Default::default()
+        };
+        assert!(check_crossbar_schedule(&bad_in, &cfg).is_err());
+        let bad_out = RecordedCrossbarSchedule {
+            output_transfers: vec![vec![(0, 1), (2, 1)]],
+            ..Default::default()
+        };
+        assert!(check_crossbar_schedule(&bad_out, &cfg).is_err());
+    }
+}

@@ -27,6 +27,7 @@
 
 mod changes;
 mod engine;
+pub mod invariants;
 mod policy;
 mod record;
 pub mod shard;

@@ -1227,6 +1227,16 @@ fn land_phase(s: usize, fabric: &Fabric<'_>, gather: &mut Vec<Delayed>) {
         gather.append(&mut cell[(slot % depth) as usize]);
     }
     gather.sort_unstable_by_key(|p| (p.slot, p.cycle, p.r.output, p.r.input));
+    if cfg!(debug_assertions) {
+        // Strictness is the content of the check (the sort above already
+        // guarantees order): a duplicate key means two transfers entered
+        // one output in one cycle, which no merge may emit.
+        if let Err(msg) = crate::invariants::check_canonical_order(gather, |p| {
+            (p.slot, p.cycle, p.r.output, p.r.input)
+        }) {
+            panic!("sharded landing-order invariant violated (shard {s}): {msg}");
+        }
+    }
     let mut st = write_shard(&fabric.shards[s]);
     for p in gather.drain(..) {
         if !deliver(&mut st, fabric, p.r) {
@@ -1458,7 +1468,7 @@ fn xbar_phase(
                     let xbar = st
                         .xbar
                         .as_mut()
-                        .expect("crossbar config")
+                        .expect("invariant: crossbar queues exist, asserted at run entry")
                         .at_global_mut(i, j);
                     if xbar.is_full() {
                         if !t.preempt_if_full {
@@ -1539,7 +1549,7 @@ fn xbar_phase(
                     let xbar = st
                         .xbar
                         .as_mut()
-                        .expect("crossbar config")
+                        .expect("invariant: crossbar queues exist, asserted at run entry")
                         .at_global_mut(i, j);
                     let Some(packet) = take_pick(xbar, t.pick) else {
                         fabric.comms.fail(match t.pick {
@@ -1814,6 +1824,26 @@ fn post_slot_validate(fabric: &Fabric<'_>, options: &ShardedOptions) {
     }
 }
 
+/// Per-slot invariant audit (debug builds only): merged-shard conservation
+/// against the fabric's residual, the sharded analogue of the sequential
+/// engine's audit — see [`crate::invariants`]. Called by the coordinator
+/// between barriers, when no worker mutates shard state.
+fn audit_sharded_slot(fabric: &Fabric<'_>) {
+    if cfg!(debug_assertions) {
+        let mut merged = StatsRecorder::new(fabric.cfg.n_outputs);
+        for l in &fabric.shards {
+            absorb_stats(&mut merged, &read_shard(l).stats);
+        }
+        let (residual_count, residual_value) = fabric.residual();
+        if let Err(msg) =
+            crate::invariants::check_conservation(&merged, residual_count, residual_value)
+        {
+            let slot = fabric.comms.slot.load(Ordering::Relaxed);
+            panic!("sharded engine invariant violated at slot {slot}: {msg}");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
@@ -1942,6 +1972,7 @@ pub fn run_cioq_sharded(
 
                 do_phase(PH_TRANSMIT)?;
                 post_slot_validate(&fabric, &options);
+                audit_sharded_slot(&fabric);
 
                 let (tx_after, moved_after) = fabric.progress();
                 let progressed = tx_after != tx_before || moved_after != moved_before;
@@ -1956,13 +1987,21 @@ pub fn run_cioq_sharded(
 
     let (report, final_state, admissions) =
         finish_run(&fabric, policy.name().to_string(), final_slot, &options);
+    let schedule = options.record.then_some(RecordedSchedule {
+        admissions,
+        transfers: recorded,
+        fabric_delay: options.fabric.max_delay(),
+    });
+    if cfg!(debug_assertions) {
+        if let Some(s) = &schedule {
+            if let Err(msg) = crate::invariants::check_schedule(s, cfg) {
+                panic!("sharded run produced an invalid schedule transcript: {msg}");
+            }
+        }
+    }
     Ok(ShardedOutcome {
         report,
-        schedule: options.record.then_some(RecordedSchedule {
-            admissions,
-            transfers: recorded,
-            fabric_delay: options.fabric.max_delay(),
-        }),
+        schedule,
         crossbar_schedule: None,
         final_state,
     })
@@ -2107,6 +2146,7 @@ pub fn run_crossbar_sharded(
 
                 do_phase(PH_TRANSMIT)?;
                 post_slot_validate(&fabric, &options);
+                audit_sharded_slot(&fabric);
 
                 let (tx_after, moved_after) = fabric.progress();
                 let progressed = tx_after != tx_before || moved_after != moved_before;
@@ -2121,15 +2161,23 @@ pub fn run_crossbar_sharded(
 
     let (report, final_state, admissions) =
         finish_run(&fabric, policy.name().to_string(), final_slot, &options);
+    let crossbar_schedule = options.record.then_some(RecordedCrossbarSchedule {
+        admissions,
+        input_transfers: rec_in,
+        output_transfers: rec_out,
+        fabric_delay: options.fabric.max_delay(),
+    });
+    if cfg!(debug_assertions) {
+        if let Some(s) = &crossbar_schedule {
+            if let Err(msg) = crate::invariants::check_crossbar_schedule(s, cfg) {
+                panic!("sharded run produced an invalid schedule transcript: {msg}");
+            }
+        }
+    }
     Ok(ShardedOutcome {
         report,
         schedule: None,
-        crossbar_schedule: options.record.then_some(RecordedCrossbarSchedule {
-            admissions,
-            input_transfers: rec_in,
-            output_transfers: rec_out,
-            fabric_delay: options.fabric.max_delay(),
-        }),
+        crossbar_schedule,
         final_state,
     })
 }

@@ -47,27 +47,43 @@ impl SpinBarrier {
 
     /// Block (spinning, then parking) until all parties have arrived.
     pub fn wait(&self) {
+        // ORDERING: Acquire pairs with the leader's Release store below;
+        // a waiter that reads generation g sees every write the previous
+        // leader made before opening generation g.
         let generation = self.generation.load(Ordering::Acquire);
+        // ORDERING: AcqRel — the Release half publishes this thread's
+        // phase writes to the leader; the Acquire half makes the leader's
+        // +1 observation synchronize with every earlier arrival.
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
             // Last arrival: reset the count *before* opening the next
             // generation — late spinners of generation g+1 must observe an
             // already-reset count.
+            // ORDERING: Release orders the reset before the generation
+            // bump below; pairs with the AcqRel fetch_add of generation
+            // g+1 arrivals.
             self.arrived.store(0, Ordering::Release);
             // Take the lock around the generation bump so a waiter cannot
             // check the generation, decide to park, and miss the notify.
             let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            // ORDERING: Release publishes the count reset (and all phase
+            // writes) to waiters whose Acquire load observes g+1.
             self.generation.store(generation + 1, Ordering::Release);
             drop(guard);
             self.cv.notify_all();
             return;
         }
         for _ in 0..SPIN_ROUNDS {
+            // ORDERING: Acquire pairs with the leader's Release store —
+            // crossing the barrier must make the previous phase's writes
+            // visible to this thread.
             if self.generation.load(Ordering::Acquire) != generation {
                 return;
             }
             std::hint::spin_loop();
         }
         let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        // ORDERING: Acquire, same pairing as the spin loop; re-checked
+        // under the lock so a bump between check and park is not missed.
         while self.generation.load(Ordering::Acquire) == generation {
             guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         }

@@ -336,6 +336,17 @@ impl DelayCalendar {
         buf.clear();
         self.scratch = buf;
     }
+
+    /// Visit every packet currently committed to the wire (all buckets).
+    /// O(in flight); used by the debug-build invariant auditor to
+    /// cross-check the calendar against the [`InFlight`] accounting.
+    pub(crate) fn for_each_pending(&self, mut f: impl FnMut(&InFlightPacket)) {
+        for bucket in &self.buckets {
+            for l in bucket {
+                f(&l.p);
+            }
+        }
+    }
 }
 
 /// Compute virtual-output-queue facts shared by both engines.
