@@ -1,4 +1,4 @@
-//! The detlint rulebook: determinism and concurrency rules D1–D5.
+//! The detlint rulebook: determinism and concurrency rules D1–D6.
 //!
 //! Each rule is a pattern over the token stream of one file, filtered by
 //! the file's workspace-relative path. Findings are suppressed by an
@@ -33,6 +33,29 @@ const D3_EXEMPT: &[&str] = &["crates/sim/src/shard.rs"];
 /// Engine slot-loop modules where every `unwrap()` must be allowlisted
 /// (D5); `expect("invariant message")` documents itself and is exempt.
 const D5_SCOPE: &[&str] = &["crates/sim/src/engine.rs", "crates/sim/src/shard.rs"];
+
+/// Types whose complete state crosses a checkpoint boundary (D6): every
+/// field must carry a `// snapshot:` comment stating whether it is
+/// serialized into [`EngineSnapshot`] or transient (and how it is
+/// rebuilt on restore). A silently-added field is the canonical way to
+/// break kill/restore equivalence — the snapshot codec won't know about
+/// it, and the restored run diverges.
+const D6_TYPES: &[&str] = &[
+    "SwitchState",
+    "StatsRecorder",
+    "LossBreakdown",
+    "WindowedStats",
+    "SortedQueue",
+    "InFlight",
+    "DelayCalendar",
+    "FaultRuntime",
+];
+
+/// Crates holding the snapshotted types (D6). The snapshot codec itself
+/// (`crates/sim/src/snapshot.rs`) defines the wire structs and is not a
+/// state owner, so `EngineSnapshot` is deliberately absent from
+/// [`D6_TYPES`].
+const D6_SCOPE: &[&str] = &["crates/sim/", "crates/queues/"];
 
 /// The memory-ordering names of `std::sync::atomic::Ordering` (D4b).
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
@@ -257,5 +280,85 @@ pub fn scan_file(path: &str, lx: &Lexed, mask: &[bool]) -> Vec<Finding> {
             );
         }
     }
+
+    scan_d6(path, lx, mask, &mut findings);
     findings
+}
+
+/// D6: every field of a snapshotted type needs a `// snapshot:` comment.
+///
+/// Finds `struct <Name>` for each name in [`D6_TYPES`], walks the braced
+/// body tracking brace depth, and treats each `ident :` pair at depth 1
+/// (a single colon — `::` path segments are excluded) as a field
+/// declaration. A field whose attached comment block does not mention
+/// `snapshot:` is a finding: either the field is serialized by the
+/// snapshot codec (say so), or it is transient and the comment must say
+/// how restore reconstructs it.
+fn scan_d6(path: &str, lx: &Lexed, mask: &[bool], findings: &mut Vec<Finding>) {
+    if !in_scope(path, D6_SCOPE) {
+        return;
+    }
+    let toks = &lx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if mask[i] || toks[i].ident() != Some("struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(Tok::ident) else {
+            i += 1;
+            continue;
+        };
+        if !D6_TYPES.contains(&name) {
+            i += 2;
+            continue;
+        }
+        // Advance past generics/where-clause to the body. A `;` or `(`
+        // first means a unit or tuple struct — no named fields to audit.
+        let mut j = i + 2;
+        let body_open = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('{') => break Some(j),
+                Some(t) if t.is_punct(';') || t.is_punct('(') => break None,
+                Some(_) => j += 1,
+            }
+        };
+        let Some(open) = body_open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+            } else if depth == 1 && !mask[k] {
+                // A field: identifier followed by a single `:` (not a
+                // `::` path). Visibility (`pub`, `pub(crate)`) and type
+                // tokens never match this shape at body depth.
+                if let Some(field) = toks[k].ident() {
+                    if toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                        && !comment_near(lx, toks[k].line(), "snapshot:")
+                    {
+                        push(
+                            findings,
+                            lx,
+                            "D6",
+                            path,
+                            toks[k].line(),
+                            format!(
+                                "field `{field}` of snapshotted type `{name}` lacks a `// snapshot:` comment (serialized or transient-with-rebuild)"
+                            ),
+                        );
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = k;
+    }
 }

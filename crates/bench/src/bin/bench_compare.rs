@@ -15,11 +15,14 @@
 //! # same-machine entries supply the per-benchmark drift band
 //! # [min..max], so a slow creep that stays inside the band reads as
 //! # drift, not regression, and a foreign machine's numbers never
-//! # tighten or loosen the band. When the candidate is untagged or no
-//! # same-machine history exists, the whole directory is used with a
-//! # cross-machine warning.
+//! # tighten or loosen the band. A tagged candidate with zero
+//! # same-machine history is an error (exit 2) — banding against
+//! # foreign machines would silently hide real regressions — unless
+//! # --allow-cross-machine explicitly opts into the coarse comparison.
+//! # Untagged candidates (pre-metadata snapshots) keep the coarse
+//! # whole-directory fallback with a warning.
 //! bench_compare --history <dir> <candidate.json> \
-//!     [--threshold 1.25] [--groups ...] [--save]
+//!     [--threshold 1.25] [--groups ...] [--save] [--allow-cross-machine]
 //! ```
 //!
 //! `--save` appends the candidate into the history directory (under its
@@ -143,10 +146,49 @@ fn drift_bands<'a>(
     bands
 }
 
+/// Pick the history snapshots to band against, given the candidate's
+/// machine tag and each history snapshot's tag (`None` = pre-metadata).
+///
+/// A tagged candidate bands only same-machine snapshots; when none
+/// exist that is an error rather than a silent whole-directory fallback
+/// — a band built from foreign machines can be wide enough to swallow a
+/// genuine regression — unless `allow_cross_machine` opts in. Untagged
+/// candidates can't do better than the whole directory and keep the
+/// coarse fallback (flagged by the returned label).
+fn select_history(
+    candidate_machine: Option<&str>,
+    machines: &[Option<String>],
+    allow_cross_machine: bool,
+) -> Result<(Vec<usize>, &'static str), String> {
+    let total = machines.len();
+    match candidate_machine {
+        Some(m) => {
+            let same: Vec<usize> = (0..total)
+                .filter(|&idx| machines[idx].as_deref() == Some(m))
+                .collect();
+            if !same.is_empty() {
+                Ok((same, "same-machine"))
+            } else if allow_cross_machine {
+                Ok(((0..total).collect(), "cross-machine"))
+            } else {
+                Err(format!(
+                    "history holds no snapshot from machine {m:?} — all {total} entr{} \
+                     were recorded elsewhere or untagged, and a cross-machine drift band \
+                     can hide real regressions. Seed the history from this machine with \
+                     --save, or pass --allow-cross-machine for a coarse comparison",
+                    if total == 1 { "y" } else { "ies" }
+                ))
+            }
+        }
+        None => Ok(((0..total).collect(), "untagged")),
+    }
+}
+
 struct Args {
     paths: Vec<String>,
     history: Option<String>,
     save: bool,
+    allow_cross_machine: bool,
     threshold: f64,
     groups: Vec<String>,
 }
@@ -156,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         paths: Vec::new(),
         history: None,
         save: false,
+        allow_cross_machine: false,
         threshold: 1.25,
         groups: vec![
             "matching".into(),
@@ -179,6 +222,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 None => return Err("--history needs a directory argument".into()),
             },
             "--save" => parsed.save = true,
+            "--allow-cross-machine" => parsed.allow_cross_machine = true,
             _ => parsed.paths.push(arg.clone()),
         }
     }
@@ -197,7 +241,8 @@ fn main() -> ExitCode {
 
     let usage = "usage: bench_compare <baseline.json> <candidate.json> | \
                  bench_compare --history <dir> <candidate.json> [--save] \
-                 [--threshold 1.25] [--groups matching,scheduling_cycle,end_to_end]";
+                 [--allow-cross-machine] [--threshold 1.25] \
+                 [--groups matching,scheduling_cycle,end_to_end]";
 
     // Resolve the candidate, the baseline (pairwise or history head), and
     // the drift bands.
@@ -239,39 +284,36 @@ fn main() -> ExitCode {
         // Band only same-machine entries: a foreign machine's numbers
         // must never widen or narrow this machine's drift band, and the
         // regression baseline should be the newest snapshot this machine
-        // recorded. Untagged candidates (or a history with no entry from
-        // this machine) fall back to the whole directory, flagged as
-        // coarse.
+        // recorded. Zero same-machine history is an error unless
+        // --allow-cross-machine; untagged candidates keep the coarse
+        // whole-directory fallback.
         let total = snapshots.len();
-        let (mut usable, which): (Vec<_>, &str) = match &candidate_meta {
-            Some(meta) => {
-                let same: Vec<usize> = (0..total)
-                    .filter(|&idx| {
-                        snapshots[idx]
-                            .1
-                            .as_ref()
-                            .is_some_and(|m| m.machine == meta.machine)
-                    })
-                    .collect();
-                if same.is_empty() {
-                    println!(
-                        "history: no snapshot from machine {:?}; comparing against all \
-                         {total} entries (cross-machine, coarse)",
-                        meta.machine
-                    );
-                    ((0..total).collect(), "cross-machine")
-                } else {
-                    (same, "same-machine")
-                }
-            }
-            None => {
-                println!(
-                    "history: candidate snapshot carries no machine tag; comparing \
-                     against all {total} entries (coarse)"
-                );
-                ((0..total).collect(), "untagged")
+        let machines: Vec<Option<String>> = snapshots
+            .iter()
+            .map(|(_, m)| m.as_ref().map(|m| m.machine.clone()))
+            .collect();
+        let (mut usable, which) = match select_history(
+            candidate_meta.as_ref().map(|m| m.machine.as_str()),
+            &machines,
+            args.allow_cross_machine,
+        ) {
+            Ok(sel) => sel,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
             }
         };
+        match which {
+            "cross-machine" => println!(
+                "history: no snapshot from this machine; comparing against all \
+                 {total} entries (cross-machine, coarse — --allow-cross-machine)"
+            ),
+            "untagged" => println!(
+                "history: candidate snapshot carries no machine tag; comparing \
+                 against all {total} entries (coarse)"
+            ),
+            _ => {}
+        }
         let newest = usable.pop().expect("non-empty history");
         println!(
             "history: banding {} of {total} snapshots in {dir} ({which}), \
@@ -516,6 +558,46 @@ mod tests {
         let parsed = parse_args(&args).unwrap();
         assert_eq!(parsed.history.as_deref(), Some("benchmarks/history"));
         assert!(parsed.save);
+        assert!(!parsed.allow_cross_machine);
         assert_eq!(parsed.paths, vec!["fresh.json".to_string()]);
+    }
+
+    #[test]
+    fn select_history_prefers_same_machine() {
+        let machines = vec![
+            Some("rig-a".to_string()),
+            Some("rig-b".to_string()),
+            None,
+            Some("rig-a".to_string()),
+        ];
+        let (idx, which) = select_history(Some("rig-a"), &machines, false).unwrap();
+        assert_eq!(idx, vec![0, 3]);
+        assert_eq!(which, "same-machine");
+    }
+
+    #[test]
+    fn select_history_rejects_foreign_only_history() {
+        let machines = vec![Some("rig-b".to_string()), None];
+        let err = select_history(Some("rig-a"), &machines, false).unwrap_err();
+        assert!(
+            err.contains("--save") && err.contains("--allow-cross-machine"),
+            "error must point at the fixes: {err}"
+        );
+    }
+
+    #[test]
+    fn select_history_cross_machine_needs_opt_in() {
+        let machines = vec![Some("rig-b".to_string())];
+        let (idx, which) = select_history(Some("rig-a"), &machines, true).unwrap();
+        assert_eq!(idx, vec![0]);
+        assert_eq!(which, "cross-machine");
+    }
+
+    #[test]
+    fn select_history_untagged_candidate_keeps_coarse_fallback() {
+        let machines = vec![Some("rig-b".to_string()), None];
+        let (idx, which) = select_history(None, &machines, false).unwrap();
+        assert_eq!(idx, vec![0, 1]);
+        assert_eq!(which, "untagged");
     }
 }

@@ -28,11 +28,15 @@ use cioq_model::Value;
 #[derive(Debug, Clone, Default)]
 pub struct InFlight {
     /// `(source input, value)` entries in flight toward each output
-    /// (unordered multiset).
+    /// (unordered multiset). snapshot: transient — rebuilt by replaying
+    /// `dispatch` for every serialized calendar landing and fault-held
+    /// packet on restore.
     values: Vec<Vec<(u16, Value)>>,
-    /// Total packets in flight (all outputs).
+    /// Total packets in flight (all outputs). snapshot: transient —
+    /// rebuilt with `values` by the same dispatch replay.
     total: u64,
-    /// Total value in flight (all outputs).
+    /// Total value in flight (all outputs). snapshot: transient —
+    /// rebuilt with `values` by the same dispatch replay.
     total_value: u128,
 }
 

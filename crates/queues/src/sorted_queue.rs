@@ -23,9 +23,14 @@ use cioq_model::{Packet, PacketId, Value};
 #[derive(Debug, Clone)]
 pub struct SortedQueue {
     /// Sorted packets, index 0 = head = greatest value.
+    /// snapshot: serialized — stored order is the canonical wire order.
     items: Vec<Packet>,
+    /// snapshot: serialized — part of the switch geometry.
     capacity: usize,
     /// Count of successful mutations since construction.
+    /// snapshot: transient — bookkeeping for incremental schedulers, not
+    /// state (content equality deliberately ignores it); a restored
+    /// queue restarts at 0 and fresh policies resync from contents.
     epoch: u64,
 }
 

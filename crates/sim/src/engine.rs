@@ -1,15 +1,17 @@
 //! The simulation engine: executes slots phase by phase, validating every
 //! policy decision against the model of §1.3.
 
+use crate::fault::{FaultPlan, FaultRuntime};
 use crate::policy::{
     Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
     Transfer, TransmitChoice,
 };
+use crate::snapshot::{EngineSnapshot, SnapLanding, SnapshotError};
 use crate::source::{ArrivalSource, TraceSource};
 use crate::state::SwitchState;
-use crate::stats::{RunReport, StatsRecorder};
+use crate::stats::{RunReport, StatsRecorder, WindowedStats};
 use crate::trace::Trace;
-use crate::transport::{DelayCalendar, FabricLink, FabricSpec, InFlightPacket};
+use crate::transport::{DelayCalendar, FabricLink, FabricSpec, InFlightPacket, Landing};
 use crate::validate::check_state_invariants;
 use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig};
 use cioq_queues::SortedQueue;
@@ -30,6 +32,19 @@ pub struct RunOptions {
     /// landing. The default (uniform 0) is the paper's same-cycle fabric.
     /// Set via [`RunOptions::link`].
     pub fabric: FabricSpec,
+    /// Take an [`EngineSnapshot`] at the top of every slot `k` with
+    /// `k > 0 && k % n == 0` (before that slot's fault releases, landings
+    /// and arrivals). Collected snapshots come back through
+    /// [`Engine::run_cioq_full`] / [`Engine::run_crossbar_full`].
+    pub checkpoint_every: Option<SlotId>,
+    /// Maintain an O(window) sliding per-slot stats window alongside the
+    /// cumulative recorder (see [`WindowedStats`]); `None` keeps the
+    /// full-history default.
+    pub stats_window: Option<usize>,
+    /// Deterministic fault schedule layered onto the fabric transport
+    /// (latency spikes, link-down windows with bounded retransmit queues).
+    /// `None` is the fault-free fabric of the paper.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RunOptions {
@@ -39,6 +54,9 @@ impl Default for RunOptions {
             drain: true,
             validate: cfg!(debug_assertions),
             fabric: FabricSpec::default(),
+            checkpoint_every: None,
+            stats_window: None,
+            faults: None,
         }
     }
 }
@@ -49,6 +67,32 @@ impl RunOptions {
         self.fabric = link.spec();
         self
     }
+
+    /// Calendar horizon a run under these options needs: the largest pair
+    /// latency plus the worst fault-induced extra, at least 1 when
+    /// link-down retransmits can occur (a released packet always rides the
+    /// calendar at delay ≥ 1).
+    fn horizon(&self) -> SlotId {
+        let mut horizon =
+            self.fabric.max_delay() + self.faults.as_ref().map_or(0, |p| p.max_extra());
+        if self.faults.as_ref().is_some_and(|p| p.has_link_down()) {
+            horizon = horizon.max(1);
+        }
+        horizon
+    }
+}
+
+/// Everything a run produces: the report, the final switch state
+/// (equivalence tests compare it queue for queue), and the checkpoints the
+/// `checkpoint_every` option collected.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// End-of-run statistics.
+    pub report: RunReport,
+    /// The switch state the run ended in.
+    pub final_state: SwitchState,
+    /// Snapshots taken at every `checkpoint_every` boundary, in slot order.
+    pub checkpoints: Vec<EngineSnapshot>,
 }
 
 /// Reusable engine: owns the switch state, stats, and all scratch buffers.
@@ -61,8 +105,18 @@ pub struct Engine {
     /// per-transfer lookup).
     spec: FabricSpec,
     /// Landing calendar of a delayed fabric (`None` = every pair
-    /// immediate).
+    /// immediate and no fault plan needs one).
     calendar: Option<DelayCalendar>,
+    /// Fault-injection state (`None` = fault-free run).
+    faults: Option<FaultRuntime>,
+    /// Sliding per-slot stats window, when enabled.
+    window: Option<WindowedStats>,
+    /// Slot the run (re)starts at: 0 fresh, the checkpoint slot restored.
+    start_slot: SlotId,
+    /// No-progress streak entering `start_slot` (drain cutoff state).
+    start_idle: u32,
+    /// Snapshots collected by the `checkpoint_every` option, in slot order.
+    checkpoints: Vec<EngineSnapshot>,
     // Scratch (reused every slot — the hot path never allocates).
     arrivals: Vec<Packet>,
     transfers: Vec<Transfer>,
@@ -79,19 +133,269 @@ impl Engine {
         let n_inputs = config.n_inputs;
         let spec = options.fabric.clone();
         spec.assert_covers(&config);
-        let horizon = spec.max_delay();
+        let horizon = options.horizon();
+        let faults = options
+            .faults
+            .clone()
+            .map(|p| FaultRuntime::new(p, n_inputs, n_outputs));
+        let window = options.stats_window.map(WindowedStats::new);
         Engine {
             state: SwitchState::new(config),
             stats: StatsRecorder::new(n_outputs),
             options,
             spec,
             calendar: (horizon >= 1).then(|| DelayCalendar::new(horizon)),
+            faults,
+            window,
+            start_slot: 0,
+            start_idle: 0,
+            checkpoints: Vec::new(),
             arrivals: Vec::new(),
             transfers: Vec::new(),
             in_transfers: Vec::new(),
             out_transfers: Vec::new(),
             input_used: vec![false; n_inputs],
             output_used: vec![false; n_outputs],
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint so the run continues exactly
+    /// where [`Engine::snapshot`] (or `checkpoint_every`) captured it:
+    /// driven by the same trace (resume the source with
+    /// [`TraceSource::resume_at`]) and options, the continuation is
+    /// byte-identical to the uninterrupted run.
+    ///
+    /// `options` must describe the same fabric the snapshot was taken
+    /// under, and must supply a fault plan if the snapshot holds
+    /// fault-retransmit packets; anything else is
+    /// [`SnapshotError::Incompatible`]. Malformed snapshots (queue
+    /// overflow, out-of-range ports, landings outside the calendar
+    /// horizon) are [`SnapshotError::Format`].
+    pub fn restore(snap: &EngineSnapshot, options: RunOptions) -> Result<Self, SnapshotError> {
+        let config = snap.config.clone();
+        let (n_inputs, n_outputs) = (config.n_inputs, config.n_outputs);
+        if options.fabric != snap.fabric {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot was taken under fabric `{}` but options carry `{}`",
+                snap.fabric.label(),
+                options.fabric.label()
+            )));
+        }
+        if let Some(t) = options.fabric.topology() {
+            if t.n_inputs() != n_inputs || t.n_outputs() != n_outputs {
+                return Err(SnapshotError::Incompatible(format!(
+                    "topology covers {}x{} ports but the switch is {n_inputs}x{n_outputs}",
+                    t.n_inputs(),
+                    t.n_outputs()
+                )));
+            }
+        }
+        if !snap.held.is_empty() && options.faults.is_none() {
+            return Err(SnapshotError::Incompatible(
+                "snapshot holds fault-retransmit packets but no fault plan was supplied".into(),
+            ));
+        }
+        if snap.stats.per_output_transmitted.len() != n_outputs {
+            return Err(SnapshotError::Format(
+                "per-output stats do not match the switch geometry".into(),
+            ));
+        }
+        if snap.input_queues.len() != n_inputs * n_outputs
+            || snap.output_queues.len() != n_outputs
+            || snap
+                .crossbar_queues
+                .as_ref()
+                .is_some_and(|qs| qs.len() != n_inputs * n_outputs)
+            || snap.crossbar_queues.is_some() != config.crossbar_capacity.is_some()
+        {
+            return Err(SnapshotError::Format(
+                "queue layout does not match the switch geometry".into(),
+            ));
+        }
+
+        let mut state = SwitchState::new(config);
+        let overflow = |_| SnapshotError::Format("serialized queue exceeds its capacity".into());
+        for (cell, packets) in snap.input_queues.iter().enumerate() {
+            let q = state
+                .input_queues
+                .get_mut(cell / n_outputs, cell % n_outputs);
+            for p in packets {
+                q.insert(*p).map_err(overflow)?;
+            }
+        }
+        if let Some(cells) = &snap.crossbar_queues {
+            let grid = state
+                .crossbar_queues
+                .as_mut()
+                .expect("layout checked above");
+            for (cell, packets) in cells.iter().enumerate() {
+                let q = grid.get_mut(cell / n_outputs, cell % n_outputs);
+                for p in packets {
+                    q.insert(*p).map_err(overflow)?;
+                }
+            }
+        }
+        for (j, packets) in snap.output_queues.iter().enumerate() {
+            for p in packets {
+                state.output_queues[j].insert(*p).map_err(overflow)?;
+            }
+        }
+        state.slot = snap.slot;
+
+        let horizon = options.horizon();
+        let mut calendar = (horizon >= 1).then(|| DelayCalendar::new(horizon));
+        for l in &snap.landings {
+            if l.input as usize >= n_inputs || l.output as usize >= n_outputs {
+                return Err(SnapshotError::Format(format!(
+                    "landing on pair ({} -> {}) outside a {n_inputs}x{n_outputs} switch",
+                    l.input, l.output
+                )));
+            }
+            let cal = calendar.as_mut().ok_or_else(|| {
+                SnapshotError::Incompatible(
+                    "snapshot holds in-flight packets but the options model an immediate fabric"
+                        .into(),
+                )
+            })?;
+            if l.land_slot < snap.slot || l.land_slot >= snap.slot + horizon {
+                return Err(SnapshotError::Format(format!(
+                    "landing at slot {} outside the calendar window [{}, {})",
+                    l.land_slot,
+                    snap.slot,
+                    snap.slot + horizon
+                )));
+            }
+            state
+                .inflight
+                .dispatch(l.input as usize, l.output as usize, l.packet.value);
+            cal.insert_pending(
+                l.land_slot,
+                Landing {
+                    slot: l.slot,
+                    cycle: l.cycle,
+                    p: InFlightPacket {
+                        input: l.input,
+                        output: l.output,
+                        preempt: l.preempt,
+                        packet: l.packet,
+                    },
+                },
+            );
+        }
+        let mut faults = options
+            .faults
+            .clone()
+            .map(|p| FaultRuntime::new(p, n_inputs, n_outputs));
+        for (i, j, preempt, packet) in &snap.held {
+            if *i as usize >= n_inputs || *j as usize >= n_outputs {
+                return Err(SnapshotError::Format(format!(
+                    "held packet on pair ({i} -> {j}) outside a {n_inputs}x{n_outputs} switch"
+                )));
+            }
+            let rt = faults.as_mut().expect("held implies a plan, checked above");
+            state
+                .inflight
+                .dispatch(*i as usize, *j as usize, packet.value);
+            rt.hold(*i, *j, *preempt, *packet);
+        }
+
+        let stats = snap.stats.clone();
+        let window = match (&snap.window, options.stats_window) {
+            (Some((w, _)), Some(opt)) if opt != *w => {
+                return Err(SnapshotError::Incompatible(format!(
+                    "snapshot carries a {w}-slot stats window but options ask for {opt}"
+                )));
+            }
+            (Some((w, entries)), _) => Some(WindowedStats::from_parts(*w, entries.clone(), &stats)),
+            (None, Some(w)) => Some(WindowedStats::new(w)),
+            (None, None) => None,
+        };
+        crate::invariants::check_restored_residual(
+            &state,
+            snap.residual_count,
+            snap.residual_value,
+        )
+        .map_err(SnapshotError::Format)?;
+
+        let spec = options.fabric.clone();
+        Ok(Engine {
+            state,
+            stats,
+            options,
+            spec,
+            calendar,
+            faults,
+            window,
+            start_slot: snap.slot,
+            start_idle: snap.idle_slots,
+            checkpoints: Vec::new(),
+            arrivals: Vec::new(),
+            transfers: Vec::new(),
+            in_transfers: Vec::new(),
+            out_transfers: Vec::new(),
+            input_used: vec![false; n_inputs],
+            output_used: vec![false; n_outputs],
+        })
+    }
+
+    /// Capture the engine's complete state at the slot boundary it
+    /// currently sits at (fresh, just restored, or between runs).
+    /// Restoring the result reproduces this engine exactly; in particular
+    /// `Engine::restore(&e.snapshot(), opts).snapshot()` is byte-identical.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.capture(self.start_idle)
+    }
+
+    /// Build a snapshot of the current slot boundary with the given
+    /// no-progress streak (the loop's live `idle_slots` when
+    /// checkpointing mid-run).
+    fn capture(&self, idle_slots: u32) -> EngineSnapshot {
+        let queue_cells = |qs: &mut dyn Iterator<Item = &SortedQueue>| -> Vec<Vec<Packet>> {
+            qs.map(|q| q.iter().copied().collect()).collect()
+        };
+        let input_queues = queue_cells(&mut self.state.input_queues.iter().map(|(_, _, q)| q));
+        let crossbar_queues = self
+            .state
+            .crossbar_queues
+            .as_ref()
+            .map(|g| queue_cells(&mut g.iter().map(|(_, _, q)| q)));
+        let output_queues = queue_cells(&mut self.state.output_queues.iter());
+        let mut landings = Vec::new();
+        if let Some(cal) = &self.calendar {
+            cal.for_each_pending_at(self.state.slot, |land_slot, l| {
+                landings.push(SnapLanding {
+                    land_slot,
+                    slot: l.slot,
+                    cycle: l.cycle,
+                    input: l.p.input,
+                    output: l.p.output,
+                    preempt: l.p.preempt,
+                    packet: l.p.packet,
+                });
+            });
+        }
+        landings.sort_unstable_by_key(|l| (l.land_slot, l.slot, l.cycle, l.output, l.input));
+        let mut held = Vec::new();
+        if let Some(f) = &self.faults {
+            f.for_each_held(|i, j, preempt, p| held.push((i, j, preempt, *p)));
+        }
+        EngineSnapshot {
+            config: self.state.config().clone(),
+            fabric: self.spec.clone(),
+            slot: self.state.slot(),
+            idle_slots,
+            input_queues,
+            crossbar_queues,
+            output_queues,
+            landings,
+            held,
+            stats: self.stats.clone(),
+            window: self
+                .window
+                .as_ref()
+                .map(|w| (w.window(), w.entries().copied().collect())),
+            residual_count: self.state.residual_count(),
+            residual_value: self.state.residual_value(),
         }
     }
 
@@ -118,6 +422,23 @@ impl Engine {
         Ok((self.finish(policy.name().to_string(), slots), state))
     }
 
+    /// Like [`Engine::run_cioq`], returning the report, final state and
+    /// every checkpoint the `checkpoint_every` option collected.
+    pub fn run_cioq_full<P: CioqPolicy + ?Sized>(
+        mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<RunOutcome, PolicyError> {
+        let slots = self.run_cioq_loop(policy, source)?;
+        let final_state = self.state.clone();
+        let checkpoints = std::mem::take(&mut self.checkpoints);
+        Ok(RunOutcome {
+            report: self.finish(policy.name().to_string(), slots),
+            final_state,
+            checkpoints,
+        })
+    }
+
     fn run_cioq_loop<P: CioqPolicy + ?Sized>(
         &mut self,
         policy: &mut P,
@@ -130,8 +451,8 @@ impl Engine {
         let arrival_slots = self.options.slots.or_else(|| source.horizon()).unwrap_or(0);
         let speedup = self.state.config().speedup;
 
-        let mut slot: SlotId = 0;
-        let mut idle_slots = 0u32;
+        let mut slot: SlotId = self.start_slot;
+        let mut idle_slots = self.start_idle;
         loop {
             let in_arrival_window = slot < arrival_slots;
             if !in_arrival_window {
@@ -145,8 +466,12 @@ impl Engine {
                 }
             }
             self.state.slot = slot;
+            self.checkpoint_if_due(slot, idle_slots);
             let transmitted_before = self.stats.transmitted;
             let moved_before = self.stats.transferred + self.stats.transferred_to_crossbar;
+
+            // --- Fault release (link-down windows that closed) ---
+            self.release_retransmits(slot);
 
             // --- Landing phase (delayed fabric only) ---
             self.land_due(slot)?;
@@ -179,6 +504,9 @@ impl Engine {
             self.post_phase_check();
 
             self.audit_slot();
+            if let Some(w) = &mut self.window {
+                w.roll(slot, &self.stats);
+            }
             let progressed = self.stats.transmitted != transmitted_before
                 || self.stats.transferred + self.stats.transferred_to_crossbar != moved_before;
             idle_slots = if progressed { 0 } else { idle_slots + 1 };
@@ -210,6 +538,23 @@ impl Engine {
         Ok((self.finish(policy.name().to_string(), slots), state))
     }
 
+    /// Like [`Engine::run_crossbar`], returning the report, final state
+    /// and every checkpoint the `checkpoint_every` option collected.
+    pub fn run_crossbar_full<P: CrossbarPolicy + ?Sized>(
+        mut self,
+        policy: &mut P,
+        source: &mut dyn ArrivalSource,
+    ) -> Result<RunOutcome, PolicyError> {
+        let slots = self.run_crossbar_loop(policy, source)?;
+        let final_state = self.state.clone();
+        let checkpoints = std::mem::take(&mut self.checkpoints);
+        Ok(RunOutcome {
+            report: self.finish(policy.name().to_string(), slots),
+            final_state,
+            checkpoints,
+        })
+    }
+
     fn run_crossbar_loop<P: CrossbarPolicy + ?Sized>(
         &mut self,
         policy: &mut P,
@@ -222,8 +567,8 @@ impl Engine {
         let arrival_slots = self.options.slots.or_else(|| source.horizon()).unwrap_or(0);
         let speedup = self.state.config().speedup;
 
-        let mut slot: SlotId = 0;
-        let mut idle_slots = 0u32;
+        let mut slot: SlotId = self.start_slot;
+        let mut idle_slots = self.start_idle;
         loop {
             let in_arrival_window = slot < arrival_slots;
             if !in_arrival_window {
@@ -235,8 +580,12 @@ impl Engine {
                 }
             }
             self.state.slot = slot;
+            self.checkpoint_if_due(slot, idle_slots);
             let transmitted_before = self.stats.transmitted;
             let moved_before = self.stats.transferred + self.stats.transferred_to_crossbar;
+
+            // --- Fault release (link-down windows that closed) ---
+            self.release_retransmits(slot);
 
             // --- Landing phase (delayed fabric only) ---
             self.land_due(slot)?;
@@ -275,6 +624,9 @@ impl Engine {
             self.post_phase_check();
 
             self.audit_slot();
+            if let Some(w) = &mut self.window {
+                w.roll(slot, &self.stats);
+            }
             let progressed = self.stats.transmitted != transmitted_before
                 || self.stats.transferred + self.stats.transferred_to_crossbar != moved_before;
             idle_slots = if progressed { 0 } else { idle_slots + 1 };
@@ -285,6 +637,64 @@ impl Engine {
     }
 
     // ---- phase mechanics ----
+
+    /// Take a checkpoint at the top of `slot` when the `checkpoint_every`
+    /// option says one is due (never at slot 0 — that is the fresh state).
+    fn checkpoint_if_due(&mut self, slot: SlotId, idle_slots: u32) {
+        if let Some(every) = self.options.checkpoint_every {
+            if slot > 0 && slot.is_multiple_of(every) {
+                let snap = self.capture(idle_slots);
+                self.checkpoints.push(snap);
+            }
+        }
+    }
+
+    /// Re-dispatch the retransmit FIFOs of every pair whose link-down
+    /// window has closed by `slot`, in deterministic (row-major pair,
+    /// FIFO) order. Released packets ride the calendar at their pair's
+    /// current effective delay (≥ 1), tagged with a cycle counter that
+    /// starts past the real scheduling cycles so canonical landing keys
+    /// stay unique.
+    fn release_retransmits(&mut self, slot: SlotId) {
+        let Some(mut faults) = self.faults.take() else {
+            return;
+        };
+        if faults.total_held() > 0 {
+            let cfg = self.state.config();
+            let (n_inputs, n_outputs) = (cfg.n_inputs as u16, cfg.n_outputs as u16);
+            let mut cycle = cfg.speedup;
+            for i in 0..n_inputs {
+                for j in 0..n_outputs {
+                    if faults.pair_held(i, j) == 0 || faults.plan().down_cap(slot, i, j).is_some() {
+                        continue;
+                    }
+                    for (preempt, packet) in faults.drain_pair(i, j) {
+                        let d = (self.spec.delay(PortId(i), PortId(j))
+                            + faults.plan().extra_delay(slot, i, j))
+                        .max(1);
+                        let cal = self
+                            .calendar
+                            .as_mut()
+                            .expect("link-down faults imply a calendar");
+                        cal.dispatch(
+                            slot,
+                            cycle,
+                            d,
+                            InFlightPacket {
+                                input: i,
+                                output: j,
+                                preempt,
+                                packet,
+                            },
+                        );
+                        self.stats.on_retransmit();
+                        cycle += 1;
+                    }
+                }
+            }
+        }
+        self.faults = Some(faults);
+    }
 
     fn arrival_phase(
         &mut self,
@@ -338,7 +748,10 @@ impl Engine {
 
     /// Insert a packet that has crossed the fabric into `Q_j`, preempting
     /// `l_j` iff the transfer allowed it — the single landing site shared
-    /// by the immediate path and the delay line.
+    /// by the immediate path and the delay line. Under a fault plan a
+    /// non-preempting landing into a full queue is an overflow *drop*
+    /// (the reservation the policy scheduled against can be stale once
+    /// faults perturb landing times), not a policy error.
     fn deliver_to_output(
         &mut self,
         input: PortId,
@@ -350,6 +763,10 @@ impl Engine {
         let queue = &mut self.state.output_queues[output.index()];
         if queue.is_full() {
             if !preempt_if_full {
+                if self.faults.is_some() {
+                    self.stats.on_drop(&packet);
+                    return Ok(());
+                }
                 return Err(PolicyError::QueueFull {
                     kind: "output",
                     input: Some(input),
@@ -400,7 +817,9 @@ impl Engine {
 
     /// Hand a popped packet to the fabric: insert into `Q_j` now (pairs at
     /// latency 0), or commit it to the calendar to land `delay(src, dst)`
-    /// slots later.
+    /// slots later. An active fault plan intercepts here: a link-down pair
+    /// holds the packet in its bounded retransmit FIFO (overflow = drop),
+    /// and latency spikes stretch the pair's effective delay.
     fn through_fabric(
         &mut self,
         input: PortId,
@@ -409,7 +828,22 @@ impl Engine {
         cycle: Cycle,
         packet: Packet,
     ) -> Result<(), PolicyError> {
-        let d = self.spec.delay(input, output);
+        let mut d = self.spec.delay(input, output);
+        if let Some(faults) = &mut self.faults {
+            let (i, j) = (input.0, output.0);
+            if let Some(cap) = faults.plan().down_cap(cycle.slot, i, j) {
+                if faults.pair_held(i, j) < cap {
+                    self.state
+                        .inflight
+                        .dispatch(input.index(), output.index(), packet.value);
+                    faults.hold(i, j, preempt_if_full, packet);
+                } else {
+                    self.stats.on_drop(&packet);
+                }
+                return Ok(());
+            }
+            d += faults.plan().extra_delay(cycle.slot, i, j);
+        }
         if d >= 1 {
             let cal = self
                 .calendar
@@ -488,6 +922,13 @@ impl Engine {
                 .at_mut(t.input, t.output);
             if xbar.is_full() {
                 if !t.preempt_if_full {
+                    // Under a fault plan a stale reservation is an
+                    // overflow drop, not a policy error (see
+                    // `deliver_to_output`).
+                    if self.faults.is_some() {
+                        self.stats.on_drop(&packet);
+                        continue;
+                    }
                     return Err(PolicyError::QueueFull {
                         kind: "crossbar",
                         input: Some(t.input),
@@ -614,6 +1055,7 @@ impl Engine {
                 &self.state,
                 &self.stats,
                 self.calendar.as_ref(),
+                self.faults.as_ref(),
             ) {
                 panic!(
                     "engine invariant violated at slot {}: {msg}",
@@ -630,6 +1072,7 @@ impl Engine {
             .stats
             .finish(policy, slots, residual_count, residual_value);
         report.fabric_delay = self.spec.max_delay();
+        report.window = self.window;
         debug_assert_eq!(report.check_conservation(), Ok(()));
         report
     }

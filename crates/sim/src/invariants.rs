@@ -27,6 +27,7 @@
 //!    and output port at most once per cycle (the crossbar subphases
 //!    constrain only their own side), with all ports in range.
 
+use crate::fault::FaultRuntime;
 use crate::state::SwitchState;
 use crate::stats::StatsRecorder;
 use crate::transport::DelayCalendar;
@@ -86,19 +87,22 @@ pub fn check_canonical_order<T>(
 }
 
 /// Cross-check the [`InFlight`](cioq_queues::InFlight) accounting of
-/// `state` against the delay calendar: internal totals recount cleanly,
-/// calendar and accounting agree in total, and each committed packet is
-/// accounted on the exact (input, output) pair it rides.
+/// `state` against the delay calendar and the fault layer's retransmit
+/// queues: internal totals recount cleanly, calendar + held packets match
+/// the accounting in total, and each committed or held packet is accounted
+/// on the exact (input, output) pair it rides.
 pub(crate) fn check_inflight(
     state: &SwitchState,
     calendar: Option<&DelayCalendar>,
+    faults: Option<&FaultRuntime>,
 ) -> Result<(), String> {
     let cfg = state.config();
     state.inflight.check_consistency(cfg.n_inputs)?;
+    let held_total = faults.map_or(0, |f| f.total_held());
     let Some(cal) = calendar else {
-        if !state.inflight.is_empty() {
+        if state.inflight.total() != held_total {
             return Err(format!(
-                "{} packets accounted in flight on an immediate fabric",
+                "{} packets accounted in flight on an immediate fabric ({held_total} held by faults)",
                 state.inflight.total()
             ));
         }
@@ -111,19 +115,22 @@ pub(crate) fn check_inflight(
         pending += 1;
         pair_counts[p.input as usize * cfg.n_outputs + p.output as usize] += 1;
     });
-    if pending != state.inflight.total() {
+    if pending + held_total != state.inflight.total() {
         return Err(format!(
-            "calendar holds {pending} committed packets but in-flight accounting says {}",
+            "calendar holds {pending} committed packets + {held_total} held by faults, \
+             but in-flight accounting says {}",
             state.inflight.total()
         ));
     }
     for i in 0..cfg.n_inputs {
         for j in 0..cfg.n_outputs {
             let accounted = state.inflight.pair_len(i, j);
+            let held = faults.map_or(0, |f| f.pair_held(i as u16, j as u16));
             let committed = pair_counts[i * cfg.n_outputs + j] as usize;
-            if accounted != committed && pair_mismatch.is_none() {
+            if accounted != committed + held && pair_mismatch.is_none() {
                 pair_mismatch = Some(format!(
-                    "pair ({i} -> {j}): calendar holds {committed} packets, accounting says {accounted}"
+                    "pair ({i} -> {j}): calendar holds {committed} packets + {held} held, \
+                     accounting says {accounted}"
                 ));
             }
         }
@@ -135,14 +142,33 @@ pub(crate) fn check_inflight(
 }
 
 /// Full per-slot audit for the sequential engine: conservation plus
-/// in-flight/calendar consistency. The caller gates on debug builds.
+/// in-flight/calendar/fault consistency. The caller gates on debug builds.
 pub(crate) fn audit_engine_slot(
     state: &SwitchState,
     stats: &StatsRecorder,
     calendar: Option<&DelayCalendar>,
+    faults: Option<&FaultRuntime>,
 ) -> Result<(), String> {
     check_conservation(stats, state.residual_count(), state.residual_value())?;
-    check_inflight(state, calendar)
+    check_inflight(state, calendar, faults)
+}
+
+/// Check that a freshly restored engine's residual accounting matches what
+/// the checkpoint recorded: every serialized packet made it back into a
+/// queue, the calendar, or a retransmit FIFO — none duplicated, none lost.
+pub fn check_restored_residual(
+    state: &SwitchState,
+    expected_count: u64,
+    expected_value: u128,
+) -> Result<(), String> {
+    let (count, value) = (state.residual_count(), state.residual_value());
+    if count != expected_count || value != expected_value {
+        return Err(format!(
+            "restored residual mismatch: checkpoint recorded {expected_count} packets \
+             of value {expected_value}, restored state holds {count} of value {value}"
+        ));
+    }
+    Ok(())
 }
 
 fn check_cycle(

@@ -27,10 +27,12 @@
 
 mod changes;
 mod engine;
+pub mod fault;
 pub mod invariants;
 mod policy;
 mod record;
 pub mod shard;
+pub mod snapshot;
 mod source;
 mod state;
 mod stats;
@@ -43,8 +45,9 @@ pub use changes::{ChangeLog, DirtySet};
 pub use engine::{
     run_cioq, run_cioq_linked, run_cioq_with_final_state, run_cioq_with_source, run_crossbar,
     run_crossbar_linked, run_crossbar_with_final_state, run_crossbar_with_source, Engine,
-    RunOptions,
+    RunOptions, RunOutcome,
 };
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultScope};
 pub use policy::{
     Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
     Transfer, TransmitChoice,
@@ -56,9 +59,10 @@ pub use shard::{
     MergeScratch, OrderMirror, OutputSnapshot, Partition, ShardView, ShardedOptions,
     ShardedOutcome,
 };
+pub use snapshot::{EngineSnapshot, SnapshotError};
 pub use source::{ArrivalSource, TraceSource};
 pub use state::{QueueKind, SwitchState, SwitchView};
-pub use stats::{LossBreakdown, RunReport, StatsRecorder};
+pub use stats::{LossBreakdown, RunReport, StatsRecorder, WindowSlot, WindowedStats};
 pub use sync::SpinBarrier;
 pub use trace::{Trace, TraceError};
 pub use transport::{DelayLine, DelayMatrix, FabricLink, FabricSpec, Immediate};

@@ -41,6 +41,7 @@ use crate::changes::ChangeLog;
 use crate::engine::take_pick;
 use crate::policy::{Admission, InputTransfer, OutputTransfer, PacketPick, PolicyError, Transfer};
 use crate::record::{RecordedCrossbarSchedule, RecordedSchedule};
+use crate::snapshot::{EngineSnapshot, SnapLanding};
 use crate::state::SwitchState;
 use crate::stats::{RunReport, StatsRecorder};
 use crate::sync::SpinBarrier;
@@ -170,6 +171,21 @@ pub struct ShardedOptions {
     /// take the mailbox path within the cycle. Set via
     /// [`ShardedOptions::link`].
     pub fabric: FabricSpec,
+    /// Take an [`EngineSnapshot`] at the top of every slot `k` with
+    /// `k > 0 && k % n == 0` (before that slot's landings and arrivals),
+    /// byte-compatible with the sequential engine's checkpoints of the
+    /// same run. Collected into [`ShardedOutcome::checkpoints`].
+    pub checkpoint_every: Option<SlotId>,
+    /// Resume from a checkpoint instead of a fresh switch: queue
+    /// contents, in-flight fabric packets and cumulative statistics are
+    /// seeded from the snapshot and the run continues at its slot,
+    /// byte-identical to the uninterrupted run on the same trace. The
+    /// snapshot may come from a sequential or a sharded run (their
+    /// checkpoints are byte-compatible); it must match the run's config
+    /// and [`ShardedOptions::fabric`], and must carry no fault-held
+    /// packets or stats window — the sharded engine has no fault layer
+    /// and keeps full history. Violations panic loudly.
+    pub resume_from: Option<EngineSnapshot>,
 }
 
 impl ShardedOptions {
@@ -185,6 +201,8 @@ impl ShardedOptions {
             record: false,
             capture_final_state: false,
             fabric: FabricSpec::default(),
+            checkpoint_every: None,
+            resume_from: None,
         }
     }
 
@@ -221,6 +239,9 @@ pub struct ShardedOutcome {
     pub crossbar_schedule: Option<RecordedCrossbarSchedule>,
     /// Final global switch state, when capture was requested.
     pub final_state: Option<SwitchState>,
+    /// Snapshots taken at every `checkpoint_every` boundary, in slot
+    /// order — byte-compatible with the sequential engine's.
+    pub checkpoints: Vec<EngineSnapshot>,
 }
 
 // ---------------------------------------------------------------------------
@@ -1780,6 +1801,9 @@ fn absorb_stats(acc: &mut StatsRecorder, s: &StatsRecorder) {
     acc.losses.preempted_crossbar_value += s.losses.preempted_crossbar_value;
     acc.losses.preempted_output += s.losses.preempted_output;
     acc.losses.preempted_output_value += s.losses.preempted_output_value;
+    acc.losses.dropped += s.losses.dropped;
+    acc.losses.dropped_value += s.losses.dropped_value;
+    acc.retransmitted += s.retransmitted;
     acc.latency_sum += s.latency_sum;
     for (a, b) in acc.latency_histogram.iter_mut().zip(&s.latency_histogram) {
         *a += b;
@@ -1791,6 +1815,206 @@ fn absorb_stats(acc: &mut StatsRecorder, s: &StatsRecorder) {
     {
         *a += b;
     }
+}
+
+/// Capture an [`EngineSnapshot`] of the sharded run at the top of `slot`
+/// (coordinator only, between barriers, before the landing phase) —
+/// byte-compatible with the sequential engine's capture of the same
+/// state: queue cells in stored order, ring contents converted back to
+/// `(land slot, dispatch metadata)` landings in canonical order, merged
+/// statistics, and the coordinator's live no-progress streak.
+fn capture_sharded(
+    fabric: &Fabric<'_>,
+    options: &ShardedOptions,
+    slot: SlotId,
+    idle_slots: u32,
+) -> EngineSnapshot {
+    let cfg = fabric.cfg;
+    let m = cfg.n_outputs;
+    let mut input_queues = vec![Vec::new(); cfg.n_inputs * m];
+    let mut crossbar_queues = cfg
+        .crossbar_capacity
+        .map(|_| vec![Vec::new(); cfg.n_inputs * m]);
+    let mut output_queues = vec![Vec::new(); m];
+    let mut stats = StatsRecorder::new(m);
+    for l in &fabric.shards {
+        let st = read_shard(l);
+        for (i, j, q) in st.voq.iter_global() {
+            input_queues[i * m + j] = q.iter().copied().collect();
+        }
+        if let Some(xbar) = &st.xbar {
+            let cells = crossbar_queues
+                .as_mut()
+                .expect("both states share the config");
+            for (i, j, q) in xbar.iter_global() {
+                cells[i * m + j] = q.iter().copied().collect();
+            }
+        }
+        for (local_j, q) in st.outputs.iter().enumerate() {
+            output_queues[st.out_lo + local_j] = q.iter().copied().collect();
+        }
+        absorb_stats(&mut stats, &st.stats);
+    }
+    // Ring bucket `b` of a depth-`dp` ring holds packets landing at the
+    // next slot congruent to `b` (mod dp) — bucket `slot % dp` is due
+    // exactly now, since capture runs before the landing phase drains it.
+    let mut landings = Vec::new();
+    for (dest, row) in fabric.comms.rings.iter().enumerate() {
+        for (src, cell) in row.iter().enumerate() {
+            let depth = fabric.comms.ring_depth[dest][src];
+            if depth == 0 {
+                continue;
+            }
+            let cell = lock(cell);
+            for (b, bucket) in cell.iter().enumerate() {
+                let land_slot = slot + ((b as SlotId + depth - slot % depth) % depth);
+                for d in bucket {
+                    landings.push(SnapLanding {
+                        land_slot,
+                        slot: d.slot,
+                        cycle: d.cycle,
+                        input: d.r.input,
+                        output: d.r.output,
+                        preempt: d.r.preempt,
+                        packet: d.r.packet,
+                    });
+                }
+            }
+        }
+    }
+    landings.sort_unstable_by_key(|l| (l.land_slot, l.slot, l.cycle, l.output, l.input));
+    let (residual_count, residual_value) = fabric.residual();
+    EngineSnapshot {
+        config: cfg.clone(),
+        fabric: options.fabric.clone(),
+        slot,
+        idle_slots,
+        input_queues,
+        crossbar_queues,
+        output_queues,
+        landings,
+        held: Vec::new(),
+        stats,
+        window: None,
+        residual_count,
+        residual_value,
+    }
+}
+
+/// Seed a freshly-built fabric from a checkpoint — the sharded half of
+/// [`Engine::restore`](crate::engine::Engine::restore): every owner shard
+/// receives its queue contents, the delay-line rings their in-flight
+/// packets (bucketed by landing slot), and shard 0 the cumulative
+/// statistics (per-shard stats are merged at the end, so where the
+/// history sits is immaterial). Returns the slot and no-progress streak
+/// the coordinator resumes at. Panics loudly on a snapshot that cannot
+/// be applied here: wrong geometry or fabric, fault-held packets or a
+/// stats window (the sharded engine supports neither), or landings
+/// outside their ring's window.
+fn seed_from_snapshot(
+    fabric: &Fabric<'_>,
+    snap: &EngineSnapshot,
+    options: &ShardedOptions,
+) -> (SlotId, u32) {
+    let cfg = fabric.cfg;
+    let m = cfg.n_outputs;
+    assert_eq!(
+        &snap.config, cfg,
+        "snapshot was taken under a different switch config"
+    );
+    assert_eq!(
+        snap.fabric, options.fabric,
+        "snapshot was taken under a different fabric"
+    );
+    assert!(
+        snap.held.is_empty(),
+        "snapshot holds fault-retransmit packets; the sharded engine has no fault layer"
+    );
+    assert!(
+        snap.window.is_none(),
+        "snapshot carries a stats window; the sharded engine keeps full history"
+    );
+    for s in 0..fabric.partition.k() {
+        let mut st = write_shard(&fabric.shards[s]);
+        for i in fabric.partition.input_range(s) {
+            for j in 0..m {
+                for p in &snap.input_queues[i * m + j] {
+                    st.voq
+                        .at_global_mut(i, j)
+                        .insert(*p)
+                        .expect("serialized queue fits its capacity");
+                }
+                if let Some(cells) = &snap.crossbar_queues {
+                    for p in &cells[i * m + j] {
+                        st.xbar
+                            .as_mut()
+                            .expect("config equality implies a crossbar")
+                            .at_global_mut(i, j)
+                            .insert(*p)
+                            .expect("serialized queue fits its capacity");
+                    }
+                }
+            }
+        }
+        for j in fabric.partition.output_range(s) {
+            let lo = st.out_lo;
+            for p in &snap.output_queues[j] {
+                st.outputs[j - lo]
+                    .insert(*p)
+                    .expect("serialized queue fits its capacity");
+            }
+        }
+    }
+    write_shard(&fabric.shards[0]).stats = snap.stats.clone();
+    for l in &snap.landings {
+        let (i, j) = (l.input as usize, l.output as usize);
+        assert!(
+            i < cfg.n_inputs && j < m,
+            "landing on pair ({i} -> {j}) outside the switch"
+        );
+        let dest = fabric.partition.output_owner(j);
+        let src = fabric.partition.input_owner(i);
+        let depth = fabric
+            .comms
+            .ring_depth
+            .get(dest)
+            .and_then(|r| r.get(src))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            depth >= 1,
+            "snapshot holds an in-flight packet on immediate pair ({i} -> {j})"
+        );
+        assert!(
+            l.land_slot >= snap.slot && l.land_slot < snap.slot + depth,
+            "landing at slot {} outside the ring window [{}, {}) — was the \
+             checkpoint taken under a fault plan?",
+            l.land_slot,
+            snap.slot,
+            snap.slot + depth
+        );
+        let mut cell = lock(&fabric.comms.rings[dest][src]);
+        cell[(l.land_slot % depth) as usize].push(Delayed {
+            slot: l.slot,
+            cycle: l.cycle,
+            r: Routed {
+                input: l.input,
+                output: l.output,
+                preempt: l.preempt,
+                packet: l.packet,
+            },
+        });
+    }
+    fabric.comms.slot.store(snap.slot, Ordering::Relaxed);
+    // The restored-residual invariant (see `crate::invariants`): what was
+    // seeded must account for exactly what the checkpoint recorded.
+    let (count, value) = fabric.residual();
+    assert_eq!(
+        (count, value),
+        (snap.residual_count, snap.residual_value),
+        "restored residual does not match the checkpoint"
+    );
+    (snap.slot, snap.idle_slots)
 }
 
 fn finish_run(
@@ -1878,15 +2102,23 @@ pub fn run_cioq_sharded(
         arrivals,
         comms,
     };
-    let workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
+    let mut workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
         .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
         .collect();
+    let (start_slot, start_idle) = options
+        .resume_from
+        .as_ref()
+        .map_or((0, 0), |snap| seed_from_snapshot(&fabric, snap, &options));
+    for (s, w) in workers.iter_mut().enumerate() {
+        w.arrival_cursor = fabric.arrivals[s].partition_point(|&(_, p)| p.arrival < start_slot);
+    }
 
     let speedup = cfg.speedup;
     let horizon = fabric.comms.horizon;
     let has_zero = fabric.comms.has_zero;
     let mut recorded: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut final_slot: SlotId = 0;
+    let mut checkpoints: Vec<EngineSnapshot> = Vec::new();
 
     let result = drive(
         options.use_threads(),
@@ -1894,8 +2126,8 @@ pub fn run_cioq_sharded(
         workers,
         |ph, s, w| cioq_phase(ph, s, w, &fabric),
         |do_phase| {
-            let mut slot: SlotId = 0;
-            let mut idle_slots = 0u32;
+            let mut slot: SlotId = start_slot;
+            let mut idle_slots = start_idle;
             let mut transfers: Vec<Transfer> = Vec::new();
             let mut merge_scratch = MergeScratch::default();
             let mut validate_scratch = MergeScratch::default();
@@ -1912,6 +2144,11 @@ pub fn run_cioq_sharded(
                     }
                 }
                 fabric.comms.slot.store(slot, Ordering::Relaxed);
+                if let Some(every) = options.checkpoint_every {
+                    if slot > 0 && slot.is_multiple_of(every) {
+                        checkpoints.push(capture_sharded(&fabric, &options, slot, idle_slots));
+                    }
+                }
                 let (tx_before, moved_before) = fabric.progress();
 
                 if horizon >= 1 {
@@ -2004,6 +2241,7 @@ pub fn run_cioq_sharded(
         schedule,
         crossbar_schedule: None,
         final_state,
+        checkpoints,
     })
 }
 
@@ -2037,9 +2275,16 @@ pub fn run_crossbar_sharded(
         arrivals,
         comms,
     };
-    let workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
+    let mut workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
         .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
         .collect();
+    let (start_slot, start_idle) = options
+        .resume_from
+        .as_ref()
+        .map_or((0, 0), |snap| seed_from_snapshot(&fabric, snap, &options));
+    for (s, w) in workers.iter_mut().enumerate() {
+        w.arrival_cursor = fabric.arrivals[s].partition_point(|&(_, p)| p.arrival < start_slot);
+    }
 
     let speedup = cfg.speedup;
     let horizon = fabric.comms.horizon;
@@ -2047,6 +2292,7 @@ pub fn run_crossbar_sharded(
     let mut rec_in: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut rec_out: Vec<Vec<(u16, u16)>> = Vec::new();
     let mut final_slot: SlotId = 0;
+    let mut checkpoints: Vec<EngineSnapshot> = Vec::new();
 
     let result = drive(
         options.use_threads(),
@@ -2054,8 +2300,8 @@ pub fn run_crossbar_sharded(
         workers,
         |ph, s, w| xbar_phase(ph, s, w, &fabric),
         |do_phase| {
-            let mut slot: SlotId = 0;
-            let mut idle_slots = 0u32;
+            let mut slot: SlotId = start_slot;
+            let mut idle_slots = start_idle;
             let mut validate_scratch = MergeScratch::default();
             loop {
                 let in_arrival_window = slot < arrival_slots;
@@ -2068,6 +2314,11 @@ pub fn run_crossbar_sharded(
                     }
                 }
                 fabric.comms.slot.store(slot, Ordering::Relaxed);
+                if let Some(every) = options.checkpoint_every {
+                    if slot > 0 && slot.is_multiple_of(every) {
+                        checkpoints.push(capture_sharded(&fabric, &options, slot, idle_slots));
+                    }
+                }
                 let (tx_before, moved_before) = fabric.progress();
 
                 if horizon >= 1 {
@@ -2179,6 +2430,7 @@ pub fn run_crossbar_sharded(
         schedule: None,
         crossbar_schedule,
         final_state,
+        checkpoints,
     })
 }
 

@@ -36,6 +36,15 @@ impl<'a> TraceSource<'a> {
     pub fn new(trace: &'a Trace) -> Self {
         TraceSource { trace, cursor: 0 }
     }
+
+    /// Source that replays `trace` from `slot` onward, skipping every
+    /// packet that arrived earlier — the position a run checkpointed at
+    /// the top of `slot` had consumed to. Snapshots therefore never store
+    /// a trace cursor: it is a pure function of the checkpoint slot.
+    pub fn resume_at(trace: &'a Trace, slot: SlotId) -> Self {
+        let cursor = trace.packets().partition_point(|p| p.arrival < slot);
+        TraceSource { trace, cursor }
+    }
 }
 
 impl ArrivalSource for TraceSource<'_> {

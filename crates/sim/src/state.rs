@@ -20,19 +20,27 @@ pub enum QueueKind {
 /// The complete mutable state of one simulated switch.
 #[derive(Debug, Clone)]
 pub struct SwitchState {
+    /// Switch geometry and capacities. snapshot: serialized
     config: SwitchConfig,
     /// `Q_ij` — input queues, one per (input port, output port).
+    /// snapshot: serialized
     pub(crate) input_queues: Grid<SortedQueue>,
     /// `C_ij` — crossbar queues (empty grid for plain CIOQ).
+    /// snapshot: serialized
     pub(crate) crossbar_queues: Option<Grid<SortedQueue>>,
-    /// `Q_j` — output queues, one per output port.
+    /// `Q_j` — output queues, one per output port. snapshot: serialized
     pub(crate) output_queues: Vec<SortedQueue>,
-    /// Current slot (advanced by the engine).
+    /// Current slot (advanced by the engine). snapshot: serialized
     pub(crate) slot: SlotId,
     /// Queues dirtied since the engine's last flush (see [`ChangeLog`]).
+    /// snapshot: transient — a restored run uses fresh policies, whose
+    /// caches full-rebuild on the flush-counter mismatch (the
+    /// deterministic rebuild seam), so dirty sets need not survive.
     pub(crate) changes: ChangeLog,
     /// Packets dispatched into the fabric but not yet landed (empty at all
     /// times on an immediate fabric; see [`crate::transport`]).
+    /// snapshot: transient — rebuilt by replaying `dispatch` for every
+    /// serialized calendar landing and fault-held packet.
     pub(crate) inflight: InFlight,
 }
 

@@ -1,32 +1,42 @@
 //! Benefit and loss accounting for a simulation run.
 
 use cioq_model::{Benefit, Packet, SlotId};
+use std::collections::VecDeque;
 
 /// Where lost packets were lost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LossBreakdown {
-    /// Rejected on arrival (count).
+    /// Rejected on arrival (count). snapshot: serialized
     pub rejected: u64,
-    /// Rejected on arrival (total value).
+    /// Rejected on arrival (total value). snapshot: serialized
     pub rejected_value: u128,
-    /// Preempted from an input queue.
+    /// Preempted from an input queue. snapshot: serialized
     pub preempted_input: u64,
-    /// Value preempted from input queues.
+    /// Value preempted from input queues. snapshot: serialized
     pub preempted_input_value: u128,
-    /// Preempted from a crossbar queue.
+    /// Preempted from a crossbar queue. snapshot: serialized
     pub preempted_crossbar: u64,
-    /// Value preempted from crossbar queues.
+    /// Value preempted from crossbar queues. snapshot: serialized
     pub preempted_crossbar_value: u128,
-    /// Preempted from an output queue.
+    /// Preempted from an output queue. snapshot: serialized
     pub preempted_output: u64,
-    /// Value preempted from output queues.
+    /// Value preempted from output queues. snapshot: serialized
     pub preempted_output_value: u128,
+    /// Dropped by an injected fault (link-down retransmit overflow, or a
+    /// landing/crosspoint overflow under a fault plan). snapshot: serialized
+    pub dropped: u64,
+    /// Value dropped by injected faults. snapshot: serialized
+    pub dropped_value: u128,
 }
 
 impl LossBreakdown {
     /// Total lost packets.
     pub fn total_count(&self) -> u64 {
-        self.rejected + self.preempted_input + self.preempted_crossbar + self.preempted_output
+        self.rejected
+            + self.preempted_input
+            + self.preempted_crossbar
+            + self.preempted_output
+            + self.dropped
     }
 
     /// Total lost value.
@@ -35,35 +45,42 @@ impl LossBreakdown {
             + self.preempted_input_value
             + self.preempted_crossbar_value
             + self.preempted_output_value
+            + self.dropped_value
     }
 }
 
 /// Mutable statistics recorder owned by the engine during a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsRecorder {
-    /// Packets that arrived (offered load).
+    /// Packets that arrived (offered load). snapshot: serialized
     pub arrived: u64,
-    /// Total offered value.
+    /// Total offered value. snapshot: serialized
     pub arrived_value: u128,
-    /// Packets accepted into input queues.
+    /// Packets accepted into input queues. snapshot: serialized
     pub accepted: u64,
     /// CIOQ fabric transfers / crossbar output-subphase transfers.
+    /// snapshot: serialized
     pub transferred: u64,
-    /// Crossbar input-subphase transfers (0 for CIOQ).
+    /// Crossbar input-subphase transfers (0 for CIOQ). snapshot: serialized
     pub transferred_to_crossbar: u64,
-    /// Packets transmitted out of the switch.
+    /// Packets transmitted out of the switch. snapshot: serialized
     pub transmitted: u64,
     /// Benefit: total transmitted value (the objective of the paper).
+    /// snapshot: serialized
     pub benefit: Benefit,
-    /// Loss accounting.
+    /// Loss accounting. snapshot: serialized
     pub losses: LossBreakdown,
+    /// Packets re-dispatched after a link-down window released them.
+    /// snapshot: serialized
+    pub retransmitted: u64,
     /// Sum of per-packet latency (transmission slot − arrival slot), for
-    /// transmitted packets.
+    /// transmitted packets. snapshot: serialized
     pub latency_sum: u64,
     /// Histogram of latencies in power-of-two buckets: index k counts
     /// latencies in `[2^(k-1), 2^k)`, index 0 counts latency 0.
+    /// snapshot: serialized
     pub latency_histogram: [u64; 24],
-    /// Per-output transmitted packet counts.
+    /// Per-output transmitted packet counts. snapshot: serialized
     pub per_output_transmitted: Vec<u64>,
 }
 
@@ -109,6 +126,15 @@ impl StatsRecorder {
         self.transferred += 1;
     }
 
+    pub(crate) fn on_drop(&mut self, p: &Packet) {
+        self.losses.dropped += 1;
+        self.losses.dropped_value += p.value as u128;
+    }
+
+    pub(crate) fn on_retransmit(&mut self) {
+        self.retransmitted += 1;
+    }
+
     pub(crate) fn on_transfer_to_crossbar(&mut self) {
         self.transferred_to_crossbar += 1;
     }
@@ -146,18 +172,161 @@ impl StatsRecorder {
             transmitted: self.transmitted,
             benefit: self.benefit,
             losses: self.losses,
+            retransmitted: self.retransmitted,
             latency_sum: self.latency_sum,
             latency_histogram: self.latency_histogram,
             per_output_transmitted: self.per_output_transmitted,
             residual_count,
             residual_value,
             fabric_delay: 0,
+            window: None,
+        }
+    }
+}
+
+/// One slot's worth of activity inside a stats window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSlot {
+    /// The slot this entry covers.
+    pub slot: SlotId,
+    /// Packets that arrived during the slot.
+    pub arrived: u64,
+    /// Packets transmitted during the slot.
+    pub transmitted: u64,
+    /// Value transmitted during the slot.
+    pub benefit: u128,
+    /// Packets lost (rejected, preempted or dropped) during the slot.
+    pub lost: u64,
+}
+
+/// Bounded sliding window over per-slot activity: the ring-buffered
+/// counterpart of the cumulative [`StatsRecorder`], sized for unbounded
+/// (service-mode) runs. Enabled with
+/// [`RunOptions::stats_window`](crate::RunOptions); memory is O(window)
+/// regardless of run length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedStats {
+    /// Window size in slots (≥ 1). snapshot: serialized
+    window: usize,
+    /// Ring of the most recent `window` per-slot entries, oldest first.
+    /// snapshot: serialized
+    entries: VecDeque<WindowSlot>,
+    /// Cumulative arrivals at the last roll. snapshot: transient — equals
+    /// the recorder's totals at every slot boundary; rebuilt on restore.
+    prev_arrived: u64,
+    /// Cumulative transmissions at the last roll. snapshot: transient —
+    /// rebuilt from the restored recorder.
+    prev_transmitted: u64,
+    /// Cumulative benefit at the last roll. snapshot: transient — rebuilt
+    /// from the restored recorder.
+    prev_benefit: u128,
+    /// Cumulative losses at the last roll. snapshot: transient — rebuilt
+    /// from the restored recorder.
+    prev_lost: u64,
+}
+
+impl WindowedStats {
+    /// An empty window of `window ≥ 1` slots.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "stats window must cover at least one slot");
+        WindowedStats {
+            window,
+            entries: VecDeque::with_capacity(window + 1),
+            prev_arrived: 0,
+            prev_transmitted: 0,
+            prev_benefit: 0,
+            prev_lost: 0,
+        }
+    }
+
+    /// Rebuild a window from serialized parts: the configured size, the
+    /// ring entries (oldest first) and the cumulative recorder totals at
+    /// the snapshot boundary (which seed the transient delta baseline).
+    pub(crate) fn from_parts(
+        window: usize,
+        entries: Vec<WindowSlot>,
+        stats: &StatsRecorder,
+    ) -> Self {
+        let mut w = WindowedStats::new(window);
+        w.entries.extend(entries);
+        w.prev_arrived = stats.arrived;
+        w.prev_transmitted = stats.transmitted;
+        w.prev_benefit = stats.benefit.0;
+        w.prev_lost = stats.losses.total_count();
+        w
+    }
+
+    /// Fold the end-of-slot cumulative totals into a per-slot entry,
+    /// evicting the oldest entry once the window is full.
+    pub(crate) fn roll(&mut self, slot: SlotId, stats: &StatsRecorder) {
+        let lost = stats.losses.total_count();
+        self.entries.push_back(WindowSlot {
+            slot,
+            arrived: stats.arrived - self.prev_arrived,
+            transmitted: stats.transmitted - self.prev_transmitted,
+            benefit: stats.benefit.0 - self.prev_benefit,
+            lost: lost - self.prev_lost,
+        });
+        if self.entries.len() > self.window {
+            self.entries.pop_front();
+        }
+        self.prev_arrived = stats.arrived;
+        self.prev_transmitted = stats.transmitted;
+        self.prev_benefit = stats.benefit.0;
+        self.prev_lost = lost;
+    }
+
+    /// Configured window size in slots.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The retained per-slot entries, oldest first (at most `window`).
+    pub fn entries(&self) -> impl Iterator<Item = &WindowSlot> {
+        self.entries.iter()
+    }
+
+    /// Number of slots currently covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no slot has been rolled in yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Packets that arrived within the window.
+    pub fn arrived(&self) -> u64 {
+        self.entries.iter().map(|e| e.arrived).sum()
+    }
+
+    /// Packets transmitted within the window.
+    pub fn transmitted(&self) -> u64 {
+        self.entries.iter().map(|e| e.transmitted).sum()
+    }
+
+    /// Value transmitted within the window.
+    pub fn benefit(&self) -> u128 {
+        self.entries.iter().map(|e| e.benefit).sum()
+    }
+
+    /// Fraction of the window's arrivals that were transmitted.
+    pub fn throughput(&self) -> f64 {
+        let arrived = self.arrived();
+        if arrived == 0 {
+            1.0
+        } else {
+            self.transmitted() as f64 / arrived as f64
         }
     }
 }
 
 /// Immutable summary of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Policy name.
     pub policy: String,
@@ -179,6 +348,8 @@ pub struct RunReport {
     pub benefit: Benefit,
     /// Loss accounting.
     pub losses: LossBreakdown,
+    /// Packets re-dispatched after a link-down window released them.
+    pub retransmitted: u64,
     /// Sum of latencies of transmitted packets.
     pub latency_sum: u64,
     /// Power-of-two latency histogram.
@@ -195,6 +366,10 @@ pub struct RunReport {
     /// fabric. Set by the engine from its [`FabricLink`](crate::FabricLink)
     /// spec — a topology-aware run reports its worst path here.
     pub fabric_delay: SlotId,
+    /// Sliding per-slot window over the tail of the run, present iff the
+    /// run enabled [`RunOptions::stats_window`](crate::RunOptions)
+    /// (sequential engine only).
+    pub window: Option<WindowedStats>,
 }
 
 impl RunReport {

@@ -290,9 +290,14 @@ pub(crate) struct Landing {
 /// that is dispatch order, which is what the uniform delay line delivered.
 #[derive(Debug, Clone)]
 pub(crate) struct DelayCalendar {
+    /// Ring size. snapshot: transient — recomputed from the fabric spec
+    /// (and fault plan) at restore.
     horizon: SlotId,
+    /// Committed packets by landing bucket. snapshot: serialized — as
+    /// landings with explicit landing slots, via `for_each_pending_at`.
     buckets: Vec<Vec<Landing>>,
     /// Drain scratch (swapped with the due bucket to avoid allocation).
+    /// snapshot: transient — empty at every slot boundary.
     scratch: Vec<Landing>,
 }
 
@@ -346,6 +351,27 @@ impl DelayCalendar {
                 f(&l.p);
             }
         }
+    }
+
+    /// Visit every committed packet together with the slot it will land
+    /// at, given that the current slot is `now` and `now`'s bucket has not
+    /// been drained yet (the checkpoint boundary). A bucket `b` at time
+    /// `now` next drains at `now + ((b − now) mod horizon)`.
+    pub(crate) fn for_each_pending_at(&self, now: SlotId, mut f: impl FnMut(SlotId, &Landing)) {
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            let offset = (b as SlotId + self.horizon - now % self.horizon) % self.horizon;
+            for l in bucket {
+                f(now + offset, l);
+            }
+        }
+    }
+
+    /// Re-commit a landing recovered from a checkpoint, due at
+    /// `land_slot`. The caller guarantees
+    /// `now ≤ land_slot < now + horizon` (checked by snapshot restore), so
+    /// the modular bucket index is unambiguous.
+    pub(crate) fn insert_pending(&mut self, land_slot: SlotId, l: Landing) {
+        self.buckets[(land_slot % self.horizon) as usize].push(l);
     }
 }
 
