@@ -25,10 +25,12 @@ const D1_SCOPE: &[&str] = &[
 /// slots and seeded RNGs.
 const D2_EXEMPT: &[&str] = &["crates/bench/"];
 
-/// The one module sanctioned to create threads (D3): the sharded engine's
+/// The modules sanctioned to create threads (D3): the sharded engine's
 /// phase-stepped scoped workers, proven bit-identical to the sequential
-/// path by the lockstep suites.
-const D3_EXEMPT: &[&str] = &["crates/sim/src/shard.rs"];
+/// path by the lockstep suites, and the streaming seam's producer pump —
+/// a feeder thread whose timing never reaches the transcript (proven
+/// depth-independent and trace-identical by the streaming parity suite).
+const D3_EXEMPT: &[&str] = &["crates/sim/src/shard.rs", "crates/sim/src/stream.rs"];
 
 /// Engine slot-loop modules where every `unwrap()` must be allowlisted
 /// (D5); `expect("invariant message")` documents itself and is exempt.
@@ -49,6 +51,7 @@ const D6_TYPES: &[&str] = &[
     "InFlight",
     "DelayCalendar",
     "FaultRuntime",
+    "StreamingSource",
 ];
 
 /// Crates holding the snapshotted types (D6). The snapshot codec itself

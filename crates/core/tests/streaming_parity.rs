@@ -1,0 +1,525 @@
+//! Streaming-ingestion parity proofs: a run fed by the push-based
+//! [`StreamingSource`] must be byte-identical to the same run fed by the
+//! pre-materialised [`Trace`] — same report, final state, decision
+//! transcript and checkpoint bytes — for all four policies, sequential
+//! and sharded K ∈ {2, 4}, over Immediate, `DelayLine` and `DelayMatrix`
+//! fabrics.
+//!
+//! Also proven here: the transcript does not depend on the channel depth
+//! (depth 1, which forces backpressure on every slot, equals depth 64),
+//! a killed streaming run restored from checkpoint bytes and re-fed from
+//! the checkpoint's stream cursor reproduces the uninterrupted run, the
+//! replay-file reader feeds a byte-identical stream, and the service API
+//! (`serve_cioq`) wraps the whole seam without changing the transcript.
+
+use cioq_core::{
+    CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, ShardedCgu,
+    ShardedCpg, ShardedGm, ShardedPg,
+};
+use cioq_model::{PortId, SlotId, SwitchConfig, Topology};
+use cioq_sim::{
+    run_cioq_sharded, run_cioq_sharded_streamed, run_crossbar_sharded,
+    run_crossbar_sharded_streamed, serve_cioq, stream_trace, stream_trace_from, CioqPolicy,
+    CioqShardPolicy, CrossbarPolicy, CrossbarRecording, CrossbarShardPolicy, DelayLine,
+    DelayMatrix, Engine, EngineSnapshot, ExecMode, FabricLink, Immediate, Recording, RunOptions,
+    RunOutcome, ShardedOptions, SwitchState, Trace, TraceSource,
+};
+use cioq_traffic::{gen_trace, OnOffBursty, ValueDist};
+
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+const CHECKPOINT_EVERY: SlotId = 8;
+const DEPTHS: [usize; 2] = [1, 64];
+
+fn cioq_cfg() -> SwitchConfig {
+    SwitchConfig::builder(6, 6)
+        .speedup(2)
+        .input_capacity(3)
+        .output_capacity(2)
+        .build()
+        .unwrap()
+}
+
+fn bursty_trace(cfg: &SwitchConfig, slots: u64, seed: u64) -> Trace {
+    gen_trace(
+        &OnOffBursty::new(
+            0.85,
+            6.0,
+            ValueDist::Bimodal {
+                high: 40,
+                p_high: 0.2,
+            },
+        ),
+        cfg,
+        slots,
+        seed,
+    )
+}
+
+fn fabrics() -> Vec<(&'static str, Box<dyn FabricLink>)> {
+    vec![
+        ("immediate", Box::new(Immediate)),
+        ("delay-line d=2", Box::new(DelayLine { d: 2 })),
+        (
+            "two-tier matrix",
+            Box::new(DelayMatrix::new(Topology::two_tier(6, 6, 3, 0, 2).unwrap())),
+        ),
+    ]
+}
+
+fn run_options(link: &dyn FabricLink) -> RunOptions {
+    RunOptions {
+        checkpoint_every: Some(CHECKPOINT_EVERY),
+        ..RunOptions::default()
+    }
+    .link(link)
+}
+
+fn assert_states_equal(a: &SwitchState, b: &SwitchState, what: &str) {
+    let (va, vb) = (a.view(), b.view());
+    for i in 0..va.n_inputs() {
+        for j in 0..va.n_outputs() {
+            let (input, output) = (PortId::from(i), PortId::from(j));
+            assert_eq!(
+                va.input_queue(input, output),
+                vb.input_queue(input, output),
+                "{what}: Q_{i}{j}"
+            );
+            if va.has_crossbar() {
+                assert_eq!(
+                    va.crossbar_queue(input, output),
+                    vb.crossbar_queue(input, output),
+                    "{what}: C_{i}{j}"
+                );
+            }
+        }
+    }
+    for j in 0..va.n_outputs() {
+        let output = PortId::from(j);
+        assert_eq!(
+            va.output_queue(output),
+            vb.output_queue(output),
+            "{what}: Q_{j}"
+        );
+    }
+}
+
+fn assert_checkpoints_identical(a: &[EngineSnapshot], b: &[EngineSnapshot], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: checkpoint count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.to_bytes(),
+            y.to_bytes(),
+            "{what}: checkpoint at slot {}",
+            y.slot()
+        );
+    }
+}
+
+/// The sequential CIOQ parity check for one policy on one fabric: a
+/// trace-fed reference run vs stream-fed runs at every depth, full
+/// transcript equality included. The trace run pins `slots` to the
+/// source horizon implicitly; the streamed runs have no horizon at all —
+/// the arrival window closes when the producer hangs up.
+fn check_seq_cioq<P: CioqPolicy>(
+    make: impl Fn() -> P,
+    cfg: &SwitchConfig,
+    trace: &Trace,
+    link: &dyn FabricLink,
+    what: &str,
+) -> RunOutcome {
+    let mut rec = Recording::with_link(make(), link);
+    let full = Engine::new(cfg.clone(), run_options(link))
+        .run_cioq_full(&mut rec, &mut TraceSource::new(trace))
+        .expect("trace-fed run");
+    let full_sched = rec.into_schedule();
+    assert!(
+        full.checkpoints.len() >= 2,
+        "{what}: run too short for the checkpoint cadence"
+    );
+
+    for depth in DEPTHS {
+        let w = format!("{what} depth={depth}");
+        let (mut src, pump) = stream_trace(trace, depth);
+        let mut rec = Recording::with_link(make(), link);
+        let streamed = Engine::new(cfg.clone(), run_options(link))
+            .run_cioq_full(&mut rec, &mut src)
+            .expect("stream-fed run");
+        let stalls = src.stalls();
+        drop(src);
+        pump.join();
+        let sched = rec.into_schedule();
+        assert_eq!(streamed.report, full.report, "{w}: report");
+        assert_states_equal(&streamed.final_state, &full.final_state, &w);
+        assert_checkpoints_identical(&streamed.checkpoints, &full.checkpoints, &w);
+        assert_eq!(sched.transfers, full_sched.transfers, "{w}: transfers");
+        assert_eq!(sched.admissions, full_sched.admissions, "{w}: admissions");
+        if depth == 1 {
+            assert!(stalls >= 1, "{w}: depth-1 channel must engage backpressure");
+        }
+    }
+    full
+}
+
+fn check_seq_crossbar<P: CrossbarPolicy>(
+    make: impl Fn() -> P,
+    cfg: &SwitchConfig,
+    trace: &Trace,
+    link: &dyn FabricLink,
+    what: &str,
+) -> RunOutcome {
+    let mut rec = CrossbarRecording::with_link(make(), link);
+    let full = Engine::new(cfg.clone(), run_options(link))
+        .run_crossbar_full(&mut rec, &mut TraceSource::new(trace))
+        .expect("trace-fed run");
+    let full_sched = rec.into_schedule();
+
+    for depth in DEPTHS {
+        let w = format!("{what} depth={depth}");
+        let (mut src, pump) = stream_trace(trace, depth);
+        let mut rec = CrossbarRecording::with_link(make(), link);
+        let streamed = Engine::new(cfg.clone(), run_options(link))
+            .run_crossbar_full(&mut rec, &mut src)
+            .expect("stream-fed run");
+        let stalls = src.stalls();
+        drop(src);
+        pump.join();
+        let sched = rec.into_schedule();
+        assert_eq!(streamed.report, full.report, "{w}: report");
+        assert_states_equal(&streamed.final_state, &full.final_state, &w);
+        assert_checkpoints_identical(&streamed.checkpoints, &full.checkpoints, &w);
+        assert_eq!(
+            sched.input_transfers, full_sched.input_transfers,
+            "{w}: input transfers"
+        );
+        assert_eq!(
+            sched.output_transfers, full_sched.output_transfers,
+            "{w}: output transfers"
+        );
+        assert_eq!(sched.admissions, full_sched.admissions, "{w}: admissions");
+        if depth == 1 {
+            assert!(stalls >= 1, "{w}: depth-1 channel must engage backpressure");
+        }
+    }
+    full
+}
+
+fn sharded_options(
+    k: usize,
+    link: &dyn FabricLink,
+    resume: Option<EngineSnapshot>,
+) -> ShardedOptions {
+    let mut opts = ShardedOptions::new(k).link(link);
+    opts.mode = ExecMode::Inline;
+    opts.record = true;
+    opts.capture_final_state = true;
+    opts.checkpoint_every = Some(CHECKPOINT_EVERY);
+    opts.resume_from = resume;
+    opts
+}
+
+/// Sharded parity for one CIOQ shard policy: the trace-fed sharded run vs
+/// the stream-fed one, plus a stream-fed resume from the trace run's
+/// middle checkpoint.
+fn check_sharded_cioq(
+    cfg: &SwitchConfig,
+    policy: &dyn CioqShardPolicy,
+    trace: &Trace,
+    link: &dyn FabricLink,
+    what: &str,
+) {
+    for shards in SHARD_COUNTS {
+        let w = format!("{what} K={shards}");
+        let full = run_cioq_sharded(cfg, policy, trace, sharded_options(shards, link, None))
+            .unwrap_or_else(|e| panic!("{w}: trace-fed sharded run failed: {e}"));
+        let full_sched = full.schedule.as_ref().expect("recording requested");
+
+        let (mut src, pump) = stream_trace(trace, 2);
+        let streamed =
+            run_cioq_sharded_streamed(cfg, policy, &mut src, sharded_options(shards, link, None))
+                .unwrap_or_else(|e| panic!("{w}: stream-fed sharded run failed: {e}"));
+        drop(src);
+        pump.join();
+        assert_eq!(streamed.report, full.report, "{w}: report");
+        assert_states_equal(
+            streamed.final_state.as_ref().expect("capture requested"),
+            full.final_state.as_ref().expect("capture requested"),
+            &w,
+        );
+        assert_checkpoints_identical(&streamed.checkpoints, &full.checkpoints, &w);
+        let sched = streamed.schedule.as_ref().expect("recording requested");
+        assert_eq!(sched.transfers, full_sched.transfers, "{w}: transfers");
+        assert_eq!(sched.admissions, full_sched.admissions, "{w}: admissions");
+
+        // Kill/restore mid-stream: resume the sharded run from the middle
+        // checkpoint's bytes, re-feeding the stream at its cursor.
+        let snap = &full.checkpoints[full.checkpoints.len() / 2];
+        let decoded = EngineSnapshot::from_bytes(&snap.to_bytes()).expect("round-trip");
+        let cursor = decoded.stream_cursor();
+        let (mut src, pump) = stream_trace_from(trace, 2, cursor);
+        let resumed = run_cioq_sharded_streamed(
+            cfg,
+            policy,
+            &mut src,
+            sharded_options(shards, link, Some(decoded)),
+        )
+        .unwrap_or_else(|e| panic!("{w}: resumed stream-fed run failed: {e}"));
+        drop(src);
+        pump.join();
+        assert_eq!(
+            resumed.report, full.report,
+            "{w}: report after stream resume at slot {}",
+            cursor.slot
+        );
+        let tail: Vec<EngineSnapshot> = full
+            .checkpoints
+            .iter()
+            .filter(|c| c.slot() >= cursor.slot)
+            .cloned()
+            .collect();
+        assert_checkpoints_identical(&resumed.checkpoints, &tail, &w);
+    }
+}
+
+fn check_sharded_crossbar(
+    cfg: &SwitchConfig,
+    policy: &dyn CrossbarShardPolicy,
+    trace: &Trace,
+    link: &dyn FabricLink,
+    what: &str,
+) {
+    for shards in SHARD_COUNTS {
+        let w = format!("{what} K={shards}");
+        let full = run_crossbar_sharded(cfg, policy, trace, sharded_options(shards, link, None))
+            .unwrap_or_else(|e| panic!("{w}: trace-fed sharded run failed: {e}"));
+
+        let (mut src, pump) = stream_trace(trace, 2);
+        let streamed = run_crossbar_sharded_streamed(
+            cfg,
+            policy,
+            &mut src,
+            sharded_options(shards, link, None),
+        )
+        .unwrap_or_else(|e| panic!("{w}: stream-fed sharded run failed: {e}"));
+        drop(src);
+        pump.join();
+        assert_eq!(streamed.report, full.report, "{w}: report");
+        assert_states_equal(
+            streamed.final_state.as_ref().expect("capture requested"),
+            full.final_state.as_ref().expect("capture requested"),
+            &w,
+        );
+        assert_checkpoints_identical(&streamed.checkpoints, &full.checkpoints, &w);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The headline matrix: 4 policies × sequential + sharded K ∈ {2, 4} × fabrics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cioq_stream_parity() {
+    let cfg = cioq_cfg();
+    let trace = bursty_trace(&cfg, 48, 0xD0);
+    for (label, link) in fabrics() {
+        check_seq_cioq(
+            GreedyMatching::new,
+            &cfg,
+            &trace,
+            link.as_ref(),
+            &format!("gm {label}"),
+        );
+        check_seq_cioq(
+            PreemptiveGreedy::new,
+            &cfg,
+            &trace,
+            link.as_ref(),
+            &format!("pg {label}"),
+        );
+        check_sharded_cioq(
+            &cfg,
+            &ShardedGm::new(),
+            &trace,
+            link.as_ref(),
+            &format!("gm {label}"),
+        );
+        check_sharded_cioq(
+            &cfg,
+            &ShardedPg::new(),
+            &trace,
+            link.as_ref(),
+            &format!("pg {label}"),
+        );
+    }
+}
+
+#[test]
+fn crossbar_stream_parity() {
+    let cfg = SwitchConfig::crossbar(6, 3, 1, 2);
+    let trace = bursty_trace(&cfg, 48, 0xD1);
+    for (label, link) in fabrics() {
+        check_seq_crossbar(
+            CrossbarGreedyUnit::new,
+            &cfg,
+            &trace,
+            link.as_ref(),
+            &format!("cgu {label}"),
+        );
+        check_seq_crossbar(
+            CrossbarPreemptiveGreedy::new,
+            &cfg,
+            &trace,
+            link.as_ref(),
+            &format!("cpg {label}"),
+        );
+        check_sharded_crossbar(
+            &cfg,
+            &ShardedCgu::new(),
+            &trace,
+            link.as_ref(),
+            &format!("cgu {label}"),
+        );
+        check_sharded_crossbar(
+            &cfg,
+            &ShardedCpg::new(),
+            &trace,
+            link.as_ref(),
+            &format!("cpg {label}"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-stream kill/restore, replay files, threads mode, service API
+// ---------------------------------------------------------------------------
+
+/// Kill a sequential streaming run at its middle checkpoint, restore from
+/// the bytes, and re-feed the stream from the checkpoint's cursor: report
+/// and the checkpoint tail must match the uninterrupted run.
+#[test]
+fn sequential_stream_restore_mid_stream() {
+    let cfg = cioq_cfg();
+    let trace = bursty_trace(&cfg, 48, 0xD2);
+    let link = DelayLine { d: 2 };
+    let (full, _) = {
+        let (mut src, pump) = stream_trace(&trace, 4);
+        let full = Engine::new(cfg.clone(), run_options(&link))
+            .run_cioq_full(&mut PreemptiveGreedy::new(), &mut src)
+            .expect("stream-fed run");
+        drop(src);
+        pump.join();
+        (full, ())
+    };
+    let snap = &full.checkpoints[full.checkpoints.len() / 2];
+    let decoded = EngineSnapshot::from_bytes(&snap.to_bytes()).expect("round-trip");
+    let cursor = decoded.stream_cursor();
+    assert_eq!(cursor.slot, snap.slot(), "cursor sits at the kill slot");
+
+    let (mut src, pump) = stream_trace_from(&trace, 4, cursor);
+    let resumed = Engine::restore(&decoded, run_options(&link))
+        .expect("restore own checkpoint")
+        .run_cioq_full(&mut PreemptiveGreedy::new(), &mut src)
+        .expect("resumed stream-fed run");
+    drop(src);
+    pump.join();
+    assert_eq!(resumed.report, full.report, "report after stream resume");
+    let tail: Vec<EngineSnapshot> = full
+        .checkpoints
+        .iter()
+        .filter(|c| c.slot() >= cursor.slot)
+        .cloned()
+        .collect();
+    assert_checkpoints_identical(&resumed.checkpoints, &tail, "stream resume");
+}
+
+/// A replay file (the `cioq-trace v1` wire format) streamed through the
+/// incremental reader feeds the same run as the in-memory trace.
+#[test]
+fn replay_file_stream_matches_trace() {
+    let cfg = cioq_cfg();
+    let trace = bursty_trace(&cfg, 48, 0xD3);
+    let link = DelayLine { d: 2 };
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("serialize trace");
+
+    let full = Engine::new(cfg.clone(), run_options(&link))
+        .run_cioq_full(&mut GreedyMatching::new(), &mut TraceSource::new(&trace))
+        .expect("trace-fed run");
+
+    let (mut src, pump) =
+        cioq_sim::stream_reader(std::io::BufReader::new(std::io::Cursor::new(bytes)), 4)
+            .expect("valid header");
+    let streamed = Engine::new(cfg.clone(), run_options(&link))
+        .run_cioq_full(&mut GreedyMatching::new(), &mut src)
+        .expect("reader-fed run");
+    drop(src);
+    pump.join();
+    assert_eq!(streamed.report, full.report, "replay-file report");
+    assert_checkpoints_identical(&streamed.checkpoints, &full.checkpoints, "replay file");
+}
+
+/// Thread scheduling cannot leak into a streamed sharded run: threaded
+/// workers with a streaming coordinator take the same checkpoints as the
+/// inline trace-fed run.
+#[test]
+fn threads_mode_streamed_matches_inline_trace() {
+    let cfg = cioq_cfg();
+    let trace = bursty_trace(&cfg, 48, 0xD4);
+    let link = DelayLine { d: 2 };
+    let inline = run_cioq_sharded(
+        &cfg,
+        &ShardedPg::new(),
+        &trace,
+        sharded_options(4, &link, None),
+    )
+    .expect("inline trace-fed run");
+
+    let (mut src, pump) = stream_trace(&trace, 2);
+    let mut opts = sharded_options(4, &link, None);
+    opts.mode = ExecMode::Threads;
+    let threaded = run_cioq_sharded_streamed(&cfg, &ShardedPg::new(), &mut src, opts)
+        .expect("threaded stream-fed run");
+    drop(src);
+    pump.join();
+    assert_eq!(threaded.report, inline.report, "threaded streamed report");
+    assert_checkpoints_identical(&threaded.checkpoints, &inline.checkpoints, "threads mode");
+}
+
+/// The service entry point wires channel + producer + engine + drain the
+/// same way the manual seam does.
+#[test]
+fn service_api_matches_trace_fed_run() {
+    let cfg = cioq_cfg();
+    let trace = bursty_trace(&cfg, 48, 0xD5);
+    let full = Engine::new(cfg.clone(), RunOptions::default())
+        .run_cioq_full(&mut GreedyMatching::new(), &mut TraceSource::new(&trace))
+        .expect("trace-fed run");
+
+    let packets = trace.packets().to_vec();
+    let served = serve_cioq(
+        cfg.clone(),
+        RunOptions::default(),
+        &mut GreedyMatching::new(),
+        4,
+        move |tx| {
+            let mut i = 0;
+            while i < packets.len() {
+                let slot = packets[i].arrival;
+                let mut batch = Vec::new();
+                while i < packets.len() && packets[i].arrival == slot {
+                    batch.push(packets[i]);
+                    i += 1;
+                }
+                if tx.send(slot, batch).is_err() {
+                    return;
+                }
+            }
+        },
+    )
+    .expect("service run");
+    assert_eq!(served.outcome.report, full.report, "service report");
+    assert_states_equal(
+        &served.outcome.final_state,
+        &full.final_state,
+        "service final state",
+    );
+}

@@ -60,6 +60,10 @@ pub enum ConfigError {
         /// Entries required (`racks²`).
         want: usize,
     },
+    /// A run was configured with a zero-slot stats window.
+    ZeroStatsWindow,
+    /// A run was configured with a zero-slot checkpoint cadence.
+    ZeroCheckpointCadence,
 }
 
 impl fmt::Display for ConfigError {
@@ -89,6 +93,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::LatencyMatrixSize { got, want } => {
                 write!(f, "latency matrix has {got} entries, need {want} (racks^2)")
+            }
+            ConfigError::ZeroStatsWindow => {
+                write!(f, "stats window must cover at least one slot")
+            }
+            ConfigError::ZeroCheckpointCadence => {
+                write!(f, "checkpoint cadence must be at least one slot")
             }
         }
     }

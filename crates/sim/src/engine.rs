@@ -13,7 +13,7 @@ use crate::stats::{RunReport, StatsRecorder, WindowedStats};
 use crate::trace::Trace;
 use crate::transport::{DelayCalendar, FabricLink, FabricSpec, InFlightPacket, Landing};
 use crate::validate::check_state_invariants;
-use cioq_model::{Cycle, Packet, PortId, SlotId, SwitchConfig};
+use cioq_model::{ConfigError, Cycle, Packet, PortId, SlotId, SwitchConfig};
 use cioq_queues::SortedQueue;
 
 /// Options controlling a run.
@@ -66,6 +66,20 @@ impl RunOptions {
     pub fn link(mut self, link: &dyn FabricLink) -> Self {
         self.fabric = link.spec();
         self
+    }
+
+    /// Check the options themselves for nonsense values, so misconfigured
+    /// runs fail at construction with a [`ConfigError`] instead of
+    /// asserting deep inside the run (a `stats_window` of 0 used to abort
+    /// in `WindowedStats::new`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.stats_window == Some(0) {
+            return Err(ConfigError::ZeroStatsWindow);
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroCheckpointCadence);
+        }
+        Ok(())
     }
 
     /// Calendar horizon a run under these options needs: the largest pair
@@ -127,8 +141,18 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// New engine for one run of `config` under `options`.
+    /// New engine for one run of `config` under `options`. Panics on
+    /// invalid options; use [`Engine::try_new`] to surface the
+    /// [`ConfigError`] instead.
     pub fn new(config: SwitchConfig, options: RunOptions) -> Self {
+        Self::try_new(config, options).unwrap_or_else(|e| panic!("invalid run options: {e}"))
+    }
+
+    /// New engine for one run of `config` under `options`, validating the
+    /// options first (e.g. a zero-slot stats window or checkpoint cadence
+    /// is [`ConfigError`], not a panic mid-run).
+    pub fn try_new(config: SwitchConfig, options: RunOptions) -> Result<Self, ConfigError> {
+        options.validate()?;
         let n_outputs = config.n_outputs;
         let n_inputs = config.n_inputs;
         let spec = options.fabric.clone();
@@ -139,7 +163,7 @@ impl Engine {
             .clone()
             .map(|p| FaultRuntime::new(p, n_inputs, n_outputs));
         let window = options.stats_window.map(WindowedStats::new);
-        Engine {
+        Ok(Engine {
             state: SwitchState::new(config),
             stats: StatsRecorder::new(n_outputs),
             options,
@@ -156,7 +180,7 @@ impl Engine {
             out_transfers: Vec::new(),
             input_used: vec![false; n_inputs],
             output_used: vec![false; n_outputs],
-        }
+        })
     }
 
     /// Rebuild an engine from a checkpoint so the run continues exactly
@@ -172,6 +196,9 @@ impl Engine {
     /// overflow, out-of-range ports, landings outside the calendar
     /// horizon) are [`SnapshotError::Format`].
     pub fn restore(snap: &EngineSnapshot, options: RunOptions) -> Result<Self, SnapshotError> {
+        options
+            .validate()
+            .map_err(|e| SnapshotError::Incompatible(format!("invalid run options: {e}")))?;
         let config = snap.config.clone();
         let (n_inputs, n_outputs) = (config.n_inputs, config.n_outputs);
         if options.fabric != snap.fabric {
@@ -306,7 +333,10 @@ impl Engine {
                     "snapshot carries a {w}-slot stats window but options ask for {opt}"
                 )));
             }
-            (Some((w, entries)), _) => Some(WindowedStats::from_parts(*w, entries.clone(), &stats)),
+            (Some((w, entries)), _) => Some(
+                WindowedStats::from_parts(*w, entries.clone(), &stats)
+                    .map_err(SnapshotError::Format)?,
+            ),
             (None, Some(w)) => Some(WindowedStats::new(w)),
             (None, None) => None,
         };
@@ -448,13 +478,20 @@ impl Engine {
             self.state.config().crossbar_capacity.is_none(),
             "run_cioq requires a CIOQ config (no crossbar capacity)"
         );
-        let arrival_slots = self.options.slots.or_else(|| source.horizon()).unwrap_or(0);
+        // A fixed horizon (explicit slot budget or a source that knows its
+        // length) closes the arrival window by slot count; an open-ended
+        // source (streaming) is asked each slot and may block until it
+        // knows whether more arrivals are coming.
+        let fixed_slots = self.options.slots.or_else(|| source.horizon());
         let speedup = self.state.config().speedup;
 
         let mut slot: SlotId = self.start_slot;
         let mut idle_slots = self.start_idle;
         loop {
-            let in_arrival_window = slot < arrival_slots;
+            let in_arrival_window = match fixed_slots {
+                Some(n) => slot < n,
+                None => source.in_arrival_window(slot),
+            };
             if !in_arrival_window {
                 // In-flight packets always land (and count as progress), so
                 // the idle cutoff only applies once the fabric is empty.
@@ -564,13 +601,18 @@ impl Engine {
             self.state.config().crossbar_capacity.is_some(),
             "run_crossbar requires a crossbar config"
         );
-        let arrival_slots = self.options.slots.or_else(|| source.horizon()).unwrap_or(0);
+        // See run_cioq_loop: fixed horizon closes the window by count, an
+        // open-ended source is asked (and may block) each slot.
+        let fixed_slots = self.options.slots.or_else(|| source.horizon());
         let speedup = self.state.config().speedup;
 
         let mut slot: SlotId = self.start_slot;
         let mut idle_slots = self.start_idle;
         loop {
-            let in_arrival_window = slot < arrival_slots;
+            let in_arrival_window = match fixed_slots {
+                Some(n) => slot < n,
+                None => source.in_arrival_window(slot),
+            };
             if !in_arrival_window {
                 let done = !self.options.drain
                     || self.state.residual_count() == 0
@@ -1195,4 +1237,48 @@ pub fn run_crossbar_with_source<P: CrossbarPolicy + ?Sized>(
         ..RunOptions::default()
     };
     Engine::new(config.clone(), options).run_crossbar(policy, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stats_window_is_a_config_error() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let options = RunOptions {
+            stats_window: Some(0),
+            ..RunOptions::default()
+        };
+        match Engine::try_new(cfg, options) {
+            Err(ConfigError::ZeroStatsWindow) => {}
+            Err(other) => panic!("expected ZeroStatsWindow, got {other}"),
+            Ok(_) => panic!("zero stats window accepted"),
+        }
+    }
+
+    #[test]
+    fn zero_checkpoint_cadence_is_a_config_error() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let options = RunOptions {
+            checkpoint_every: Some(0),
+            ..RunOptions::default()
+        };
+        match Engine::try_new(cfg, options) {
+            Err(ConfigError::ZeroCheckpointCadence) => {}
+            Err(other) => panic!("expected ZeroCheckpointCadence, got {other}"),
+            Ok(_) => panic!("zero checkpoint cadence accepted"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run options")]
+    fn engine_new_panics_loudly_on_zero_window() {
+        let cfg = SwitchConfig::cioq(2, 2, 1);
+        let options = RunOptions {
+            stats_window: Some(0),
+            ..RunOptions::default()
+        };
+        let _ = Engine::new(cfg, options);
+    }
 }

@@ -31,11 +31,13 @@ pub mod fault;
 pub mod invariants;
 mod policy;
 mod record;
+pub mod service;
 pub mod shard;
 pub mod snapshot;
 mod source;
 mod state;
 mod stats;
+pub mod stream;
 mod sync;
 mod trace;
 pub mod transport;
@@ -53,17 +55,24 @@ pub use policy::{
     Transfer, TransmitChoice,
 };
 pub use record::{CrossbarRecording, RecordedCrossbarSchedule, RecordedSchedule, Recording};
+pub use service::{
+    resume_cioq, resume_crossbar, serve_cioq, serve_crossbar, ServiceError, ServiceOutcome,
+};
 pub use shard::{
-    run_cioq_sharded, run_crossbar_sharded, Candidate, CandidateSet, CioqShardPolicy,
-    CioqShardWorker, CrossbarShardPolicy, CrossbarShardWorker, ExecMode, FabricView, MergeContext,
-    MergeScratch, OrderMirror, OutputSnapshot, Partition, ShardView, ShardedOptions,
-    ShardedOutcome,
+    run_cioq_sharded, run_cioq_sharded_streamed, run_crossbar_sharded,
+    run_crossbar_sharded_streamed, Candidate, CandidateSet, CioqShardPolicy, CioqShardWorker,
+    CrossbarShardPolicy, CrossbarShardWorker, ExecMode, FabricView, MergeContext, MergeScratch,
+    OrderMirror, OutputSnapshot, Partition, ShardView, ShardedOptions, ShardedOutcome,
 };
 pub use snapshot::{EngineSnapshot, SnapshotError};
 pub use source::{ArrivalSource, TraceSource};
 pub use state::{QueueKind, SwitchState, SwitchView};
 pub use stats::{LossBreakdown, RunReport, StatsRecorder, WindowSlot, WindowedStats};
+pub use stream::{
+    channel, channel_at, spawn_producer, stream_reader, stream_reader_from, stream_trace,
+    stream_trace_from, StreamClosed, StreamCursor, StreamPump, StreamSender, StreamingSource,
+};
 pub use sync::SpinBarrier;
-pub use trace::{Trace, TraceError};
+pub use trace::{Trace, TraceError, TraceReader};
 pub use transport::{DelayLine, DelayMatrix, FabricLink, FabricSpec, Immediate};
 pub use validate::check_state_invariants;

@@ -44,6 +44,7 @@ use crate::record::{RecordedCrossbarSchedule, RecordedSchedule};
 use crate::snapshot::{EngineSnapshot, SnapLanding};
 use crate::state::SwitchState;
 use crate::stats::{RunReport, StatsRecorder};
+use crate::stream::StreamingSource;
 use crate::sync::SpinBarrier;
 use crate::trace::Trace;
 use crate::transport::{FabricLink, FabricSpec};
@@ -938,8 +939,17 @@ struct Fabric<'a> {
     shards: Vec<RwLock<ShardState>>,
     /// The whole trace pre-bucketed by row owner `(global index, packet)`,
     /// built once at run start — the arrival phase is a cursor walk with no
-    /// per-slot copying or locking.
+    /// per-slot copying or locking. Empty in streaming mode.
     arrivals: Vec<Vec<(u64, Packet)>>,
+    /// Streaming mode's per-owner staging cells: the coordinator fills
+    /// them with the slot's batch between barriers (workers parked, so
+    /// the locks are uncontended) and each shard drains its own cell in
+    /// the arrival phase. Indices are the trace-numbered global packet
+    /// ids, so recorded admissions line up with the prebucketed path.
+    staged: Vec<Mutex<Vec<(u64, Packet)>>>,
+    /// Whether arrivals come from `staged` (live stream) or `arrivals`
+    /// (pre-bucketed trace).
+    streamed: bool,
     comms: Comms,
 }
 
@@ -1100,9 +1110,74 @@ const PH_LAND: u8 = 10;
 // Worker-side phase execution
 // ---------------------------------------------------------------------------
 
+/// Admit one arriving packet into shard `s` — the shared per-packet body
+/// of both arrival modes (pre-bucketed cursor walk and staged streaming
+/// drain), mirroring `Engine::arrival_phase` decision for decision.
+/// Returns `false` when the phase must stop (policy error recorded).
+fn admit_arrival(
+    s: usize,
+    st: &mut ShardState,
+    fabric: &Fabric<'_>,
+    idx: u64,
+    p: Packet,
+    admit: &mut impl FnMut(&ShardView<'_>, &Packet) -> Admission,
+) -> bool {
+    st.stats.on_arrival(&p);
+    let decision = {
+        let view = ShardView {
+            cfg: fabric.cfg,
+            partition: &fabric.partition,
+            shard: s,
+            state: st,
+        };
+        admit(&view, &p)
+    };
+    if fabric.comms.record {
+        st.admits
+            .push((idx, !matches!(decision, Admission::Reject)));
+    }
+    if !matches!(decision, Admission::Reject) {
+        let local_row = p.input.index() - st.voq.row_offset();
+        st.changes
+            .voq
+            .mark(local_row * fabric.cfg.n_outputs + p.output.index());
+    }
+    let queue = st.voq.at_global_mut(p.input.index(), p.output.index());
+    match decision {
+        Admission::Reject => st.stats.on_reject(&p),
+        Admission::Accept => {
+            if queue.is_full() {
+                fabric.comms.fail(PolicyError::QueueFull {
+                    kind: "input",
+                    input: Some(p.input),
+                    output: p.output,
+                });
+                return false;
+            }
+            queue.insert(p).expect("checked not full");
+            st.stats.on_accept();
+        }
+        Admission::AcceptPreemptingLeast => {
+            if !queue.is_full() {
+                fabric.comms.fail(PolicyError::PreemptOnNonFull {
+                    kind: "input",
+                    input: Some(p.input),
+                    output: p.output,
+                });
+                return false;
+            }
+            let victim = queue.pop_tail().expect("full queue has a tail");
+            st.stats.on_preempt_input(&victim);
+            queue.insert(p).expect("slot freed by preemption");
+            st.stats.on_accept();
+        }
+    }
+    true
+}
+
 /// Arrival phase for shard `s`: walk this slot's slice of the pre-bucketed
-/// trace, admit, insert. Mirrors `Engine::arrival_phase` decision for
-/// decision.
+/// trace (or drain the staging cell in streaming mode), admit, insert.
+/// Mirrors `Engine::arrival_phase` decision for decision.
 fn arrival_phase(
     s: usize,
     cursor: &mut usize,
@@ -1110,65 +1185,32 @@ fn arrival_phase(
     mut admit: impl FnMut(&ShardView<'_>, &Packet) -> Admission,
 ) {
     let slot = fabric.comms.slot.load(Ordering::Relaxed);
-    let bucket = &fabric.arrivals[s];
     let mut st = write_shard(&fabric.shards[s]);
-    let record = fabric.comms.record;
+    if fabric.streamed {
+        // The coordinator staged this slot's batch before the barrier;
+        // take the cell's buffer (returned after the drain so the
+        // allocation is reused every slot).
+        let batch = std::mem::take(&mut *lock(&fabric.staged[s]));
+        for &(idx, p) in &batch {
+            debug_assert_eq!(p.arrival, slot, "staged batch from another slot");
+            if !admit_arrival(s, &mut st, fabric, idx, p, &mut admit) {
+                break;
+            }
+        }
+        let mut cell = lock(&fabric.staged[s]);
+        *cell = batch;
+        cell.clear();
+        return;
+    }
+    let bucket = &fabric.arrivals[s];
     while let Some(&(idx, p)) = bucket.get(*cursor) {
         if p.arrival != slot {
             debug_assert!(p.arrival > slot, "bucket consumed out of order");
             break;
         }
         *cursor += 1;
-        let st = &mut *st;
-        st.stats.on_arrival(&p);
-        let decision = {
-            let view = ShardView {
-                cfg: fabric.cfg,
-                partition: &fabric.partition,
-                shard: s,
-                state: st,
-            };
-            admit(&view, &p)
-        };
-        if record {
-            st.admits
-                .push((idx, !matches!(decision, Admission::Reject)));
-        }
-        if !matches!(decision, Admission::Reject) {
-            let local_row = p.input.index() - st.voq.row_offset();
-            st.changes
-                .voq
-                .mark(local_row * fabric.cfg.n_outputs + p.output.index());
-        }
-        let queue = st.voq.at_global_mut(p.input.index(), p.output.index());
-        match decision {
-            Admission::Reject => st.stats.on_reject(&p),
-            Admission::Accept => {
-                if queue.is_full() {
-                    fabric.comms.fail(PolicyError::QueueFull {
-                        kind: "input",
-                        input: Some(p.input),
-                        output: p.output,
-                    });
-                    break;
-                }
-                queue.insert(p).expect("checked not full");
-                st.stats.on_accept();
-            }
-            Admission::AcceptPreemptingLeast => {
-                if !queue.is_full() {
-                    fabric.comms.fail(PolicyError::PreemptOnNonFull {
-                        kind: "input",
-                        input: Some(p.input),
-                        output: p.output,
-                    });
-                    break;
-                }
-                let victim = queue.pop_tail().expect("full queue has a tail");
-                st.stats.on_preempt_input(&victim);
-                queue.insert(p).expect("slot freed by preemption");
-                st.stats.on_accept();
-            }
+        if !admit_arrival(s, &mut st, fabric, idx, p, &mut admit) {
+            break;
         }
     }
 }
@@ -2072,6 +2114,117 @@ fn audit_sharded_slot(fabric: &Fabric<'_>) {
 // Entry points
 // ---------------------------------------------------------------------------
 
+/// Where a sharded run's arrivals come from: a pre-recorded trace
+/// (bucketed up front, cursor-walked by the workers) or a live
+/// [`StreamingSource`] (pulled slot by slot on the coordinator and staged
+/// to the owner shards between barriers).
+enum Feed<'t, 's> {
+    Trace(&'t Trace),
+    Stream(&'s mut StreamingSource),
+}
+
+impl Feed<'_, '_> {
+    /// Build the run's arrival plumbing: the fixed arrival-window length
+    /// (if one is known), the pre-bucketed arrivals (empty for a stream)
+    /// and the streamed flag.
+    #[allow(clippy::type_complexity)]
+    fn plumbing(
+        &self,
+        cfg: &SwitchConfig,
+        partition: &Partition,
+        options: &ShardedOptions,
+    ) -> Result<(Option<SlotId>, Vec<Vec<(u64, Packet)>>, bool), PolicyError> {
+        match self {
+            Feed::Trace(trace) => {
+                let n = options.slots.unwrap_or_else(|| trace.arrival_slots());
+                Ok((
+                    Some(n),
+                    prebucket_arrivals(cfg, partition, trace, n)?,
+                    false,
+                ))
+            }
+            Feed::Stream(_) => Ok((
+                options.slots,
+                (0..partition.k()).map(|_| Vec::new()).collect(),
+                true,
+            )),
+        }
+    }
+
+    /// A resumed streamed run must attach a channel positioned exactly at
+    /// the checkpoint's stream cursor; anywhere else the replayed stream
+    /// is not the one the checkpoint was taken on.
+    fn check_resume(&self, start_slot: SlotId, options: &ShardedOptions) {
+        if let Feed::Stream(src) = self {
+            let cur = src.cursor();
+            assert!(
+                cur.slot == start_slot,
+                "stream cursor sits at slot {} but the run starts at slot {start_slot} — \
+                 open the channel at the checkpoint's stream_cursor()",
+                cur.slot
+            );
+            if let Some(snap) = &options.resume_from {
+                assert!(
+                    cur.consumed == snap.stats.arrived,
+                    "stream cursor consumed {} packets but the checkpoint arrived {}",
+                    cur.consumed,
+                    snap.stats.arrived
+                );
+            }
+        }
+    }
+
+    /// Coordinator-side arrival-window check for the top of `slot`.
+    fn in_arrival_window(&mut self, fixed_slots: Option<SlotId>, slot: SlotId) -> bool {
+        match fixed_slots {
+            Some(n) => slot < n,
+            None => match self {
+                Feed::Stream(src) => {
+                    // Blocks until the source can answer (batch buffered
+                    // or stream closed) — the workers are parked at the
+                    // slot barrier, so only the coordinator waits.
+                    crate::source::ArrivalSource::in_arrival_window(*src, slot)
+                }
+                Feed::Trace(_) => unreachable!("a trace feed always has a fixed horizon"),
+            },
+        }
+    }
+}
+
+/// Stage a streamed slot's batch (coordinator only, between barriers):
+/// pull it from the channel — blocking until the producer catches up —
+/// validate ports, and distribute `(global index, packet)` pairs to the
+/// owner shards' staging cells. Global indices continue the consumed
+/// count, so they equal the trace-numbered ids of the prebucketed path
+/// and recorded admissions line up across modes.
+fn stage_stream_slot(
+    fabric: &Fabric<'_>,
+    src: &mut StreamingSource,
+    slot: SlotId,
+    scratch: &mut Vec<Packet>,
+) -> Result<(), PolicyError> {
+    scratch.clear();
+    let base = src.consumed();
+    src.pull(slot, scratch);
+    for (off, p) in scratch.iter().enumerate() {
+        if p.input.index() >= fabric.cfg.n_inputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "input",
+                port: p.input.index(),
+            });
+        }
+        if p.output.index() >= fabric.cfg.n_outputs {
+            return Err(PolicyError::PortOutOfRange {
+                side: "output",
+                port: p.output.index(),
+            });
+        }
+        lock(&fabric.staged[fabric.partition.input_owner(p.input.index())])
+            .push((base + off as u64, *p));
+    }
+    Ok(())
+}
+
 /// Run a sharded CIOQ policy over a recorded trace.
 ///
 /// Produces a [`RunReport`] field-for-field equal to
@@ -2083,6 +2236,30 @@ pub fn run_cioq_sharded(
     trace: &Trace,
     options: ShardedOptions,
 ) -> Result<ShardedOutcome, PolicyError> {
+    run_cioq_sharded_feed(cfg, policy, Feed::Trace(trace), options)
+}
+
+/// Run a sharded CIOQ policy against a live [`StreamingSource`] — the
+/// push-fed counterpart of [`run_cioq_sharded`], transcript-byte-identical
+/// to it on the same σ. With `options.slots` unset the arrival window
+/// stays open until the producer closes the stream; resuming from a
+/// checkpoint requires the source's cursor to sit at the checkpoint's
+/// [`EngineSnapshot::stream_cursor`].
+pub fn run_cioq_sharded_streamed(
+    cfg: &SwitchConfig,
+    policy: &dyn CioqShardPolicy,
+    source: &mut StreamingSource,
+    options: ShardedOptions,
+) -> Result<ShardedOutcome, PolicyError> {
+    run_cioq_sharded_feed(cfg, policy, Feed::Stream(source), options)
+}
+
+fn run_cioq_sharded_feed(
+    cfg: &SwitchConfig,
+    policy: &dyn CioqShardPolicy,
+    mut feed: Feed<'_, '_>,
+    options: ShardedOptions,
+) -> Result<ShardedOutcome, PolicyError> {
     assert!(
         cfg.crossbar_capacity.is_none(),
         "run_cioq_sharded requires a CIOQ config"
@@ -2090,8 +2267,7 @@ pub fn run_cioq_sharded(
     options.fabric.assert_covers(cfg);
     let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
     let k = partition.k();
-    let arrival_slots = options.slots.unwrap_or_else(|| trace.arrival_slots());
-    let arrivals = prebucket_arrivals(cfg, &partition, trace, arrival_slots)?;
+    let (fixed_slots, arrivals, streamed) = feed.plumbing(cfg, &partition, &options)?;
     let comms = Comms::new(k, options.record, options.fabric.clone(), &partition);
     let fabric = Fabric {
         cfg,
@@ -2100,6 +2276,8 @@ pub fn run_cioq_sharded(
             .collect(),
         partition,
         arrivals,
+        staged: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        streamed,
         comms,
     };
     let mut workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
@@ -2109,6 +2287,7 @@ pub fn run_cioq_sharded(
         .resume_from
         .as_ref()
         .map_or((0, 0), |snap| seed_from_snapshot(&fabric, snap, &options));
+    feed.check_resume(start_slot, &options);
     for (s, w) in workers.iter_mut().enumerate() {
         w.arrival_cursor = fabric.arrivals[s].partition_point(|&(_, p)| p.arrival < start_slot);
     }
@@ -2131,8 +2310,9 @@ pub fn run_cioq_sharded(
             let mut transfers: Vec<Transfer> = Vec::new();
             let mut merge_scratch = MergeScratch::default();
             let mut validate_scratch = MergeScratch::default();
+            let mut stage_scratch: Vec<Packet> = Vec::new();
             loop {
-                let in_arrival_window = slot < arrival_slots;
+                let in_arrival_window = feed.in_arrival_window(fixed_slots, slot);
                 if !in_arrival_window {
                     // In-flight packets always land (and count as
                     // progress), so the idle cutoff waits for the fabric.
@@ -2155,6 +2335,9 @@ pub fn run_cioq_sharded(
                     do_phase(PH_LAND)?;
                 }
                 if in_arrival_window {
+                    if let Feed::Stream(src) = &mut feed {
+                        stage_stream_slot(&fabric, src, slot, &mut stage_scratch)?;
+                    }
                     do_phase(PH_ARRIVAL)?;
                 }
 
@@ -2256,6 +2439,26 @@ pub fn run_crossbar_sharded(
     trace: &Trace,
     options: ShardedOptions,
 ) -> Result<ShardedOutcome, PolicyError> {
+    run_crossbar_sharded_feed(cfg, policy, Feed::Trace(trace), options)
+}
+
+/// Run a sharded buffered-crossbar policy against a live
+/// [`StreamingSource`]; see [`run_cioq_sharded_streamed`].
+pub fn run_crossbar_sharded_streamed(
+    cfg: &SwitchConfig,
+    policy: &dyn CrossbarShardPolicy,
+    source: &mut StreamingSource,
+    options: ShardedOptions,
+) -> Result<ShardedOutcome, PolicyError> {
+    run_crossbar_sharded_feed(cfg, policy, Feed::Stream(source), options)
+}
+
+fn run_crossbar_sharded_feed(
+    cfg: &SwitchConfig,
+    policy: &dyn CrossbarShardPolicy,
+    mut feed: Feed<'_, '_>,
+    options: ShardedOptions,
+) -> Result<ShardedOutcome, PolicyError> {
     assert!(
         cfg.crossbar_capacity.is_some(),
         "run_crossbar_sharded requires a crossbar config"
@@ -2263,8 +2466,7 @@ pub fn run_crossbar_sharded(
     options.fabric.assert_covers(cfg);
     let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
     let k = partition.k();
-    let arrival_slots = options.slots.unwrap_or_else(|| trace.arrival_slots());
-    let arrivals = prebucket_arrivals(cfg, &partition, trace, arrival_slots)?;
+    let (fixed_slots, arrivals, streamed) = feed.plumbing(cfg, &partition, &options)?;
     let comms = Comms::new(k, options.record, options.fabric.clone(), &partition);
     let fabric = Fabric {
         cfg,
@@ -2273,6 +2475,8 @@ pub fn run_crossbar_sharded(
             .collect(),
         partition,
         arrivals,
+        staged: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        streamed,
         comms,
     };
     let mut workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
@@ -2282,6 +2486,7 @@ pub fn run_crossbar_sharded(
         .resume_from
         .as_ref()
         .map_or((0, 0), |snap| seed_from_snapshot(&fabric, snap, &options));
+    feed.check_resume(start_slot, &options);
     for (s, w) in workers.iter_mut().enumerate() {
         w.arrival_cursor = fabric.arrivals[s].partition_point(|&(_, p)| p.arrival < start_slot);
     }
@@ -2303,8 +2508,9 @@ pub fn run_crossbar_sharded(
             let mut slot: SlotId = start_slot;
             let mut idle_slots = start_idle;
             let mut validate_scratch = MergeScratch::default();
+            let mut stage_scratch: Vec<Packet> = Vec::new();
             loop {
-                let in_arrival_window = slot < arrival_slots;
+                let in_arrival_window = feed.in_arrival_window(fixed_slots, slot);
                 if !in_arrival_window {
                     let done = !options.drain
                         || fabric.residual().0 == 0
@@ -2325,6 +2531,9 @@ pub fn run_crossbar_sharded(
                     do_phase(PH_LAND)?;
                 }
                 if in_arrival_window {
+                    if let Feed::Stream(src) = &mut feed {
+                        stage_stream_slot(&fabric, src, slot, &mut stage_scratch)?;
+                    }
                     do_phase(PH_ARRIVAL)?;
                 }
 

@@ -139,6 +139,20 @@ impl EngineSnapshot {
         &self.fabric
     }
 
+    /// The streaming-consumer position this checkpoint corresponds to:
+    /// checkpoints fire at the top of a slot, before its arrival phase,
+    /// so the stream cursor is exactly (checkpoint slot, packets arrived
+    /// so far) — no extra streaming state is serialized. Hand it to
+    /// [`crate::stream::channel_at`] (and a producer resumed from the
+    /// same point) to re-feed a restored engine.
+    #[inline]
+    pub fn stream_cursor(&self) -> crate::stream::StreamCursor {
+        crate::stream::StreamCursor {
+            slot: self.slot,
+            consumed: self.stats.arrived,
+        }
+    }
+
     /// Packets buffered anywhere in the switch at the boundary.
     #[inline]
     pub fn residual_count(&self) -> u64 {

@@ -22,6 +22,18 @@ pub trait ArrivalSource {
     fn horizon(&self) -> Option<SlotId> {
         None
     }
+
+    /// Whether the source may still deliver arrivals at or after `slot`.
+    ///
+    /// The engine consults this once per slot, but only when neither
+    /// `RunOptions::slots` nor [`Self::horizon`] fixes the run length —
+    /// i.e. for open-ended sources such as [`crate::StreamingSource`],
+    /// which blocks here until it can answer (a batch is buffered, or the
+    /// producer closed the stream). The default derives the answer from
+    /// the horizon; with no horizon either, the window is closed.
+    fn in_arrival_window(&mut self, slot: SlotId) -> bool {
+        self.horizon().is_some_and(|h| slot < h)
+    }
 }
 
 /// Plays back a [`Trace`].
@@ -50,10 +62,18 @@ impl<'a> TraceSource<'a> {
 impl ArrivalSource for TraceSource<'_> {
     fn arrivals(&mut self, _view: &SwitchView<'_>, slot: SlotId, out: &mut Vec<Packet>) {
         let packets = self.trace.packets();
-        debug_assert!(
-            packets.get(self.cursor).is_none_or(|p| p.arrival >= slot),
-            "engine must consume slots in order"
-        );
+        // A cursor sitting below `slot` means an earlier slot was never
+        // consumed; continuing would silently drop those arrivals, so this
+        // is a hard invariant even in release builds.
+        if let Some(p) = packets.get(self.cursor) {
+            assert!(
+                p.arrival >= slot,
+                "invariant violated: trace source consumed out of order \
+                 (asked for slot {slot}, but packet {} from slot {} is still pending)",
+                p.id.0,
+                p.arrival
+            );
+        }
         while let Some(p) = packets.get(self.cursor) {
             if p.arrival != slot {
                 break;

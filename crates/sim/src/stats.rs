@@ -242,18 +242,31 @@ impl WindowedStats {
     /// Rebuild a window from serialized parts: the configured size, the
     /// ring entries (oldest first) and the cumulative recorder totals at
     /// the snapshot boundary (which seed the transient delta baseline).
+    /// Rejects parts that cannot be an honest restore — a zero window, or
+    /// more entries than the window holds (silently evicting the oldest
+    /// would forge a window that never existed; loud rejection matches
+    /// the fabric-mismatch precedent).
     pub(crate) fn from_parts(
         window: usize,
         entries: Vec<WindowSlot>,
         stats: &StatsRecorder,
-    ) -> Self {
+    ) -> Result<Self, String> {
+        if window == 0 {
+            return Err("stats window must cover at least one slot".to_string());
+        }
+        if entries.len() > window {
+            return Err(format!(
+                "stats window snapshot holds {} entries but covers only {window} slots",
+                entries.len()
+            ));
+        }
         let mut w = WindowedStats::new(window);
         w.entries.extend(entries);
         w.prev_arrived = stats.arrived;
         w.prev_transmitted = stats.transmitted;
         w.prev_benefit = stats.benefit.0;
         w.prev_lost = stats.losses.total_count();
-        w
+        Ok(w)
     }
 
     /// Fold the end-of-slot cumulative totals into a per-slot entry,
@@ -459,6 +472,26 @@ mod tests {
         assert!(r.check_conservation().is_ok());
         assert!((r.throughput() - 1.0 / 3.0).abs() < 1e-12);
         assert!((r.mean_latency() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_rejects_dishonest_restores() {
+        let stats = StatsRecorder::new(1);
+        let entry = |slot| WindowSlot {
+            slot,
+            arrived: 0,
+            transmitted: 0,
+            benefit: 0,
+            lost: 0,
+        };
+        assert!(WindowedStats::from_parts(0, vec![], &stats).is_err());
+        assert!(
+            WindowedStats::from_parts(2, vec![entry(0), entry(1), entry(2)], &stats).is_err(),
+            "three entries cannot restore into a two-slot window"
+        );
+        let ok = WindowedStats::from_parts(2, vec![entry(0), entry(1)], &stats).unwrap();
+        assert_eq!(ok.window(), 2);
+        assert_eq!(ok.len(), 2);
     }
 
     #[test]

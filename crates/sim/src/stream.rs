@@ -1,0 +1,641 @@
+//! Streaming ingestion: push-fed arrivals over a bounded per-slot channel.
+//!
+//! The paper's online model reveals σ slot by slot; this module is that
+//! seam. A producer thread pushes one batch of packets per slot through a
+//! [`StreamSender`]; the engine pulls them through a [`StreamingSource`]
+//! (an [`ArrivalSource`] with no horizon). Nothing materialises the full
+//! trace: memory is bounded by the channel depth.
+//!
+//! ## Backpressure contract
+//!
+//! The channel holds at most `depth` slot batches. When the producer
+//! outruns the switch, [`StreamSender::send`] **blocks** until the engine
+//! consumes a batch — a stall, counted once per blocking send and readable
+//! via [`StreamingSource::stalls`]. Nothing is ever dropped, and the
+//! sequence of batches crossing the channel is independent of timing, so
+//! a streamed run's transcript does not depend on the channel depth or on
+//! how often the producer stalled. Stall counters are diagnostics only:
+//! they never enter reports or snapshots.
+//!
+//! ## Cursor and restore
+//!
+//! The consumer cursor is `(next slot, packets consumed)`. At a checkpoint
+//! boundary it is a pure function of the snapshot — the checkpoint slot
+//! and the arrived-packet count — so snapshots need no extra streaming
+//! state: [`crate::EngineSnapshot::stream_cursor`] recovers it, and
+//! [`channel_at`] opens a resumed channel whose producer must re-feed the
+//! stream from exactly that point (enforced: batch slots are checked
+//! against the cursor, and the replay adapters verify the skipped prefix
+//! matches the consumed count).
+//!
+//! ## Shutdown
+//!
+//! Dropping the last [`StreamSender`] closes the stream: the engine's
+//! arrival window ends, and the run drains in-flight fabric and queue
+//! state exactly like a trace-fed run reaching its horizon. Dropping the
+//! [`StreamingSource`] (consumer gone) unblocks and errors the producer,
+//! so an aborted run cannot deadlock its feeder.
+
+use crate::source::ArrivalSource;
+use crate::state::SwitchView;
+use crate::trace::{Trace, TraceReader};
+use cioq_model::{Packet, SlotId};
+use std::collections::VecDeque;
+use std::io::BufRead;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Consumer position in a stream: the next slot to pull and how many
+/// packets were consumed before it. At a checkpoint boundary this equals
+/// `(snapshot slot, snapshot arrived count)` — see
+/// [`crate::EngineSnapshot::stream_cursor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCursor {
+    /// Next slot the consumer will pull.
+    pub slot: SlotId,
+    /// Packets consumed in slots before `slot` (equals the next packet id
+    /// for trace-numbered streams).
+    pub consumed: u64,
+}
+
+impl StreamCursor {
+    /// Cursor at the beginning of a stream.
+    pub fn start() -> Self {
+        StreamCursor {
+            slot: 0,
+            consumed: 0,
+        }
+    }
+}
+
+/// The producer observed a closed channel: the consumer was dropped
+/// before the stream ended. Feeding can stop; nothing more will be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamClosed;
+
+impl std::fmt::Display for StreamClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream consumer hung up")
+    }
+}
+
+impl std::error::Error for StreamClosed {}
+
+struct ChannelState {
+    /// Buffered `(slot, packets)` batches, slots strictly increasing.
+    batches: VecDeque<(SlotId, Vec<Packet>)>,
+    /// Lowest slot the producer may push next.
+    next_push: SlotId,
+    /// Producer dropped: no further batches will arrive.
+    closed: bool,
+    /// Consumer dropped: sends fail instead of blocking forever.
+    receiver_gone: bool,
+    /// Times a send found the buffer full and had to block. Diagnostic
+    /// only — never serialized, never part of a report.
+    stalls: u64,
+}
+
+struct Channel {
+    state: Mutex<ChannelState>,
+    /// Producer waits here for buffer space.
+    space: Condvar,
+    /// Consumer (and backpressure observers) wait here for batches,
+    /// close, or a stall.
+    data: Condvar,
+    depth: usize,
+}
+
+impl Channel {
+    fn lock(&self) -> MutexGuard<'_, ChannelState> {
+        // A panicking holder leaves consistent state (all updates are
+        // single assignments), so poisoning is not propagated.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Producer handle of a streaming channel. Push one batch per slot with
+/// [`send`](Self::send); dropping the handle closes the stream.
+pub struct StreamSender {
+    chan: Arc<Channel>,
+}
+
+impl StreamSender {
+    /// Push the arrivals of `slot`, in arrival order. Slots must be
+    /// pushed in strictly increasing order; slots without arrivals may be
+    /// skipped entirely (or sent with an empty batch, which only advances
+    /// the producer cursor). Blocks while the channel holds `depth`
+    /// batches — the backpressure stall. Returns [`StreamClosed`] if the
+    /// consumer is gone.
+    ///
+    /// Panics if `slot` is below the producer cursor or a packet's
+    /// arrival disagrees with `slot` — both are producer bugs that would
+    /// desynchronise the stream from the slot clock.
+    pub fn send(&self, slot: SlotId, packets: Vec<Packet>) -> Result<(), StreamClosed> {
+        let mut st = self.chan.lock();
+        assert!(
+            slot >= st.next_push,
+            "invariant violated: stream producer pushed slot {slot} after slot {}",
+            st.next_push
+        );
+        for p in &packets {
+            assert!(
+                p.arrival == slot,
+                "invariant violated: packet {} arrives at slot {} but was pushed in slot {slot}",
+                p.id.0,
+                p.arrival
+            );
+        }
+        let mut counted = false;
+        while st.batches.len() >= self.chan.depth && !st.receiver_gone {
+            if !counted {
+                st.stalls += 1;
+                counted = true;
+                self.chan.data.notify_all();
+            }
+            st = self.chan.space.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.receiver_gone {
+            return Err(StreamClosed);
+        }
+        st.next_push = slot + 1;
+        if !packets.is_empty() {
+            st.batches.push_back((slot, packets));
+            self.chan.data.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Backpressure stalls so far (sends that found the buffer full).
+    pub fn stalls(&self) -> u64 {
+        self.chan.lock().stalls
+    }
+}
+
+impl Drop for StreamSender {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.closed = true;
+        self.chan.data.notify_all();
+    }
+}
+
+/// Consumer half of a streaming channel: an [`ArrivalSource`] with no
+/// horizon that pulls each slot's batch as the engine reaches it,
+/// blocking (inside [`ArrivalSource::in_arrival_window`]) until the
+/// producer either supplies a batch or closes the stream.
+pub struct StreamingSource {
+    // snapshot: derived — the channel holds only in-flight batches; a
+    // snapshot: restored run reopens a fresh channel via `channel_at`.
+    chan: Arc<Channel>,
+    // snapshot: derived — equals `EngineSnapshot::slot()` at a checkpoint
+    // snapshot: boundary (checkpoints fire before the arrival phase).
+    next_slot: SlotId,
+    // snapshot: derived — equals the snapshot's arrived-packet count; see
+    // snapshot: `EngineSnapshot::stream_cursor`.
+    consumed: u64,
+}
+
+impl StreamingSource {
+    /// Pull the arrivals of `slot` into `out`, blocking until the
+    /// producer has caught up to `slot` or closed the stream. Slots must
+    /// be consumed in order from the cursor — a gap would silently lose
+    /// arrivals, so it is a hard invariant.
+    pub fn pull(&mut self, slot: SlotId, out: &mut Vec<Packet>) {
+        assert!(
+            slot == self.next_slot,
+            "invariant violated: streaming source consumed out of order \
+             (asked for slot {slot}, cursor sits at slot {})",
+            self.next_slot
+        );
+        let mut st = self.chan.lock();
+        loop {
+            match st.batches.front() {
+                Some(&(s, _)) if s <= slot => {
+                    assert!(
+                        s == slot,
+                        "invariant violated: batch for slot {s} stranded below the cursor"
+                    );
+                    let (_, packets) = st.batches.pop_front().expect("front just matched");
+                    self.chan.space.notify_all();
+                    drop(st);
+                    self.consumed += packets.len() as u64;
+                    out.extend(packets);
+                    break;
+                }
+                // The next buffered batch is for a later slot: this slot
+                // has no arrivals.
+                Some(_) => break,
+                None if st.closed => break,
+                None => st = self.chan.data.wait(st).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+        self.next_slot = slot + 1;
+    }
+
+    /// The consumer cursor: next slot to pull and packets consumed.
+    pub fn cursor(&self) -> StreamCursor {
+        StreamCursor {
+            slot: self.next_slot,
+            consumed: self.consumed,
+        }
+    }
+
+    /// Packets consumed so far (the id the next trace-numbered packet
+    /// would carry).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Backpressure stalls so far (sends that found the buffer full).
+    pub fn stalls(&self) -> u64 {
+        self.chan.lock().stalls
+    }
+
+    /// Block until the producer has stalled on backpressure at least
+    /// once (or closed the stream). Lets a harness prove deterministically
+    /// that the bounded buffer actually engaged, without sampling races.
+    pub fn wait_backpressure(&self) {
+        let mut st = self.chan.lock();
+        while st.stalls == 0 && !st.closed {
+            st = self.chan.data.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for StreamingSource {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.receiver_gone = true;
+        // Unblock a producer stuck in `send` so an aborted run cannot
+        // deadlock its feeder thread.
+        self.chan.space.notify_all();
+    }
+}
+
+impl ArrivalSource for StreamingSource {
+    fn arrivals(&mut self, _view: &SwitchView<'_>, slot: SlotId, out: &mut Vec<Packet>) {
+        self.pull(slot, out);
+    }
+
+    fn in_arrival_window(&mut self, _slot: SlotId) -> bool {
+        let mut st = self.chan.lock();
+        loop {
+            // Any buffered batch is at a slot ≥ the cursor, so the window
+            // is still open; an empty closed channel ends it.
+            if !st.batches.is_empty() {
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            st = self.chan.data.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Open a streaming channel buffering at most `depth` slot batches.
+pub fn channel(depth: usize) -> (StreamSender, StreamingSource) {
+    channel_at(depth, StreamCursor::start())
+}
+
+/// Open a streaming channel resumed at `cursor`: the consumer pulls from
+/// `cursor.slot`, and the producer must push slots from there on. Used
+/// to re-attach a stream to an engine restored from a checkpoint taken
+/// at that cursor (see [`crate::EngineSnapshot::stream_cursor`]).
+pub fn channel_at(depth: usize, cursor: StreamCursor) -> (StreamSender, StreamingSource) {
+    assert!(depth >= 1, "stream channel depth must be >= 1");
+    let chan = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            batches: VecDeque::with_capacity(depth),
+            next_push: cursor.slot,
+            closed: false,
+            receiver_gone: false,
+            stalls: 0,
+        }),
+        space: Condvar::new(),
+        data: Condvar::new(),
+        depth,
+    });
+    (
+        StreamSender { chan: chan.clone() },
+        StreamingSource {
+            chan,
+            next_slot: cursor.slot,
+            consumed: cursor.consumed,
+        },
+    )
+}
+
+/// A running producer thread. [`join`](Self::join) it after the run: a
+/// panic on the producer side (bad replay file, cursor mismatch) is
+/// re-raised there instead of being lost.
+pub struct StreamPump {
+    handle: JoinHandle<()>,
+}
+
+impl StreamPump {
+    /// Wait for the producer to finish, re-raising its panic if it died.
+    pub fn join(self) {
+        if let Err(panic) = self.handle.join() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Spawn a producer thread running `feed` over `sender`. The sender is
+/// dropped — closing the stream — when `feed` returns or panics.
+pub fn spawn_producer<F>(sender: StreamSender, feed: F) -> StreamPump
+where
+    F: FnOnce(StreamSender) + Send + 'static,
+{
+    StreamPump {
+        handle: std::thread::spawn(move || feed(sender)),
+    }
+}
+
+/// Stream a pre-recorded trace: a convenience producer for parity tests
+/// and replay (it clones the trace tail up front — true streaming uses
+/// [`stream_reader`] or a slot generator).
+pub fn stream_trace(trace: &Trace, depth: usize) -> (StreamingSource, StreamPump) {
+    stream_trace_from(trace, depth, StreamCursor::start())
+}
+
+/// Stream a trace from `cursor` onward, as when resuming from a
+/// checkpoint. Panics if the trace's prefix before `cursor.slot` does not
+/// hold exactly `cursor.consumed` packets — the stream being re-fed would
+/// not be the one the checkpoint was taken on.
+pub fn stream_trace_from(
+    trace: &Trace,
+    depth: usize,
+    cursor: StreamCursor,
+) -> (StreamingSource, StreamPump) {
+    let skip = trace.packets().partition_point(|p| p.arrival < cursor.slot);
+    assert!(
+        skip as u64 == cursor.consumed,
+        "stream cursor does not match this trace: {skip} packets arrive before slot {} \
+         but the checkpoint consumed {}",
+        cursor.slot,
+        cursor.consumed
+    );
+    let tail: Vec<Packet> = trace.packets()[skip..].to_vec();
+    let (tx, src) = channel_at(depth, cursor);
+    let pump = spawn_producer(tx, move |tx| {
+        let mut i = 0;
+        while i < tail.len() {
+            let slot = tail[i].arrival;
+            let mut batch = Vec::new();
+            while i < tail.len() && tail[i].arrival == slot {
+                batch.push(tail[i]);
+                i += 1;
+            }
+            if tx.send(slot, batch).is_err() {
+                return;
+            }
+        }
+    });
+    (src, pump)
+}
+
+/// Stream a `cioq-trace v1` replay file without materialising it: the
+/// producer thread reads, parses and pushes one slot batch at a time.
+/// Returns an error if the header is malformed; a malformed body panics
+/// the producer (re-raised at [`StreamPump::join`]) after closing the
+/// stream, so the consumer still drains instead of deadlocking.
+pub fn stream_reader<R>(
+    reader: R,
+    depth: usize,
+) -> Result<(StreamingSource, StreamPump), crate::trace::TraceError>
+where
+    R: BufRead + Send + 'static,
+{
+    stream_reader_from(reader, depth, StreamCursor::start())
+}
+
+/// Stream a replay file from `cursor` onward. The prefix before
+/// `cursor.slot` is parsed and discarded; the producer panics if its
+/// packet count disagrees with `cursor.consumed`.
+pub fn stream_reader_from<R>(
+    reader: R,
+    depth: usize,
+    cursor: StreamCursor,
+) -> Result<(StreamingSource, StreamPump), crate::trace::TraceError>
+where
+    R: BufRead + Send + 'static,
+{
+    let mut rd = TraceReader::new(reader)?;
+    let (tx, src) = channel_at(depth, cursor);
+    let pump = spawn_producer(tx, move |tx| {
+        let mut next = || {
+            rd.next_packet()
+                .unwrap_or_else(|e| panic!("replay stream: {e}"))
+        };
+        let mut skipped: u64 = 0;
+        let mut pending = loop {
+            match next() {
+                Some(p) if p.arrival < cursor.slot => skipped += 1,
+                other => break other,
+            }
+        };
+        assert!(
+            skipped == cursor.consumed,
+            "stream cursor does not match this replay file: {skipped} packets arrive \
+             before slot {} but the checkpoint consumed {}",
+            cursor.slot,
+            cursor.consumed
+        );
+        while let Some(first) = pending {
+            let slot = first.arrival;
+            let mut batch = vec![first];
+            pending = loop {
+                match next() {
+                    Some(p) if p.arrival == slot => batch.push(p),
+                    other => break other,
+                }
+            };
+            if tx.send(slot, batch).is_err() {
+                return;
+            }
+        }
+    });
+    Ok((src, pump))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cioq_model::{PacketId, PortId};
+
+    fn pkt(id: u64, slot: SlotId) -> Packet {
+        Packet::new(PacketId(id), 1, slot, PortId(0), PortId(0))
+    }
+
+    #[test]
+    fn batches_cross_in_order_and_close_ends_window() {
+        let (tx, mut rx) = channel(4);
+        tx.send(0, vec![pkt(0, 0), pkt(1, 0)]).unwrap();
+        tx.send(2, vec![pkt(2, 2)]).unwrap();
+        drop(tx);
+
+        let mut out = Vec::new();
+        assert!(rx.in_arrival_window(0));
+        rx.pull(0, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        rx.pull(1, &mut out);
+        assert!(out.is_empty(), "slot 1 was skipped by the producer");
+        rx.pull(2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!rx.in_arrival_window(3), "closed and drained");
+        assert_eq!(
+            rx.cursor(),
+            StreamCursor {
+                slot: 3,
+                consumed: 3
+            }
+        );
+    }
+
+    #[test]
+    fn backpressure_blocks_producer_and_counts_one_stall() {
+        let (tx, mut rx) = channel(1);
+        tx.send(0, vec![pkt(0, 0)]).unwrap();
+        let pump = spawn_producer(tx, |tx| {
+            // Buffer is full: this send must stall until the consumer
+            // pulls slot 0.
+            tx.send(1, vec![pkt(1, 1)]).unwrap();
+        });
+        rx.wait_backpressure();
+        assert_eq!(rx.stalls(), 1);
+        let mut out = Vec::new();
+        rx.pull(0, &mut out);
+        rx.pull(1, &mut out);
+        assert_eq!(out.len(), 2);
+        pump.join();
+        assert_eq!(rx.stalls(), 1, "a blocking send stalls once, not per retry");
+    }
+
+    #[test]
+    fn dropped_consumer_errors_the_producer() {
+        let (tx, rx) = channel(1);
+        tx.send(0, vec![pkt(0, 0)]).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(1, vec![pkt(1, 1)]), Err(StreamClosed));
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed out of order")]
+    fn pull_rejects_slot_gaps() {
+        let (_tx, mut rx) = channel(1);
+        rx.pull(3, &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed slot")]
+    fn send_rejects_backwards_slots() {
+        let (tx, _rx) = channel(4);
+        tx.send(5, vec![]).unwrap();
+        let _ = tx.send(4, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "was pushed in slot")]
+    fn send_rejects_mislabelled_packets() {
+        let (tx, _rx) = channel(4);
+        let _ = tx.send(1, vec![pkt(0, 0)]);
+    }
+
+    #[test]
+    fn trace_pump_reproduces_the_trace() {
+        let trace = Trace::from_tuples([
+            (0, PortId(0), PortId(1), 5),
+            (0, PortId(1), PortId(0), 3),
+            (3, PortId(0), PortId(0), 4),
+        ]);
+        let (mut rx, pump) = stream_trace(&trace, 1);
+        let mut got = Vec::new();
+        for slot in 0..4 {
+            rx.pull(slot, &mut got);
+        }
+        pump.join();
+        assert_eq!(got, trace.packets());
+    }
+
+    #[test]
+    fn trace_pump_resumes_mid_stream() {
+        let trace = Trace::from_tuples([
+            (0, PortId(0), PortId(1), 5),
+            (1, PortId(1), PortId(0), 3),
+            (3, PortId(0), PortId(0), 4),
+        ]);
+        let cursor = StreamCursor {
+            slot: 2,
+            consumed: 2,
+        };
+        let (mut rx, pump) = stream_trace_from(&trace, 2, cursor);
+        let mut got = Vec::new();
+        rx.pull(2, &mut got);
+        assert!(got.is_empty());
+        rx.pull(3, &mut got);
+        pump.join();
+        assert_eq!(got, &trace.packets()[2..]);
+        assert_eq!(rx.consumed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this trace")]
+    fn trace_pump_rejects_a_wrong_cursor() {
+        let trace = Trace::from_tuples([(0, PortId(0), PortId(0), 1)]);
+        stream_trace_from(
+            &trace,
+            1,
+            StreamCursor {
+                slot: 1,
+                consumed: 7,
+            },
+        );
+    }
+
+    #[test]
+    fn reader_pump_streams_a_replay_file() {
+        let trace = Trace::from_tuples([
+            (0, PortId(0), PortId(1), 5),
+            (2, PortId(1), PortId(0), 3),
+            (2, PortId(0), PortId(0), 4),
+        ]);
+        let mut file = Vec::new();
+        trace.write_to(&mut file).unwrap();
+        let (mut rx, pump) = stream_reader(std::io::Cursor::new(file), 1).unwrap();
+        let mut got = Vec::new();
+        for slot in 0..3 {
+            rx.pull(slot, &mut got);
+        }
+        pump.join();
+        assert_eq!(got, trace.packets());
+    }
+
+    #[test]
+    fn reader_pump_resumes_mid_file() {
+        let trace = Trace::from_tuples([
+            (0, PortId(0), PortId(1), 5),
+            (1, PortId(1), PortId(0), 3),
+            (4, PortId(0), PortId(0), 4),
+        ]);
+        let mut file = Vec::new();
+        trace.write_to(&mut file).unwrap();
+        let cursor = StreamCursor {
+            slot: 3,
+            consumed: 2,
+        };
+        let (mut rx, pump) = stream_reader_from(std::io::Cursor::new(file), 2, cursor).unwrap();
+        let mut got = Vec::new();
+        rx.pull(3, &mut got);
+        rx.pull(4, &mut got);
+        pump.join();
+        assert_eq!(got, &trace.packets()[2..]);
+    }
+
+    #[test]
+    fn reader_pump_rejects_a_bad_header() {
+        assert!(stream_reader(std::io::Cursor::new(b"garbage\n".to_vec()), 1).is_err());
+    }
+}

@@ -161,6 +161,94 @@ impl Trace {
     }
 }
 
+/// Incremental reader over the `cioq-trace v1` line format: yields one
+/// packet at a time without materialising the trace, for streaming replay
+/// (see [`crate::stream::stream_reader`]). Unlike [`Trace::read_from`]
+/// it cannot sort, so an out-of-order file is an error.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    r: R,
+    remaining: usize,
+    lineno: usize,
+    next_id: u64,
+    prev_slot: SlotId,
+    line: String,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Parse the header and position the reader at the first packet line.
+    pub fn new(mut r: R) -> Result<Self, TraceError> {
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("cioq-trace") || parts.next() != Some("v1") {
+            return Err(TraceError::Parse(1, "bad header".into()));
+        }
+        let remaining: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| TraceError::Parse(1, "bad packet count".into()))?;
+        Ok(TraceReader {
+            r,
+            remaining,
+            lineno: 1,
+            next_id: 0,
+            prev_slot: 0,
+            line: String::new(),
+        })
+    }
+
+    /// Packets not yet read.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Read the next packet, or `None` at the end of the trace. Ids are
+    /// assigned in file order, matching [`Trace::from_tuples`] on a
+    /// sorted file.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.lineno += 1;
+        self.line.clear();
+        if self.r.read_line(&mut self.line)? == 0 {
+            return Err(TraceError::Parse(
+                self.lineno,
+                "unexpected end of file".into(),
+            ));
+        }
+        let lineno = self.lineno;
+        let mut f = self.line.split_whitespace();
+        let mut parse = |what: &str| -> Result<u64, TraceError> {
+            f.next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| TraceError::Parse(lineno, format!("bad {what}")))
+        };
+        let slot = parse("slot")?;
+        let input = parse("input")? as usize;
+        let output = parse("output")? as usize;
+        let value = parse("value")?;
+        if slot < self.prev_slot {
+            return Err(TraceError::Model(ModelError::UnsortedTrace {
+                slot,
+                seen: self.prev_slot,
+            }));
+        }
+        self.prev_slot = slot;
+        self.remaining -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(Some(Packet::new(
+            PacketId(id),
+            value,
+            slot,
+            PortId::from(input),
+            PortId::from(output),
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +313,36 @@ mod tests {
         let t = Trace::from_tuples([(0, PortId(5), PortId(0), 1)]);
         let cfg = SwitchConfig::cioq(2, 4, 1);
         assert!(t.validate_for(&cfg).is_err());
+    }
+
+    #[test]
+    fn incremental_reader_matches_bulk_read() {
+        let t = Trace::from_tuples([
+            (0, PortId(0), PortId(1), 5),
+            (1, PortId(1), PortId(0), 1),
+            (7, PortId(2), PortId(2), 9),
+        ]);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let mut rd = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(rd.remaining(), 3);
+        let mut got = Vec::new();
+        while let Some(p) = rd.next_packet().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, t.packets());
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn incremental_reader_rejects_unsorted_files() {
+        let file = "cioq-trace v1 2\n5 0 0 1\n3 0 0 1\n";
+        let mut rd = TraceReader::new(file.as_bytes()).unwrap();
+        assert!(rd.next_packet().unwrap().is_some());
+        assert!(matches!(
+            rd.next_packet(),
+            Err(TraceError::Model(ModelError::UnsortedTrace { .. }))
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! The generator trait and trace assembly.
+//! The generator trait and trace assembly, plus the slot-at-a-time
+//! counterpart that feeds streaming runs without materialising a trace.
 
-use cioq_model::{SlotId, SwitchConfig};
+use cioq_model::{Packet, PacketId, PortId, SlotId, SwitchConfig, Value};
+use cioq_sim::stream::{self, StreamCursor, StreamPump, StreamingSource};
 use cioq_sim::Trace;
 
 /// A deterministic, seedable workload generator.
@@ -16,6 +18,92 @@ pub trait TrafficGen {
 /// Convenience wrapper: `gen.generate(cfg, slots, seed)`.
 pub fn gen_trace(gen: &impl TrafficGen, cfg: &SwitchConfig, slots: SlotId, seed: u64) -> Trace {
     gen.generate(cfg, slots, seed)
+}
+
+/// Slot-at-a-time workload generation: emits each slot's arrivals
+/// incrementally, in O(per-slot) memory, for push-feeding a streaming run
+/// (see [`cioq_sim::stream`]). A generator offering both traits must make
+/// them agree — assembling every `fill_slot` into a trace must reproduce
+/// [`TrafficGen::generate`] tuple for tuple, so streamed and
+/// trace-materialised runs see the same σ.
+pub trait SlotGen {
+    /// Human-readable generator name with its parameters.
+    fn name(&self) -> String;
+
+    /// Append the arrivals of `slot` as `(input, output, value)` tuples
+    /// in arrival order. Slots must be visited consecutively from 0: the
+    /// generator advances internal state (RNG, burst phases) per slot.
+    fn fill_slot(
+        &mut self,
+        cfg: &SwitchConfig,
+        slot: SlotId,
+        out: &mut Vec<(PortId, PortId, Value)>,
+    );
+}
+
+/// Push `slots` slots of `sg`'s workload through a bounded streaming
+/// channel from a producer thread. Packet ids are assigned in emission
+/// order, matching [`Trace::from_tuples`] on the assembled trace, so a
+/// streamed run is byte-comparable to the trace-fed run.
+pub fn stream_gen<G>(
+    sg: G,
+    cfg: &SwitchConfig,
+    slots: SlotId,
+    depth: usize,
+) -> (StreamingSource, StreamPump)
+where
+    G: SlotGen + Send + 'static,
+{
+    stream_gen_from(sg, cfg, slots, depth, StreamCursor::start())
+}
+
+/// Like [`stream_gen`], resumed at a checkpoint's stream cursor: the
+/// producer fast-forwards a *fresh* generator through the slots before
+/// `from.slot` (discarding their tuples in O(1) memory) and verifies the
+/// discarded count matches `from.consumed` — a mismatch means the
+/// generator is not the one the checkpoint was taken on, and panics the
+/// producer (re-raised at [`StreamPump::join`]).
+pub fn stream_gen_from<G>(
+    mut sg: G,
+    cfg: &SwitchConfig,
+    slots: SlotId,
+    depth: usize,
+    from: StreamCursor,
+) -> (StreamingSource, StreamPump)
+where
+    G: SlotGen + Send + 'static,
+{
+    let cfg = cfg.clone();
+    let (tx, src) = stream::channel_at(depth, from);
+    let pump = stream::spawn_producer(tx, move |tx| {
+        let mut tuples: Vec<(PortId, PortId, Value)> = Vec::new();
+        let mut next_id: u64 = 0;
+        for slot in 0..from.slot {
+            tuples.clear();
+            sg.fill_slot(&cfg, slot, &mut tuples);
+            next_id += tuples.len() as u64;
+        }
+        assert!(
+            next_id == from.consumed,
+            "slot generator does not reproduce the checkpointed stream: {next_id} packets \
+             before slot {} but the checkpoint consumed {}",
+            from.slot,
+            from.consumed
+        );
+        for slot in from.slot..slots {
+            tuples.clear();
+            sg.fill_slot(&cfg, slot, &mut tuples);
+            let mut batch = Vec::with_capacity(tuples.len());
+            for &(i, j, v) in &tuples {
+                batch.push(Packet::new(PacketId(next_id), v, slot, i, j));
+                next_id += 1;
+            }
+            if tx.send(slot, batch).is_err() {
+                return;
+            }
+        }
+    });
+    (src, pump)
 }
 
 #[cfg(test)]

@@ -32,10 +32,10 @@ mod incast;
 mod permutation;
 mod values;
 
-pub use bernoulli::BernoulliUniform;
+pub use bernoulli::{BernoulliSlots, BernoulliUniform};
 pub use bursty::OnOffBursty;
 pub use churn::{FullFabricChurn, IncastStorm};
-pub use gen::{gen_trace, TrafficGen};
+pub use gen::{gen_trace, stream_gen, stream_gen_from, SlotGen, TrafficGen};
 pub use hotspot::Hotspot;
 pub use incast::Incast;
 pub use permutation::PermutationTraffic;
