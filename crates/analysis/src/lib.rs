@@ -34,7 +34,7 @@ pub const BASELINE_PATH: &str = "crates/analysis/detlint.baseline";
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
-    /// Rule identifier (`"D1"` … `"D6"`).
+    /// Rule identifier (`"D1"` … `"D7"`).
     pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub path: String,

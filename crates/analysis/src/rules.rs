@@ -1,4 +1,4 @@
-//! The detlint rulebook: determinism and concurrency rules D1–D6.
+//! The detlint rulebook: determinism and concurrency rules D1–D7.
 //!
 //! Each rule is a pattern over the token stream of one file, filtered by
 //! the file's workspace-relative path. Findings are suppressed by an
@@ -285,6 +285,7 @@ pub fn scan_file(path: &str, lx: &Lexed, mask: &[bool]) -> Vec<Finding> {
     }
 
     scan_d6(path, lx, mask, &mut findings);
+    scan_d7(path, lx, mask, &mut findings);
     findings
 }
 
@@ -363,5 +364,92 @@ fn scan_d6(path: &str, lx: &Lexed, mask: &[bool], findings: &mut Vec<Finding>) {
             k += 1;
         }
         i = k;
+    }
+}
+
+/// D7: no heap allocation in a function annotated `// detlint: hot`.
+///
+/// The annotation marks a slot-loop body the allocation census
+/// (`alloc_census`, `--features alloc-audit`) proves allocation-free;
+/// this rule keeps it that way between census runs. Inside the annotated
+/// function's braced body, `Vec::new`, `vec![`, `Box::new`, `.to_vec(`
+/// and `.collect` are findings unless carrying an allow comment with a
+/// reason (`// detlint: allow(D7) reason="…"`) — e.g. a cold error path
+/// that only allocates after an invariant has already failed.
+fn scan_d7(path: &str, lx: &Lexed, mask: &[bool], findings: &mut Vec<Finding>) {
+    let mut hot_lines: Vec<u32> = lx
+        .comments
+        .iter()
+        .filter(|&(_, c)| {
+            // Only the annotation itself (`// detlint: hot`), not prose
+            // that merely mentions it — e.g. this rule's own doc comment.
+            c.trim_start_matches('/')
+                .trim_start()
+                .starts_with("detlint: hot")
+        })
+        .map(|(&l, _)| l)
+        .collect();
+    hot_lines.sort_unstable();
+    let toks = &lx.toks;
+    for &hot in &hot_lines {
+        // The annotated function: first `fn` past the annotation line.
+        let Some(fn_i) =
+            (0..toks.len()).find(|&i| toks[i].line() > hot && toks[i].ident() == Some("fn"))
+        else {
+            continue;
+        };
+        // Body opens at the first `{` outside the parameter list; a `;`
+        // first means a bodyless trait method — nothing to audit.
+        let mut j = fn_i + 1;
+        let mut paren = 0usize;
+        let open = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('(') => paren += 1,
+                Some(t) if t.is_punct(')') => paren -= 1,
+                Some(t) if t.is_punct('{') && paren == 0 => break Some(j),
+                Some(t) if t.is_punct(';') && paren == 0 => break None,
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        let mut depth = 1usize;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+            } else if !mask[k] {
+                if let Some(id) = toks[k].ident() {
+                    let line = toks[k].line();
+                    let after_dot = k >= 1 && toks[k - 1].is_punct('.');
+                    let path_new = toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(k + 3).and_then(Tok::ident) == Some("new");
+                    let what = match id {
+                        "vec" if toks.get(k + 1).is_some_and(|t| t.is_punct('!')) => {
+                            Some("`vec![` allocates".to_string())
+                        }
+                        "Vec" | "Box" if path_new => Some(format!("`{id}::new()` allocates")),
+                        "to_vec" if after_dot => Some("`.to_vec()` allocates".to_string()),
+                        "collect" if after_dot => Some("`.collect()` allocates".to_string()),
+                        _ => None,
+                    };
+                    if let Some(what) = what {
+                        push(
+                            findings,
+                            lx,
+                            "D7",
+                            path,
+                            line,
+                            format!("{what} in a `// detlint: hot` slot-loop function"),
+                        );
+                    }
+                }
+            }
+            k += 1;
+        }
     }
 }

@@ -238,6 +238,69 @@ fn d6_in_cfg_test_is_clean() {
     assert!(rules_at("crates/queues/src/sorted_queue.rs", src).is_empty());
 }
 
+// ---- D7: allocation in `// detlint: hot` slot-loop functions ---------
+
+#[test]
+fn d7_vec_new_in_hot_fn_fires() {
+    let src = "// detlint: hot\nfn slot_phase() { let v: Vec<u32> = Vec::new(); drop(v); }\n";
+    let rules = rules_at("crates/sim/src/engine.rs", src);
+    assert!(
+        rules.contains(&"D7"),
+        "Vec::new in a hot fn must fire D7: {rules:?}"
+    );
+}
+
+#[test]
+fn d7_vec_macro_in_hot_fn_fires() {
+    let src = "// detlint: hot\nfn slot_phase() { let v = vec![1u32, 2]; drop(v); }\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).contains(&"D7"));
+}
+
+#[test]
+fn d7_box_new_in_hot_fn_fires() {
+    let src = "// detlint: hot\nfn slot_phase() { let b = Box::new(1u32); drop(b); }\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).contains(&"D7"));
+}
+
+#[test]
+fn d7_to_vec_in_hot_fn_fires() {
+    let src = "// detlint: hot\nfn slot_phase(xs: &[u32]) -> Vec<u32> { xs.to_vec() }\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).contains(&"D7"));
+}
+
+#[test]
+fn d7_collect_in_hot_fn_fires() {
+    let src =
+        "// detlint: hot\nfn slot_phase(xs: &[u32]) -> Vec<u32> { xs.iter().copied().collect() }\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).contains(&"D7"));
+}
+
+#[test]
+fn d7_allocation_outside_hot_fn_is_clean() {
+    let src = "fn setup() -> Vec<u32> { Vec::new() }\n// detlint: hot\nfn slot_phase() {}\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn d7_allocation_after_hot_fn_body_is_clean() {
+    // The audit ends at the hot function's closing brace.
+    let src = "// detlint: hot\nfn slot_phase() {}\nfn teardown() -> Vec<u32> { Vec::new() }\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn d7_allowlisted_with_reason_is_clean() {
+    let src = "// detlint: hot\nfn slot_phase(err: bool) {\n    if err {\n        // detlint: allow(D7) reason=\"cold error path, invariant already failed\"\n        let _ = vec![0u32];\n    }\n}\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn d7_prose_mention_of_annotation_is_not_an_annotation() {
+    // Doc text discussing `// detlint: hot` must not mark the next fn hot.
+    let src = "/// Functions marked `// detlint: hot` never allocate.\nfn setup() -> Vec<u32> { Vec::new() }\n";
+    assert!(rules_at("crates/sim/src/engine.rs", src).is_empty());
+}
+
 // ---- canonical serialization -----------------------------------------
 
 #[test]

@@ -1,0 +1,448 @@
+//! alloc_census: prove the steady-state slot loop heap-allocation-free.
+//!
+//! Requires the `alloc-audit` feature (`cargo run -p cioq-bench --release
+//! --features alloc-audit --bin alloc_census`); without it the bin exits
+//! with a usage error, because there is no allocator ledger to read.
+//!
+//! ## Methodology
+//!
+//! Per-config differential measurement: each (policy × engine × fabric)
+//! cell is run **twice** over the *same* trace — once for `N1` slots, once
+//! for `N2 > N1` — and the steady-state cost is the allocation delta
+//! divided by the slot delta:
+//!
+//! ```text
+//! allocs/slot = (A(N2) − A(N1)) / (N2 − N1)
+//! ```
+//!
+//! Both runs share the trace, config, fabric and a fresh policy, so every
+//! setup cost (trace prebucketing, shard construction, policy cache
+//! warm-up, ring growth to steady capacity) appears identically in both
+//! ledgers and cancels; what remains is exactly what the slot loop
+//! acquires per slot after warm-up. `N1` is far past the point where every
+//! scratch vector, calendar ring and policy cache has reached steady
+//! capacity under full-fabric churn. The target is **0** — the bin exits
+//! non-zero if any steady-state cell allocates (the CI `alloc-audit` job
+//! runs exactly this).
+//!
+//! Sharded cells run `ExecMode::Inline` so all allocation lands on the
+//! measuring thread's ledger.
+//!
+//! Checkpoint encoding is *exempt* from the zero target (serialising a
+//! snapshot owns its buffers by design) but still counted: a second
+//! differential pass per engine re-runs the GM/Immediate cell with a
+//! checkpoint cadence and reports allocations per checkpoint, so the cost
+//! is visible and bounded rather than silently excluded.
+
+#[cfg(not(feature = "alloc-audit"))]
+fn main() {
+    eprintln!("alloc_census requires the alloc-audit feature:");
+    eprintln!("  cargo run -p cioq-bench --release --features alloc-audit --bin alloc_census");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "alloc-audit")]
+fn main() {
+    census::main()
+}
+
+#[cfg(feature = "alloc-audit")]
+mod census {
+    use cioq_bench::audit;
+    use cioq_core::{
+        CrossbarGreedyUnit, CrossbarPreemptiveGreedy, GreedyMatching, PreemptiveGreedy, ShardedCgu,
+        ShardedCpg, ShardedGm, ShardedPg,
+    };
+    use cioq_model::{SwitchConfig, Topology};
+    use cioq_sim::{
+        run_cioq_sharded, run_crossbar_sharded, CioqShardPolicy, CrossbarShardPolicy, DelayLine,
+        DelayMatrix, Engine, ExecMode, FabricLink, FaultPlan, Immediate, RunOptions,
+        ShardedOptions, Trace, TraceSource,
+    };
+    use cioq_traffic::{gen_trace, FullFabricChurn, ValueDist};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// Warm-up horizon: slots of churn before the short run ends. Set per
+    /// port count in [`main`]: it must outlast every one-time lazy
+    /// acquisition — ring/scratch/cache growth, and the first full churn
+    /// sweep of the fabric (`j = (i·stride + slot + d) mod M` first
+    /// touches its last virtual output queue, and that queue's lazy
+    /// backing reserve, near slot `M`).
+    static N1: AtomicU64 = AtomicU64::new(96);
+    /// Long-run horizon; the steady-state window is `n2() - n1()` slots.
+    static N2: AtomicU64 = AtomicU64::new(224);
+
+    fn n1() -> u64 {
+        N1.load(Ordering::Relaxed)
+    }
+    fn n2() -> u64 {
+        N2.load(Ordering::Relaxed)
+    }
+    /// Checkpoint cadence for the exempt-but-reported checkpoint pass.
+    const CKPT_EVERY: u64 = 16;
+
+    struct Row {
+        policy: &'static str,
+        engine: String,
+        fabric: &'static str,
+        steady: f64,
+        raw: u64,
+    }
+
+    fn fabrics(n: usize) -> Vec<(&'static str, Box<dyn FabricLink>)> {
+        let topo = Topology::two_tier(n, n, 4, 0, 2).expect("valid two-tier topology");
+        vec![
+            ("immediate", Box::new(Immediate) as Box<dyn FabricLink>),
+            ("delay-line(2)", Box::new(DelayLine { d: 2 })),
+            ("two-tier", Box::new(DelayMatrix::new(topo))),
+        ]
+    }
+
+    fn run_options(slots: u64, link: &dyn FabricLink, faults: Option<FaultPlan>) -> RunOptions {
+        RunOptions {
+            slots: Some(slots),
+            drain: false,
+            validate: false,
+            checkpoint_every: None,
+            stats_window: Some(64),
+            faults,
+            ..RunOptions::default()
+        }
+        .link(link)
+    }
+
+    fn sharded_options(slots: u64, k: usize, link: &dyn FabricLink) -> ShardedOptions {
+        ShardedOptions {
+            mode: ExecMode::Inline,
+            slots: Some(slots),
+            drain: false,
+            ..ShardedOptions::new(k)
+        }
+        .link(link)
+    }
+
+    /// Allocations on this thread's measure ledger while `f` runs.
+    fn measured(f: impl FnOnce()) -> u64 {
+        let _g = audit::enter_phase(audit::PHASE_MEASURE);
+        let before = audit::phase_count(audit::PHASE_MEASURE);
+        f();
+        audit::phase_count(audit::PHASE_MEASURE) - before
+    }
+
+    /// Differential steady-state cost of `run(slots)` per slot. With
+    /// `ALLOC_CENSUS_TRACE=<n>` set, prints a backtrace for the first `n`
+    /// steady-window allocations of each cell (the long run's allocations
+    /// past the short run's deterministic prefix) — the counts themselves
+    /// are polluted by the captures in that mode, so it is diagnostic only.
+    fn steady(mut run: impl FnMut(u64)) -> (f64, u64) {
+        static DIFF_CELL: AtomicUsize = AtomicUsize::new(0);
+        let trace_n: u32 = std::env::var("ALLOC_CENSUS_TRACE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        // `ALLOC_CENSUS_DIFF=<cell>`: trace EVERY allocation of both runs
+        // of that one table cell (other cells are skipped entirely), so a
+        // per-site count diff pins the extra allocations exactly — no
+        // positional guessing about where teardown starts. Diagnostic
+        // only; the table is meaningless in this mode.
+        if let Some(only) = std::env::var("ALLOC_CENSUS_DIFF")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            let cell = DIFF_CELL.fetch_add(1, Ordering::Relaxed);
+            if cell != only {
+                return (0.0, 0);
+            }
+            eprintln!("census-diff-run 1");
+            audit::arm_backtraces(0, u32::MAX);
+            let a1 = measured(|| run(n1()));
+            eprintln!("census-diff-run 2");
+            audit::arm_backtraces(0, u32::MAX);
+            let a2 = measured(|| run(n2()));
+            audit::arm_backtraces(0, 0);
+            let raw = a2.saturating_sub(a1);
+            return (raw as f64 / (n2() - n1()) as f64, raw);
+        }
+        let a1 = measured(|| run(n1()));
+        if trace_n > 0 {
+            static CELL: AtomicUsize = AtomicUsize::new(0);
+            // Table-order cell index, so trace output can be attributed to
+            // a cell even though the table prints after all runs.
+            eprintln!("census-cell {}", CELL.fetch_add(1, Ordering::Relaxed));
+            // Back the skip off by the short run's teardown cost
+            // (ALLOC_CENSUS_TRACE_BACK, default 0) so the window starts at
+            // the long run's first steady-state slot instead of its
+            // teardown: the short run's ledger ends with teardown
+            // allocations that the long run only reaches at the very end.
+            let back: u64 = std::env::var("ALLOC_CENSUS_TRACE_BACK")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            audit::arm_backtraces(a1.saturating_sub(back), trace_n + back as u32);
+        }
+        let a2 = measured(|| run(n2()));
+        audit::arm_backtraces(0, 0);
+        let raw = a2.saturating_sub(a1);
+        (raw as f64 / (n2() - n1()) as f64, raw)
+    }
+
+    fn seq_cioq(
+        cfg: &SwitchConfig,
+        trace: &Trace,
+        link: &dyn FabricLink,
+        faults: Option<&FaultPlan>,
+        mk: impl Fn() -> Box<dyn cioq_sim::CioqPolicy>,
+    ) -> (f64, u64) {
+        steady(|slots| {
+            let mut policy = mk();
+            let mut source = TraceSource::new(trace);
+            let engine = Engine::try_new(cfg.clone(), run_options(slots, link, faults.cloned()))
+                .expect("valid run options");
+            engine
+                .run_cioq(policy.as_mut(), &mut source)
+                .expect("census run");
+        })
+    }
+
+    fn seq_crossbar(
+        cfg: &SwitchConfig,
+        trace: &Trace,
+        link: &dyn FabricLink,
+        faults: Option<&FaultPlan>,
+        mk: impl Fn() -> Box<dyn cioq_sim::CrossbarPolicy>,
+    ) -> (f64, u64) {
+        steady(|slots| {
+            let mut policy = mk();
+            let mut source = TraceSource::new(trace);
+            let engine = Engine::try_new(cfg.clone(), run_options(slots, link, faults.cloned()))
+                .expect("valid run options");
+            engine
+                .run_crossbar(policy.as_mut(), &mut source)
+                .expect("census run");
+        })
+    }
+
+    fn sharded_cioq(
+        cfg: &SwitchConfig,
+        trace: &Trace,
+        link: &dyn FabricLink,
+        k: usize,
+        policy: &dyn CioqShardPolicy,
+    ) -> (f64, u64) {
+        steady(|slots| {
+            run_cioq_sharded(cfg, policy, trace, sharded_options(slots, k, link))
+                .expect("census run");
+        })
+    }
+
+    fn sharded_crossbar(
+        cfg: &SwitchConfig,
+        trace: &Trace,
+        link: &dyn FabricLink,
+        k: usize,
+        policy: &dyn CrossbarShardPolicy,
+    ) -> (f64, u64) {
+        steady(|slots| {
+            run_crossbar_sharded(cfg, policy, trace, sharded_options(slots, k, link))
+                .expect("census run");
+        })
+    }
+
+    pub(super) fn main() {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let n: usize = if quick { 32 } else { 128 };
+        // The warm prefix must contain the whole first churn sweep (every
+        // virtual output queue's one-time lazy backing reserve lands by
+        // slot ~n), with the same 2× margin the quick census has always
+        // had; the measured window stays 128 slots.
+        N1.store((2 * n as u64).max(96), Ordering::Relaxed);
+        N2.store(n1() + 128, Ordering::Relaxed);
+        let seed = 0xA110C;
+
+        let cioq_cfg = SwitchConfig::cioq(n, 8, 2);
+        let xbar_cfg = SwitchConfig::crossbar(n, 8, 4, 2);
+
+        // One trace per (config, values) pair, at the long horizon; both
+        // differential runs consume the same trace so prebucketing and
+        // admission patterns are identical through slot N1.
+        let churn_unit = FullFabricChurn::new(2, 5, ValueDist::Unit);
+        let churn_vals = FullFabricChurn::new(2, 5, ValueDist::Uniform { max: 9 });
+        let cioq_unit = gen_trace(&churn_unit, &cioq_cfg, n2(), seed);
+        let cioq_vals = gen_trace(&churn_vals, &cioq_cfg, n2(), seed);
+        let xbar_unit = gen_trace(&churn_unit, &xbar_cfg, n2(), seed);
+        let xbar_vals = gen_trace(&churn_vals, &xbar_cfg, n2(), seed);
+
+        let mut rows: Vec<Row> = Vec::new();
+
+        for (fname, link) in fabrics(n) {
+            // Sequential engines, fault-free.
+            let cells: [(&str, (f64, u64)); 4] = [
+                (
+                    "gm",
+                    seq_cioq(&cioq_cfg, &cioq_unit, link.as_ref(), None, || {
+                        Box::new(GreedyMatching::new())
+                    }),
+                ),
+                (
+                    "pg",
+                    seq_cioq(&cioq_cfg, &cioq_vals, link.as_ref(), None, || {
+                        Box::new(PreemptiveGreedy::new())
+                    }),
+                ),
+                (
+                    "cgu",
+                    seq_crossbar(&xbar_cfg, &xbar_unit, link.as_ref(), None, || {
+                        Box::new(CrossbarGreedyUnit::new())
+                    }),
+                ),
+                (
+                    "cpg",
+                    seq_crossbar(&xbar_cfg, &xbar_vals, link.as_ref(), None, || {
+                        Box::new(CrossbarPreemptiveGreedy::new())
+                    }),
+                ),
+            ];
+            for (policy, (steady, raw)) in cells {
+                rows.push(Row {
+                    policy,
+                    engine: "seq".to_string(),
+                    fabric: fname,
+                    steady,
+                    raw,
+                });
+            }
+
+            // Sharded inline engines.
+            for k in [2usize, 4] {
+                let engine = format!("sharded-k{k}");
+                let cells: [(&str, (f64, u64)); 4] = [
+                    (
+                        "gm",
+                        sharded_cioq(&cioq_cfg, &cioq_unit, link.as_ref(), k, &ShardedGm::new()),
+                    ),
+                    (
+                        "pg",
+                        sharded_cioq(&cioq_cfg, &cioq_vals, link.as_ref(), k, &ShardedPg::new()),
+                    ),
+                    (
+                        "cgu",
+                        sharded_crossbar(
+                            &xbar_cfg,
+                            &xbar_unit,
+                            link.as_ref(),
+                            k,
+                            &ShardedCgu::new(),
+                        ),
+                    ),
+                    (
+                        "cpg",
+                        sharded_crossbar(
+                            &xbar_cfg,
+                            &xbar_vals,
+                            link.as_ref(),
+                            k,
+                            &ShardedCpg::new(),
+                        ),
+                    ),
+                ];
+                for (policy, (steady, raw)) in cells {
+                    rows.push(Row {
+                        policy,
+                        engine: engine.clone(),
+                        fabric: fname,
+                        steady,
+                        raw,
+                    });
+                }
+            }
+        }
+
+        // Faulted sequential pass: the retransmit hold/release machinery
+        // must also be allocation-free in steady state. The plan is built
+        // over the long horizon and shared by both differential runs.
+        let link = DelayLine { d: 2 };
+        let plan = FaultPlan::seeded(0xFA17, n, n, n2(), 24);
+        let faulted: [(&str, (f64, u64)); 2] = [
+            (
+                "gm",
+                seq_cioq(&cioq_cfg, &cioq_unit, &link, Some(&plan), || {
+                    Box::new(GreedyMatching::new())
+                }),
+            ),
+            (
+                "pg",
+                seq_cioq(&cioq_cfg, &cioq_vals, &link, Some(&plan), || {
+                    Box::new(PreemptiveGreedy::new())
+                }),
+            ),
+        ];
+        for (policy, (steady, raw)) in faulted {
+            rows.push(Row {
+                policy,
+                engine: "seq+faults".to_string(),
+                fabric: "delay-line(2)",
+                steady,
+                raw,
+            });
+        }
+
+        // Checkpoint pass (exempt from the zero target, reported): the
+        // differential run with a checkpoint cadence minus the fault-free
+        // steady cost is the encoder's own traffic per checkpoint.
+        let base = seq_cioq(&cioq_cfg, &cioq_unit, &Immediate, None, || {
+            Box::new(GreedyMatching::new())
+        });
+        let with_ckpt = steady(|slots| {
+            let mut policy = GreedyMatching::new();
+            let mut source = TraceSource::new(&cioq_unit);
+            let options = RunOptions {
+                checkpoint_every: Some(CKPT_EVERY),
+                ..run_options(slots, &Immediate, None)
+            };
+            let engine = Engine::try_new(cioq_cfg.clone(), options).expect("valid run options");
+            engine
+                .run_cioq(&mut policy, &mut source)
+                .expect("census run");
+        });
+        let ckpts_in_window = (n2() - n1()) / CKPT_EVERY;
+        let per_ckpt = (with_ckpt.1.saturating_sub(base.1)) as f64 / ckpts_in_window.max(1) as f64;
+
+        println!(
+            "alloc_census: {n} ports, FullFabricChurn(degree=2), slots {} -> {}",
+            n1(),
+            n2()
+        );
+        println!();
+        println!(
+            "{:<6} {:<12} {:<14} {:>14} {:>10}  verdict",
+            "policy", "engine", "fabric", "allocs/slot", "raw"
+        );
+        let mut failures = 0usize;
+        for r in &rows {
+            let ok = r.raw == 0;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<6} {:<12} {:<14} {:>14.3} {:>10}  {}",
+                r.policy,
+                r.engine,
+                r.fabric,
+                r.steady,
+                r.raw,
+                if ok { "ok" } else { "ALLOC" }
+            );
+        }
+        println!();
+        println!(
+            "checkpoint encode (exempt): {per_ckpt:.1} allocs per checkpoint \
+             (cadence {CKPT_EVERY}, window {ckpts_in_window} checkpoints)"
+        );
+
+        if failures > 0 {
+            eprintln!("{failures} steady-state cell(s) allocate; the slot loop is not clean");
+            std::process::exit(1);
+        }
+        println!("census clean: 0 steady-state heap allocations per slot in every cell");
+    }
+}

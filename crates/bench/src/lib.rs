@@ -1,9 +1,18 @@
 //! # cioq-bench
 //!
 //! Criterion benchmarks for the workspace; see `benches/`. This library
-//! crate only hosts shared workload-construction helpers for the benches.
+//! crate hosts shared workload-construction helpers for the benches and,
+//! behind the `alloc-audit` feature, the counting global allocator the
+//! `alloc_census` harness uses to prove the slot loop allocation-free
+//! (see [`audit`]).
 
-#![forbid(unsafe_code)]
+// The audit allocator is the one sanctioned unsafe block in the crate
+// (a `GlobalAlloc` impl forwarding to `System`); without the feature the
+// crate stays entirely safe code.
+#![cfg_attr(not(feature = "alloc-audit"), forbid(unsafe_code))]
+
+#[cfg(feature = "alloc-audit")]
+pub mod audit;
 
 use cioq_model::SwitchConfig;
 use cioq_sim::Trace;

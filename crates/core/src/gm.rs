@@ -4,7 +4,8 @@
 use crate::common::build_unit_graph;
 use crate::incremental::{BuildMode, VoqCache};
 use cioq_matching::{
-    greedy_maximal_cells, greedy_maximal_with, BipartiteGraph, CellVisit, EdgeOrder, GreedyScratch,
+    greedy_maximal_cells_into, greedy_maximal_into, BipartiteGraph, CellVisit, EdgeOrder,
+    GreedyScratch, Matching,
 };
 use cioq_model::{Cycle, Packet, PortId};
 use cioq_sim::{Admission, CioqPolicy, PacketPick, SwitchView, Transfer};
@@ -38,6 +39,9 @@ pub struct GreedyMatching {
     graph: BipartiteGraph,
     cache: VoqCache,
     scratch: GreedyScratch,
+    /// Pooled result buffer: refilled in place every scheduling cycle so
+    /// the steady-state slot loop never allocates a fresh `Matching`.
+    matching: Matching,
     name: String,
 }
 
@@ -59,6 +63,7 @@ impl GreedyMatching {
             graph: BipartiteGraph::default(),
             cache: VoqCache::new(false),
             scratch: GreedyScratch::default(),
+            matching: Matching::new(),
             name,
         }
     }
@@ -89,8 +94,9 @@ impl CioqPolicy for GreedyMatching {
         }
     }
 
+    // detlint: hot
     fn schedule(&mut self, view: &SwitchView<'_>, cycle: Cycle, out: &mut Vec<Transfer>) {
-        let matching = match self.mode {
+        match self.mode {
             BuildMode::Incremental => {
                 self.cache.sync(view);
                 let visit = match self.edge_policy {
@@ -99,12 +105,14 @@ impl CioqPolicy for GreedyMatching {
                         CellVisit::Rotated(cycle.sequence(view.config().speedup) as usize)
                     }
                 };
-                greedy_maximal_cells(
+                let out_full = &self.cache.out_full;
+                greedy_maximal_cells_into(
                     &self.cache.graph,
                     visit,
-                    |_, j, _| !self.cache.out_full[j],
+                    |_, j, _| !out_full[j],
                     &mut self.scratch,
-                )
+                    &mut self.matching,
+                );
             }
             BuildMode::Rescan => {
                 build_unit_graph(view, &mut self.graph);
@@ -114,10 +122,10 @@ impl CioqPolicy for GreedyMatching {
                         EdgeOrder::Rotated(cycle.sequence(view.config().speedup) as usize)
                     }
                 };
-                greedy_maximal_with(&self.graph, order, &mut self.scratch)
+                greedy_maximal_into(&self.graph, order, &mut self.scratch, &mut self.matching);
             }
-        };
-        for (i, j) in matching.pairs {
+        }
+        for &(i, j) in &self.matching.pairs {
             out.push(Transfer {
                 input: PortId::from(i),
                 output: PortId::from(j),

@@ -6,7 +6,8 @@ use crate::common::build_weighted_graph;
 use crate::incremental::{BuildMode, VoqCache};
 use crate::params::PG_BETA;
 use cioq_matching::{
-    greedy_maximal_cells, greedy_maximal_with, BipartiteGraph, CellVisit, EdgeOrder, GreedyScratch,
+    greedy_maximal_cells_into, greedy_maximal_into, BipartiteGraph, CellVisit, EdgeOrder,
+    GreedyScratch, Matching,
 };
 use cioq_model::{exceeds_factor, Cycle, Packet, PortId};
 use cioq_sim::{Admission, CioqPolicy, PacketPick, SwitchView, Transfer};
@@ -29,6 +30,9 @@ pub struct PreemptiveGreedy {
     graph: BipartiteGraph,
     cache: VoqCache,
     scratch: GreedyScratch,
+    /// Pooled result buffer: refilled in place every scheduling cycle so
+    /// the steady-state slot loop never allocates a fresh `Matching`.
+    matching: Matching,
     name: String,
 }
 
@@ -48,6 +52,7 @@ impl PreemptiveGreedy {
             graph: BipartiteGraph::default(),
             cache: VoqCache::new(true),
             scratch: GreedyScratch::default(),
+            matching: Matching::new(),
             name: format!("PG(beta={beta:.3})"),
         }
     }
@@ -63,6 +68,7 @@ impl PreemptiveGreedy {
             graph: BipartiteGraph::default(),
             cache: VoqCache::new(true),
             scratch: GreedyScratch::default(),
+            matching: Matching::new(),
             name: "PG(no-preempt)".to_string(),
         }
     }
@@ -103,8 +109,9 @@ impl CioqPolicy for PreemptiveGreedy {
         }
     }
 
+    // detlint: hot
     fn schedule(&mut self, view: &SwitchView<'_>, _cycle: Cycle, out: &mut Vec<Transfer>) {
-        let matching = match self.mode {
+        match self.mode {
             BuildMode::Incremental => {
                 self.cache.sync(view);
                 // The cached order spans *every* non-empty VOQ; the paper's
@@ -113,21 +120,26 @@ impl CioqPolicy for PreemptiveGreedy {
                 // preserves the relative order of the eligible edges.
                 let beta = self.beta;
                 let order = self.cache.order.as_ref().expect("weighted cache");
-                greedy_maximal_cells(
+                let (out_full, out_tail) = (&self.cache.out_full, &self.cache.out_tail);
+                greedy_maximal_cells_into(
                     &self.cache.graph,
                     CellVisit::Ordered(order),
-                    |_, j, w| {
-                        !self.cache.out_full[j] || exceeds_factor(w, beta, self.cache.out_tail[j])
-                    },
+                    |_, j, w| !out_full[j] || exceeds_factor(w, beta, out_tail[j]),
                     &mut self.scratch,
-                )
+                    &mut self.matching,
+                );
             }
             BuildMode::Rescan => {
                 build_weighted_graph(view, self.beta, &mut self.graph);
-                greedy_maximal_with(&self.graph, EdgeOrder::WeightDescending, &mut self.scratch)
+                greedy_maximal_into(
+                    &self.graph,
+                    EdgeOrder::WeightDescending,
+                    &mut self.scratch,
+                    &mut self.matching,
+                );
             }
-        };
-        for (i, j) in matching.pairs {
+        }
+        for &(i, j) in &self.matching.pairs {
             out.push(Transfer {
                 input: PortId::from(i),
                 output: PortId::from(j),

@@ -213,7 +213,13 @@ impl CioqShardPolicy for ShardedPg {
         // not a bulk copy of the whole order.
         let mut mirrors = std::mem::take(&mut scratch.mirrors);
         if mirrors.len() != k {
-            mirrors = (0..k).map(|_| cioq_sim::OrderMirror::default()).collect();
+            mirrors = (0..k)
+                .map(|s| {
+                    let mut mirror = cioq_sim::OrderMirror::default();
+                    mirror.reserve(ctx.partition.input_range(s).len() * m);
+                    mirror
+                })
+                .collect();
         }
         for (s, set) in ctx.candidates.iter().enumerate() {
             let mirror = &mut mirrors[s];
@@ -230,20 +236,20 @@ impl CioqShardPolicy for ShardedPg {
         }
         scratch.begin(n, m);
         let cap = n.min(m);
-        let mut heads = vec![0usize; k];
-        // Shard-local cells translate to the global key by adding the
-        // shard's base cell (streams stay sorted under the translation).
-        let bases: Vec<u64> = (0..k)
-            .map(|s| ctx.partition.input_range(s).start as u64 * m as u64)
-            .collect();
+        let mut heads = std::mem::take(&mut scratch.heads);
+        heads.clear();
+        heads.resize(k, 0);
         loop {
             // Next candidate across all shard streams in (weight desc,
             // global cell asc) order — each stream is already sorted by
-            // that key, so this is a K-way merge.
+            // that key, so this is a K-way merge. Shard-local cells
+            // translate to the global key by adding the shard's base cell
+            // (streams stay sorted under the translation).
             let mut best: Option<(Value, u64, usize)> = None;
             for (s, mirror) in mirrors.iter().enumerate() {
                 if let Some(&(w, local_cell)) = mirror.entries.get(heads[s]) {
-                    let cell = bases[s] + local_cell as u64;
+                    let base = ctx.partition.input_range(s).start as u64 * m as u64;
+                    let cell = base + local_cell as u64;
                     let better = match best {
                         None => true,
                         Some((bw, bc, _)) => w > bw || (w == bw && cell < bc),
@@ -278,6 +284,7 @@ impl CioqShardPolicy for ShardedPg {
             }
         }
         scratch.mirrors = mirrors;
+        scratch.heads = heads;
     }
 }
 

@@ -65,13 +65,28 @@ pub fn greedy_maximal(g: &BipartiteGraph, order: EdgeOrder) -> Matching {
     greedy_maximal_with(g, order, &mut scratch)
 }
 
-/// Allocation-free variant of [`greedy_maximal`] for per-cycle use.
+/// Scratch-reusing variant of [`greedy_maximal`] for per-cycle use.
 pub fn greedy_maximal_with(
     g: &BipartiteGraph,
     order: EdgeOrder,
     scratch: &mut GreedyScratch,
 ) -> Matching {
+    let mut m = Matching::new();
+    greedy_maximal_into(g, order, scratch, &mut m);
+    m
+}
+
+/// As [`greedy_maximal_with`], but writing into `m` (cleared first) so a
+/// per-cycle caller reuses one pair buffer instead of allocating a fresh
+/// `Matching` per call — the zero-allocation hot path.
+pub fn greedy_maximal_into(
+    g: &BipartiteGraph,
+    order: EdgeOrder,
+    scratch: &mut GreedyScratch,
+    m: &mut Matching,
+) {
     scratch.prepare(g.n_left(), g.n_right(), g.n_edges());
+    m.pairs.clear();
     let edges = g.edges();
     match order {
         EdgeOrder::Insertion => {}
@@ -106,7 +121,6 @@ pub fn greedy_maximal_with(
         }
     }
 
-    let mut m = Matching::new();
     for &id in &scratch.order {
         let e = &edges[id];
         if !scratch.left_used[e.left] && !scratch.right_used[e.right] {
@@ -115,7 +129,6 @@ pub fn greedy_maximal_with(
             m.pairs.push((e.left, e.right));
         }
     }
-    m
 }
 
 /// Greedy maximal matching in descending weight order — PG's scheduling step.

@@ -249,6 +249,15 @@ fn order_before(a: (Value, u32), b: (Value, u32)) -> bool {
 impl CachedWeightOrder {
     /// Rebuild from scratch to match `g` exactly. O(E log E).
     pub fn rebuild(&mut self, g: &IncrementalGraph) {
+        // Reserve every buffer to the cell-count bound once: entries are
+        // unique cells, pending holds at most one refresh per cell, and a
+        // merge result is again unique cells — so no later repair can
+        // outgrow this, however deep the backlog gets.
+        let cells = g.n_left() * g.n_right();
+        self.entries.reserve(cells);
+        self.pending.reserve(cells);
+        self.merged.reserve(cells);
+        self.dirty.reserve(cells);
         self.entries.clear();
         g.for_each_edge(|l, r, w| {
             self.entries.push((w, (l * g.n_right() + r) as u32));
@@ -391,11 +400,26 @@ pub enum CellVisit<'a> {
 pub fn greedy_maximal_cells(
     g: &IncrementalGraph,
     visit: CellVisit<'_>,
-    mut edge_ok: impl FnMut(usize, usize, Value) -> bool,
+    edge_ok: impl FnMut(usize, usize, Value) -> bool,
     scratch: &mut GreedyScratch,
 ) -> Matching {
-    scratch.prepare_used(g.n_left(), g.n_right());
     let mut m = Matching::new();
+    greedy_maximal_cells_into(g, visit, edge_ok, scratch, &mut m);
+    m
+}
+
+/// As [`greedy_maximal_cells`], but writing into `m` (cleared first) so a
+/// per-cycle caller reuses one pair buffer instead of allocating a fresh
+/// `Matching` every scheduling call — the zero-allocation hot path.
+pub fn greedy_maximal_cells_into(
+    g: &IncrementalGraph,
+    visit: CellVisit<'_>,
+    mut edge_ok: impl FnMut(usize, usize, Value) -> bool,
+    scratch: &mut GreedyScratch,
+    m: &mut Matching,
+) {
+    scratch.prepare_used(g.n_left(), g.n_right());
+    m.pairs.clear();
     let cap = g.n_left().min(g.n_right());
     match visit {
         CellVisit::Lex => {
@@ -452,7 +476,6 @@ pub fn greedy_maximal_cells(
             }
         }
     }
-    m
 }
 
 #[cfg(test)]

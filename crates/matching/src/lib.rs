@@ -36,9 +36,12 @@ mod islip;
 pub use edge_coloring::{decompose_into_matchings, edge_color};
 pub use graph::{BipartiteGraph, Edge, EdgeId, Matching};
 pub use greedy::{
-    greedy_maximal, greedy_maximal_weighted, greedy_maximal_with, EdgeOrder, GreedyScratch,
+    greedy_maximal, greedy_maximal_into, greedy_maximal_weighted, greedy_maximal_with, EdgeOrder,
+    GreedyScratch,
 };
 pub use hopcroft_karp::hopcroft_karp;
 pub use hungarian::{hungarian_max_weight, max_weight_value};
-pub use incremental::{greedy_maximal_cells, CachedWeightOrder, CellVisit, IncrementalGraph};
+pub use incremental::{
+    greedy_maximal_cells, greedy_maximal_cells_into, CachedWeightOrder, CellVisit, IncrementalGraph,
+};
 pub use islip::Islip;

@@ -50,6 +50,16 @@ impl InFlight {
         }
     }
 
+    /// Pre-reserve every per-output multiset for `per_output` entries.
+    /// Engines with a delayed or faulted fabric call this once at
+    /// construction with their in-flight bound, so steady-state dispatch
+    /// accounting never grows a vector.
+    pub fn reserve(&mut self, per_output: usize) {
+        for v in &mut self.values {
+            v.reserve(per_output);
+        }
+    }
+
     /// Total packets in flight across all outputs.
     #[inline]
     pub fn total(&self) -> u64 {

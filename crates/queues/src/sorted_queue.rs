@@ -47,7 +47,12 @@ impl Eq for SortedQueue {}
 
 impl SortedQueue {
     /// Create an empty queue with capacity `B ≥ 1`. Does not allocate; the
-    /// first insert reserves the full backing storage.
+    /// first insert reserves the full backing storage in one shot. Keeping
+    /// construction allocation-free matters at scale — a 512-port fabric
+    /// holds N² ≈ 262k virtual output queues, most never touched in a
+    /// short run — and the one reserve per *touched* queue is bounded by
+    /// the geometry, not the slot count, so the allocation census stays
+    /// clean once its warm-up outlasts the first full fabric sweep.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be >= 1");
         SortedQueue {

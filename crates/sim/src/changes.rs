@@ -28,7 +28,10 @@ impl DirtySet {
     fn with_len(n: usize) -> Self {
         DirtySet {
             marked: vec![false; n],
-            list: Vec::new(),
+            // Each index enters `list` at most once between flushes, so
+            // `n` is a hard bound — reserved up front to keep the slot
+            // loop allocation-free.
+            list: Vec::with_capacity(n),
         }
     }
 

@@ -1,7 +1,7 @@
 //! The simulation engine: executes slots phase by phase, validating every
 //! policy decision against the model of §1.3.
 
-use crate::fault::{FaultPlan, FaultRuntime};
+use crate::fault::{FaultKind, FaultPlan, FaultRuntime};
 use crate::policy::{
     Admission, CioqPolicy, CrossbarPolicy, InputTransfer, OutputTransfer, PacketPick, PolicyError,
     Transfer, TransmitChoice,
@@ -140,6 +140,47 @@ pub struct Engine {
     output_used: Vec<bool>,
 }
 
+/// Largest retransmit FIFO any link-down window in `faults` allows on a
+/// single pair (0 without faults): the per-pair burst a release slot can
+/// add on top of regular dispatch traffic.
+fn max_retransmit_cap(faults: Option<&FaultPlan>) -> usize {
+    faults.map_or(0, |p| {
+        p.events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDown { retransmit_cap } => Some(retransmit_cap),
+                FaultKind::LatencySpike { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    })
+}
+
+/// Hard occupancy bound of one calendar bucket. A bucket holds every
+/// landing due at one slot; with heterogeneous pair delays those can be
+/// dispatched from up to `horizon` distinct source slots, each
+/// contributing at most one transfer per output per cycle across
+/// `speedup` cycles — plus, on a faulted run, a worst-case simultaneous
+/// release of every pair's retransmit FIFO into the same landing slot.
+fn per_bucket_bound(config: &SwitchConfig, horizon: SlotId, faults: Option<&FaultPlan>) -> usize {
+    let ports = config.n_inputs.min(config.n_outputs);
+    let cap = max_retransmit_cap(faults);
+    ports * config.speedup.max(1) as usize * horizon.max(1) as usize
+        + config.n_inputs * config.n_outputs * cap
+}
+
+/// Hard bound on packets simultaneously in flight toward one output:
+/// one dispatch per cycle living at most `horizon` slots, plus every
+/// input's retransmit FIFO for that output released at once.
+fn per_output_inflight_bound(
+    config: &SwitchConfig,
+    horizon: SlotId,
+    faults: Option<&FaultPlan>,
+) -> usize {
+    config.speedup.max(1) as usize * horizon.max(1) as usize
+        + config.n_inputs * max_retransmit_cap(faults)
+}
+
 impl Engine {
     /// New engine for one run of `config` under `options`. Panics on
     /// invalid options; use [`Engine::try_new`] to surface the
@@ -163,12 +204,23 @@ impl Engine {
             .clone()
             .map(|p| FaultRuntime::new(p, n_inputs, n_outputs));
         let window = options.stats_window.map(WindowedStats::new);
+        // Per-slot dispatch bound: one transfer per output per cycle,
+        // `speedup` cycles per slot, plus the worst single-slot retransmit
+        // release a fault plan can produce — pre-reserving it keeps the
+        // slot loop from ever growing a calendar bucket or the in-flight
+        // accounting.
+        let per_bucket = per_bucket_bound(&config, horizon, options.faults.as_ref());
+        let per_output = per_output_inflight_bound(&config, horizon, options.faults.as_ref());
+        let mut state = SwitchState::new(config);
+        if horizon >= 1 {
+            state.inflight.reserve(per_output);
+        }
         Ok(Engine {
-            state: SwitchState::new(config),
+            state,
             stats: StatsRecorder::new(n_outputs),
             options,
             spec,
-            calendar: (horizon >= 1).then(|| DelayCalendar::new(horizon)),
+            calendar: (horizon >= 1).then(|| DelayCalendar::with_reserve(horizon, per_bucket)),
             faults,
             window,
             start_slot: 0,
@@ -270,7 +322,15 @@ impl Engine {
         state.slot = snap.slot;
 
         let horizon = options.horizon();
-        let mut calendar = (horizon >= 1).then(|| DelayCalendar::new(horizon));
+        let per_bucket = per_bucket_bound(&snap.config, horizon, options.faults.as_ref());
+        let mut calendar = (horizon >= 1).then(|| DelayCalendar::with_reserve(horizon, per_bucket));
+        if horizon >= 1 {
+            state.inflight.reserve(per_output_inflight_bound(
+                &snap.config,
+                horizon,
+                options.faults.as_ref(),
+            ));
+        }
         for l in &snap.landings {
             if l.input as usize >= n_inputs || l.output as usize >= n_outputs {
                 return Err(SnapshotError::Format(format!(
@@ -697,6 +757,7 @@ impl Engine {
     /// current effective delay (≥ 1), tagged with a cycle counter that
     /// starts past the real scheduling cycles so canonical landing keys
     /// stay unique.
+    // detlint: hot
     fn release_retransmits(&mut self, slot: SlotId) {
         let Some(mut faults) = self.faults.take() else {
             return;
@@ -710,14 +771,17 @@ impl Engine {
                     if faults.pair_held(i, j) == 0 || faults.plan().down_cap(slot, i, j).is_some() {
                         continue;
                     }
-                    for (preempt, packet) in faults.drain_pair(i, j) {
-                        let d = (self.spec.delay(PortId(i), PortId(j))
-                            + faults.plan().extra_delay(slot, i, j))
-                        .max(1);
-                        let cal = self
-                            .calendar
-                            .as_mut()
-                            .expect("link-down faults imply a calendar");
+                    // The delay is per-pair, not per-packet: hoist it so the
+                    // in-place drain below borrows `faults` alone.
+                    let d = (self.spec.delay(PortId(i), PortId(j))
+                        + faults.plan().extra_delay(slot, i, j))
+                    .max(1);
+                    let cal = self
+                        .calendar
+                        .as_mut()
+                        .expect("link-down faults imply a calendar");
+                    let stats = &mut self.stats;
+                    faults.drain_pair_each(i, j, |preempt, packet| {
                         cal.dispatch(
                             slot,
                             cycle,
@@ -729,15 +793,16 @@ impl Engine {
                                 packet,
                             },
                         );
-                        self.stats.on_retransmit();
+                        stats.on_retransmit();
                         cycle += 1;
-                    }
+                    });
                 }
             }
         }
         self.faults = Some(faults);
     }
 
+    // detlint: hot
     fn arrival_phase(
         &mut self,
         mut admit: impl FnMut(&SwitchState, &Packet) -> Admission,
@@ -794,6 +859,7 @@ impl Engine {
     /// non-preempting landing into a full queue is an overflow *drop*
     /// (the reservation the policy scheduled against can be stale once
     /// faults perturb landing times), not a policy error.
+    // detlint: hot
     fn deliver_to_output(
         &mut self,
         input: PortId,
@@ -831,6 +897,7 @@ impl Engine {
     /// the uniform fabric's. A `QueueFull` here is unreachable with
     /// reservation-correct policies (the virtual occupancy they scheduled
     /// against already counted this packet) but stays a loud failure.
+    // detlint: hot
     fn land_due(&mut self, slot: SlotId) -> Result<(), PolicyError> {
         let Some(cal) = &mut self.calendar else {
             return Ok(());
@@ -862,6 +929,7 @@ impl Engine {
     /// slots later. An active fault plan intercepts here: a link-down pair
     /// holds the packet in its bounded retransmit FIFO (overflow = drop),
     /// and latency spikes stretch the pair's effective delay.
+    // detlint: hot
     fn through_fabric(
         &mut self,
         input: PortId,
@@ -910,6 +978,7 @@ impl Engine {
         self.deliver_to_output(input, output, preempt_if_full, packet)
     }
 
+    // detlint: hot
     fn apply_cioq_transfers(
         &mut self,
         transfers: &[Transfer],
@@ -937,6 +1006,7 @@ impl Engine {
         Ok(())
     }
 
+    // detlint: hot
     fn apply_input_subphase(&mut self, transfers: &[InputTransfer]) -> Result<(), PolicyError> {
         self.begin_matching_check();
         for t in transfers {
@@ -986,6 +1056,7 @@ impl Engine {
         Ok(())
     }
 
+    // detlint: hot
     fn apply_output_subphase(
         &mut self,
         transfers: &[OutputTransfer],
@@ -1018,6 +1089,7 @@ impl Engine {
         Ok(())
     }
 
+    // detlint: hot
     fn apply_transmit(
         &mut self,
         output: PortId,

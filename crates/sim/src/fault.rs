@@ -259,9 +259,29 @@ pub(crate) struct FaultRuntime {
 
 impl FaultRuntime {
     pub(crate) fn new(plan: FaultPlan, n_inputs: usize, n_outputs: usize) -> Self {
+        // Pre-reserve each pair's FIFO to the largest retransmit cap any
+        // link-down window can impose on it: `hold` never exceeds the
+        // active cap, so with this one-time reservation the slot loop
+        // never grows a hold FIFO mid-run — first-touch included.
+        let held = (0..n_inputs * n_outputs)
+            .map(|cell| {
+                let (i, j) = ((cell / n_outputs) as u16, (cell % n_outputs) as u16);
+                let cap = plan
+                    .events()
+                    .iter()
+                    .filter(|e| e.scope.matches(i, j))
+                    .filter_map(|e| match e.kind {
+                        FaultKind::LinkDown { retransmit_cap } => Some(retransmit_cap),
+                        FaultKind::LatencySpike { .. } => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                Vec::with_capacity(cap)
+            })
+            .collect();
         FaultRuntime {
             plan,
-            held: vec![Vec::new(); n_inputs * n_outputs],
+            held,
             total: 0,
             n_outputs,
         }
@@ -296,12 +316,24 @@ impl FaultRuntime {
         self.total += 1;
     }
 
-    /// Take the whole retransmit FIFO of a pair whose window closed, in
-    /// hold order.
-    pub(crate) fn drain_pair(&mut self, i: u16, j: u16) -> Vec<(bool, Packet)> {
+    /// Drain the retransmit FIFO of a pair whose window closed, in hold
+    /// order, visiting each packet in place. The FIFO keeps its capacity,
+    /// so steady-state churn (hold → window closes → drain) never
+    /// re-allocates the cell.
+    pub(crate) fn drain_pair_each(&mut self, i: u16, j: u16, mut f: impl FnMut(bool, Packet)) {
         let cell = self.cell(i, j);
-        let drained = std::mem::take(&mut self.held[cell]);
-        self.total -= drained.len() as u64;
+        self.total -= self.held[cell].len() as u64;
+        for (preempt, packet) in self.held[cell].drain(..) {
+            f(preempt, packet);
+        }
+    }
+
+    /// Take the whole retransmit FIFO of a pair as a fresh vector (test
+    /// convenience; the engine uses [`Self::drain_pair_each`]).
+    #[cfg(test)]
+    pub(crate) fn drain_pair(&mut self, i: u16, j: u16) -> Vec<(bool, Packet)> {
+        let mut drained = Vec::new();
+        self.drain_pair_each(i, j, |preempt, packet| drained.push((preempt, packet)));
         drained
     }
 

@@ -321,7 +321,10 @@ impl<'a> ShardView<'a> {
 pub struct FabricView<'a> {
     cfg: &'a SwitchConfig,
     partition: &'a Partition,
-    shards: Vec<&'a ShardState>,
+    /// Borrowed read guards, one per shard in shard order — a slice into
+    /// the worker's pooled guard buffer, so building a view per cycle
+    /// costs no allocation.
+    shards: &'a [RwLockReadGuard<'a, ShardState>],
     slot: SlotId,
 }
 
@@ -377,7 +380,7 @@ impl<'a> FabricView<'a> {
     /// Output queue `Q_j` (any column).
     #[inline]
     pub fn output_queue(&self, output: usize) -> &'a SortedQueue {
-        let shard = self.shards[self.partition.output_owner(output)];
+        let shard: &'a ShardState = &self.shards[self.partition.output_owner(output)];
         &shard.outputs[output - shard.out_lo]
     }
 
@@ -485,6 +488,16 @@ pub struct OrderMirror {
 }
 
 impl OrderMirror {
+    /// Pre-reserve for a shard whose order covers at most `cells` VOQ
+    /// cells: entries are unique cells, a merge result is again unique
+    /// cells, and `marked` indexes by cell — so a mirror reserved here
+    /// never grows during the run, however deep the backlog gets.
+    pub fn reserve(&mut self, cells: usize) {
+        self.entries.reserve(cells);
+        self.merged.reserve(cells);
+        self.marked.reserve(cells);
+    }
+
     /// Replace the mirror with a full publish.
     pub fn reset_from(&mut self, full: &[(Value, u32)]) {
         self.entries.clear();
@@ -542,6 +555,9 @@ pub struct MergeScratch {
     /// Per-shard mirrored publish streams for delta-publishing policies
     /// (PG) — empty until the policy's merge first uses them.
     pub mirrors: Vec<OrderMirror>,
+    /// Pooled per-shard stream cursors for K-way merges, so a merge never
+    /// allocates a fresh cursor vector per cycle.
+    pub heads: Vec<usize>,
 }
 
 impl MergeScratch {
@@ -605,7 +621,7 @@ pub struct MergeContext<'a> {
     /// The cycle being scheduled.
     pub cycle: Cycle,
     /// Per-shard proposal payloads, in shard order.
-    pub candidates: &'a [&'a CandidateSet],
+    pub candidates: &'a [CandidateSet],
 }
 
 /// A CIOQ policy that can run sharded: a factory for per-shard workers plus
@@ -842,13 +858,29 @@ struct Comms {
 }
 
 impl Comms {
-    fn new(k: usize, record: bool, spec: FabricSpec, partition: &Partition) -> Self {
-        fn vecs<T>(k: usize) -> Vec<Mutex<Vec<T>>> {
-            (0..k).map(|_| Mutex::new(Vec::new())).collect()
+    fn new(
+        k: usize,
+        record: bool,
+        spec: FabricSpec,
+        partition: &Partition,
+        cfg: &SwitchConfig,
+    ) -> Self {
+        // Every channel is reserved at its hard per-cycle bound up front,
+        // so the steady-state slot loop never grows a comms vector: each
+        // owned input pops at most once per cycle, so a (dest, src)
+        // mailbox / ring-bucket / mark batch sees at most `rows(src)`
+        // entries per cycle (`rows(src) * speedup` per slot for cells
+        // that accumulate across a whole slot).
+        fn vecs<T>(k: usize, cap_of: impl Fn(usize) -> usize) -> Vec<Mutex<Vec<T>>> {
+            (0..k)
+                .map(|s| Mutex::new(Vec::with_capacity(cap_of(s))))
+                .collect()
         }
-        fn cells<T>(k: usize) -> Vec<Vec<Mutex<Vec<T>>>> {
-            (0..k).map(|_| vecs(k)).collect()
+        fn cells<T>(k: usize, cap_of: impl Fn(usize) -> usize + Copy) -> Vec<Vec<Mutex<Vec<T>>>> {
+            (0..k).map(|_| vecs(k, cap_of)).collect()
         }
+        let speedup = cfg.speedup.max(1) as usize;
+        let rows = |s: usize| partition.input_range(s).len();
         let horizon = spec.max_delay();
         let has_zero = spec.has_zero_pair();
         // Heterogeneous ring depths: ring (dest, src) only needs buckets
@@ -873,7 +905,14 @@ impl Comms {
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|&depth| Mutex::new((0..depth).map(|_| Vec::new()).collect()))
+                    .enumerate()
+                    .map(|(src, &depth)| {
+                        Mutex::new(
+                            (0..depth)
+                                .map(|_| Vec::with_capacity(rows(src) * speedup))
+                                .collect(),
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -881,16 +920,23 @@ impl Comms {
             candidates: (0..k)
                 .map(|_| Mutex::new(CandidateSet::default()))
                 .collect(),
-            assignments: vecs(k),
-            in_assignments: vecs(k),
-            out_assignments: vecs(k),
-            mail: cells(k),
+            assignments: vecs(k, rows),
+            in_assignments: vecs(k, rows),
+            // An out-assignment cell holds a worker's own output proposals
+            // (≤ its columns) and then, after the coordinator redistributes
+            // them by *row* owner, up to one proposal per global output —
+            // all of which can land on a single owner.
+            out_assignments: vecs(k, |s| rows(s).max(cfg.n_outputs)),
+            mail: cells(k, rows),
             rings,
             ring_depth,
             spec,
             horizon,
             has_zero,
-            xbar_marks: cells(k),
+            // Marks accumulate for up to a whole slot before the column
+            // owner drains them (one mark per crosspoint pop, in-side and
+            // out-side per cycle).
+            xbar_marks: cells(k, |s| 2 * rows(s) * speedup),
             snapshot: RwLock::new(OutputSnapshot::default()),
             slot: AtomicU64::new(0),
             cycle: AtomicU32::new(0),
@@ -958,13 +1004,16 @@ impl Fabric<'_> {
         FabricView {
             cfg: self.cfg,
             partition: &self.partition,
-            shards: guards.iter().map(|g| &**g).collect(),
+            shards: guards,
             slot: self.comms.slot.load(Ordering::Relaxed),
         }
     }
 
-    fn read_all(&self) -> Vec<RwLockReadGuard<'_, ShardState>> {
-        self.shards.iter().map(read_shard).collect()
+    /// Read-lock every shard into `out` (cleared first) — pooled variant
+    /// of a collect, so the per-cycle global view reuses one buffer.
+    fn read_all_into<'g>(&'g self, out: &mut Vec<RwLockReadGuard<'g, ShardState>>) {
+        out.clear();
+        out.extend(self.shards.iter().map(read_shard));
     }
 
     /// (transmitted, moved) sums for the progress check.
@@ -1255,6 +1304,7 @@ fn deliver(st: &mut ShardState, fabric: &Fabric<'_>, r: Routed) -> bool {
 
 /// Drain this shard's mailbox cells into its output queues (≤ 1 insert per
 /// queue per cycle, so drain order is immaterial).
+// detlint: hot
 fn apply_insert_phase(s: usize, fabric: &Fabric<'_>) {
     let mut st = write_shard(&fabric.shards[s]);
     for src in &fabric.comms.mail[s] {
@@ -1274,6 +1324,7 @@ fn apply_insert_phase(s: usize, fabric: &Fabric<'_>) {
 /// engine applies — and deliver into the owned output queues. The
 /// canonical order is partition-independent: it mentions only global
 /// ports and dispatch times, never shard or rack boundaries.
+// detlint: hot
 fn land_phase(s: usize, fabric: &Fabric<'_>, gather: &mut Vec<Delayed>) {
     debug_assert!(
         fabric.comms.horizon >= 1,
@@ -1324,11 +1375,13 @@ struct WorkerCtx<W> {
 }
 
 impl<W> WorkerCtx<W> {
-    fn new(worker: W, k: usize) -> Self {
+    fn new(worker: W, k: usize, mark_cap: usize) -> Self {
         WorkerCtx {
             worker,
             arrival_cursor: 0,
-            marks: (0..k).map(|_| Vec::new()).collect(),
+            // Sized like the comms mark cells they swap buffers with, so
+            // the circulating pool never grows mid-run.
+            marks: (0..k).map(|_| Vec::with_capacity(mark_cap)).collect(),
             inbound_scratch: Vec::new(),
             land_scratch: Vec::new(),
         }
@@ -1350,12 +1403,40 @@ impl<W> WorkerCtx<W> {
     }
 }
 
+/// Pooled per-worker guard buffers: the apply and propose phases lock a
+/// row of mailbox / ring / shard locks each cycle, and collecting the
+/// guards into a fresh `Vec` every time was steady-state allocation.
+/// Guards never cross a barrier (every phase clears the buffers before
+/// returning), so only the capacity persists. One scratch lives per
+/// worker thread — created inside the thread because lock guards make
+/// the type `!Send`.
+struct PhaseScratch<'f> {
+    /// Read guards over every shard (global-view propose phases).
+    read_guards: Vec<RwLockReadGuard<'f, ShardState>>,
+    /// Per-destination mailbox guards (apply-pop phases).
+    mail_boxes: Vec<Option<MutexGuard<'f, Vec<Routed>>>>,
+    /// Per-destination delay-ring guards (apply-pop phases).
+    ring_boxes: Vec<MutexGuard<'f, Vec<Vec<Delayed>>>>,
+}
+
+impl PhaseScratch<'_> {
+    fn new() -> Self {
+        PhaseScratch {
+            read_guards: Vec::new(),
+            mail_boxes: Vec::new(),
+            ring_boxes: Vec::new(),
+        }
+    }
+}
+
 /// CIOQ worker phase dispatcher.
-fn cioq_phase(
+// detlint: hot
+fn cioq_phase<'f>(
     ph: u8,
     s: usize,
     ctx: &mut WorkerCtx<Box<dyn CioqShardWorker>>,
-    fabric: &Fabric<'_>,
+    fabric: &'f Fabric<'_>,
+    scr: &mut PhaseScratch<'f>,
 ) {
     if fabric.comms.failed.load(Ordering::Acquire) {
         return;
@@ -1393,22 +1474,16 @@ fn cioq_phase(
                 // Each (dest, src) mailbox / ring cell has exactly one
                 // writer per phase (this worker), so holding the locks for
                 // the whole pop loop is contention-free and saves a copy
-                // per packet.
-                let mut boxes: Vec<Option<MutexGuard<'_, Vec<Routed>>>> = fabric
-                    .comms
-                    .mail
-                    .iter()
-                    .enumerate()
-                    .map(|(dest, cells)| {
+                // per packet. The guards land in the pooled scratch
+                // buffers (cleared below, before the barrier).
+                scr.mail_boxes
+                    .extend(fabric.comms.mail.iter().enumerate().map(|(dest, cells)| {
                         (fabric.comms.has_zero && dest != s).then(|| lock(&cells[s]))
-                    })
-                    .collect();
-                let mut ring_boxes: Vec<MutexGuard<'_, Vec<Vec<Delayed>>>> = fabric
-                    .comms
-                    .rings
-                    .iter()
-                    .map(|cells| lock(&cells[s]))
-                    .collect();
+                    }));
+                scr.ring_boxes
+                    .extend(fabric.comms.rings.iter().map(|cells| lock(&cells[s])));
+                let boxes = &mut scr.mail_boxes;
+                let ring_boxes = &mut scr.ring_boxes;
                 let mut st = write_shard(&fabric.shards[s]);
                 // The proposal consumed the change log; everything from here
                 // on accumulates for the next proposal (sequential flush
@@ -1463,6 +1538,8 @@ fn cioq_phase(
                     }
                 }
             }
+            scr.mail_boxes.clear();
+            scr.ring_boxes.clear();
             *lock(&fabric.comms.assignments[s]) = asg;
         }
         PH_APPLY_INSERT => apply_insert_phase(s, fabric),
@@ -1473,11 +1550,13 @@ fn cioq_phase(
 }
 
 /// Buffered-crossbar worker phase dispatcher.
-fn xbar_phase(
+// detlint: hot
+fn xbar_phase<'f>(
     ph: u8,
     s: usize,
     ctx: &mut WorkerCtx<Box<dyn CrossbarShardWorker>>,
-    fabric: &Fabric<'_>,
+    fabric: &'f Fabric<'_>,
+    scr: &mut PhaseScratch<'f>,
 ) {
     if fabric.comms.failed.load(Ordering::Acquire) {
         return;
@@ -1563,8 +1642,8 @@ fn xbar_phase(
                 inbound.append(&mut lock(src));
             }
             {
-                let guards = fabric.read_all();
-                let view = fabric.view_of(&guards);
+                fabric.read_all_into(&mut scr.read_guards);
+                let view = fabric.view_of(&scr.read_guards);
                 let snap = fabric
                     .comms
                     .snapshot
@@ -1582,6 +1661,7 @@ fn xbar_phase(
                 );
                 *lock(&fabric.comms.out_assignments[s]) = proposals;
             }
+            scr.read_guards.clear();
             ctx.inbound_scratch = inbound;
         }
         PH_APPLY_OUT_POP => {
@@ -1589,21 +1669,14 @@ fn xbar_phase(
             let cycle = fabric.comms.cycle.load(Ordering::Relaxed);
             let mut asg = std::mem::take(&mut *lock(&fabric.comms.out_assignments[s]));
             {
-                let mut boxes: Vec<Option<MutexGuard<'_, Vec<Routed>>>> = fabric
-                    .comms
-                    .mail
-                    .iter()
-                    .enumerate()
-                    .map(|(dest, cells)| {
+                scr.mail_boxes
+                    .extend(fabric.comms.mail.iter().enumerate().map(|(dest, cells)| {
                         (fabric.comms.has_zero && dest != s).then(|| lock(&cells[s]))
-                    })
-                    .collect();
-                let mut ring_boxes: Vec<MutexGuard<'_, Vec<Vec<Delayed>>>> = fabric
-                    .comms
-                    .rings
-                    .iter()
-                    .map(|cells| lock(&cells[s]))
-                    .collect();
+                    }));
+                scr.ring_boxes
+                    .extend(fabric.comms.rings.iter().map(|cells| lock(&cells[s])));
+                let boxes = &mut scr.mail_boxes;
+                let ring_boxes = &mut scr.ring_boxes;
                 let mut st = write_shard(&fabric.shards[s]);
                 for t in asg.drain(..) {
                     let st = &mut *st;
@@ -1654,6 +1727,8 @@ fn xbar_phase(
                     ctx.marks[dest].push((i * m + j) as u32);
                 }
             }
+            scr.mail_boxes.clear();
+            scr.ring_boxes.clear();
             ctx.flush_marks(s, fabric);
             *lock(&fabric.comms.out_assignments[s]) = asg;
         }
@@ -1668,11 +1743,12 @@ fn xbar_phase(
 // Driver: inline or barrier-phased threads
 // ---------------------------------------------------------------------------
 
-fn drive<W: Send>(
+fn drive<W: Send, S>(
     use_threads: bool,
     comms: &Comms,
     mut workers: Vec<W>,
-    worker_phase: impl Fn(u8, usize, &mut W) + Sync,
+    mk_scratch: impl Fn() -> S + Sync,
+    worker_phase: impl Fn(u8, usize, &mut W, &mut S) + Sync,
     coordinate: impl FnOnce(&mut dyn FnMut(u8) -> Result<(), PolicyError>) -> Result<(), PolicyError>,
 ) -> Result<(), PolicyError> {
     let check = |comms: &Comms| -> Result<(), PolicyError> {
@@ -1688,9 +1764,12 @@ fn drive<W: Send>(
     };
 
     if !use_threads {
+        // One scratch serves every worker: phases run sequentially and
+        // each clears the guard buffers before returning.
+        let mut scratch = mk_scratch();
         let mut do_phase = |ph: u8| -> Result<(), PolicyError> {
             for (s, w) in workers.iter_mut().enumerate() {
-                worker_phase(ph, s, w);
+                worker_phase(ph, s, w, &mut scratch);
             }
             check(comms)
         };
@@ -1708,29 +1787,35 @@ fn drive<W: Send>(
             let phase = &phase;
             let barrier = &barrier;
             let worker_phase = &worker_phase;
+            let mk_scratch = &mk_scratch;
             let comms: &Comms = comms;
-            scope.spawn(move || loop {
-                barrier.wait();
-                let ph = phase.load(Ordering::Acquire);
-                if ph == PH_EXIT {
-                    break;
-                }
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker_phase(ph, s, &mut worker)
-                }));
-                if let Err(payload) = result {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "worker panicked".to_string());
-                    let mut slot = lock(&comms.panic);
-                    if slot.is_none() {
-                        *slot = Some(msg);
+            scope.spawn(move || {
+                // Built inside the thread: the scratch holds lock guards
+                // between phase entry and exit, so its type is `!Send`.
+                let mut scratch = mk_scratch();
+                loop {
+                    barrier.wait();
+                    let ph = phase.load(Ordering::Acquire);
+                    if ph == PH_EXIT {
+                        break;
                     }
-                    comms.failed.store(true, Ordering::Release);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_phase(ph, s, &mut worker, &mut scratch)
+                    }));
+                    if let Err(payload) = result {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "worker panicked".to_string());
+                        let mut slot = lock(&comms.panic);
+                        if slot.is_none() {
+                            *slot = Some(msg);
+                        }
+                        comms.failed.store(true, Ordering::Release);
+                    }
+                    barrier.wait();
                 }
-                barrier.wait();
             });
         }
 
@@ -1805,8 +1890,12 @@ fn prebucket_arrivals(
     trace: &Trace,
     arrival_slots: SlotId,
 ) -> Result<Vec<Vec<(u64, Packet)>>, PolicyError> {
-    let mut buckets: Vec<Vec<(u64, Packet)>> = (0..partition.k()).map(|_| Vec::new()).collect();
-    for (idx, p) in trace.packets().iter().enumerate() {
+    // Validate and count in a first pass so each bucket is allocated
+    // exactly once at its final size: bucketing cost is then a fixed
+    // `k` allocations however long the trace is, instead of a doubling
+    // series proportional to it.
+    let mut counts = vec![0usize; partition.k()];
+    for p in trace.packets() {
         if p.arrival >= arrival_slots {
             break;
         }
@@ -1821,6 +1910,14 @@ fn prebucket_arrivals(
                 side: "output",
                 port: p.output.index(),
             });
+        }
+        counts[partition.input_owner(p.input.index())] += 1;
+    }
+    let mut buckets: Vec<Vec<(u64, Packet)>> =
+        counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (idx, p) in trace.packets().iter().enumerate() {
+        if p.arrival >= arrival_slots {
+            break;
         }
         buckets[partition.input_owner(p.input.index())].push((idx as u64, *p));
     }
@@ -2268,7 +2365,7 @@ fn run_cioq_sharded_feed(
     let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
     let k = partition.k();
     let (fixed_slots, arrivals, streamed) = feed.plumbing(cfg, &partition, &options)?;
-    let comms = Comms::new(k, options.record, options.fabric.clone(), &partition);
+    let comms = Comms::new(k, options.record, options.fabric.clone(), &partition, cfg);
     let fabric = Fabric {
         cfg,
         shards: (0..k)
@@ -2281,7 +2378,10 @@ fn run_cioq_sharded_feed(
         comms,
     };
     let mut workers: Vec<WorkerCtx<Box<dyn CioqShardWorker>>> = (0..k)
-        .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
+        .map(|s| {
+            let mark_cap = 2 * fabric.partition.input_range(s).len() * cfg.speedup.max(1) as usize;
+            WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k, mark_cap)
+        })
         .collect();
     let (start_slot, start_idle) = options
         .resume_from
@@ -2303,7 +2403,8 @@ fn run_cioq_sharded_feed(
         options.use_threads(),
         &fabric.comms,
         workers,
-        |ph, s, w| cioq_phase(ph, s, w, &fabric),
+        PhaseScratch::new,
+        |ph, s, w, scr| cioq_phase(ph, s, w, &fabric, scr),
         |do_phase| {
             let mut slot: SlotId = start_slot;
             let mut idle_slots = start_idle;
@@ -2311,6 +2412,12 @@ fn run_cioq_sharded_feed(
             let mut merge_scratch = MergeScratch::default();
             let mut validate_scratch = MergeScratch::default();
             let mut stage_scratch: Vec<Packet> = Vec::new();
+            // Coordinator-side mirror of the per-shard proposal payloads:
+            // swapped with the mutex contents around each merge (and
+            // swapped back after), so reading every shard's candidates
+            // costs two lock rounds and zero allocation per cycle.
+            let mut coord_sets: Vec<CandidateSet> =
+                (0..k).map(|_| CandidateSet::default()).collect();
             loop {
                 let in_arrival_window = feed.in_arrival_window(fixed_slots, slot);
                 if !in_arrival_window {
@@ -2349,9 +2456,15 @@ fn run_cioq_sharded_feed(
                     // Deterministic merge (coordinator only, state frozen).
                     transfers.clear();
                     {
-                        let cand_guards: Vec<_> =
-                            fabric.comms.candidates.iter().map(|m| lock(m)).collect();
-                        let sets: Vec<&CandidateSet> = cand_guards.iter().map(|g| &**g).collect();
+                        // Swap each shard's payload out of its mutex, merge
+                        // over the owned mirror, then swap back — the
+                        // workers are parked at the barrier, so the mutex
+                        // contents are unobserved in between and end up
+                        // exactly as published (the delta-publish handshake
+                        // sees nothing).
+                        for (cs, m) in coord_sets.iter_mut().zip(&fabric.comms.candidates) {
+                            std::mem::swap(cs, &mut *lock(m));
+                        }
                         let snap = fabric
                             .comms
                             .snapshot
@@ -2362,9 +2475,12 @@ fn run_cioq_sharded_feed(
                             partition: &fabric.partition,
                             outputs: &snap,
                             cycle: Cycle { slot, index: s },
-                            candidates: &sets,
+                            candidates: &coord_sets,
                         };
                         policy.merge(&ctx, &mut merge_scratch, &mut transfers);
+                        for (cs, m) in coord_sets.iter_mut().zip(&fabric.comms.candidates) {
+                            std::mem::swap(cs, &mut *lock(m));
+                        }
                     }
                     validate_transfers(
                         transfers.iter().map(|t| (t.input, t.output)),
@@ -2376,12 +2492,11 @@ fn run_cioq_sharded_feed(
                     if options.record {
                         recorded.push(transfers.iter().map(|t| (t.input.0, t.output.0)).collect());
                     }
-                    {
-                        let mut asg_guards: Vec<_> =
-                            fabric.comms.assignments.iter().map(|m| lock(m)).collect();
-                        for t in &transfers {
-                            asg_guards[fabric.partition.input_owner(t.input.index())].push(*t);
-                        }
+                    // One short lock per transfer (uncontended: workers are
+                    // parked), preserving per-owner push order.
+                    for t in &transfers {
+                        let owner = fabric.partition.input_owner(t.input.index());
+                        lock(&fabric.comms.assignments[owner]).push(*t);
                     }
 
                     do_phase(PH_APPLY_POP)?;
@@ -2467,7 +2582,7 @@ fn run_crossbar_sharded_feed(
     let partition = Partition::new(options.shards, cfg.n_inputs, cfg.n_outputs);
     let k = partition.k();
     let (fixed_slots, arrivals, streamed) = feed.plumbing(cfg, &partition, &options)?;
-    let comms = Comms::new(k, options.record, options.fabric.clone(), &partition);
+    let comms = Comms::new(k, options.record, options.fabric.clone(), &partition, cfg);
     let fabric = Fabric {
         cfg,
         shards: (0..k)
@@ -2480,7 +2595,10 @@ fn run_crossbar_sharded_feed(
         comms,
     };
     let mut workers: Vec<WorkerCtx<Box<dyn CrossbarShardWorker>>> = (0..k)
-        .map(|s| WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k))
+        .map(|s| {
+            let mark_cap = 2 * fabric.partition.input_range(s).len() * cfg.speedup.max(1) as usize;
+            WorkerCtx::new(policy.new_worker(s, &fabric.partition, cfg), k, mark_cap)
+        })
         .collect();
     let (start_slot, start_idle) = options
         .resume_from
@@ -2503,12 +2621,17 @@ fn run_crossbar_sharded_feed(
         options.use_threads(),
         &fabric.comms,
         workers,
-        |ph, s, w| xbar_phase(ph, s, w, &fabric),
+        PhaseScratch::new,
+        |ph, s, w, scr| xbar_phase(ph, s, w, &fabric, scr),
         |do_phase| {
             let mut slot: SlotId = start_slot;
             let mut idle_slots = start_idle;
             let mut validate_scratch = MergeScratch::default();
             let mut stage_scratch: Vec<Packet> = Vec::new();
+            // Pooled coordinator buffers (guards cleared each cycle, only
+            // capacity persists across the loop).
+            let mut in_guards: Vec<MutexGuard<'_, Vec<InputTransfer>>> = Vec::new();
+            let mut proposals: Vec<OutputTransfer> = Vec::new();
             loop {
                 let in_arrival_window = feed.in_arrival_window(fixed_slots, slot);
                 if !in_arrival_window {
@@ -2543,29 +2666,26 @@ fn run_crossbar_sharded_feed(
                     // Concatenated in shard order = ascending input port
                     // order; validate the ≤ 1-per-input-port property.
                     {
-                        let guards: Vec<_> = fabric
-                            .comms
-                            .in_assignments
-                            .iter()
-                            .map(|m| lock(m))
-                            .collect();
-                        validate_transfers(
-                            guards
+                        in_guards.extend(fabric.comms.in_assignments.iter().map(|m| lock(m)));
+                        let valid = validate_transfers(
+                            in_guards
                                 .iter()
                                 .flat_map(|g| g.iter().map(|t| (t.input, t.output))),
                             cfg,
                             &mut validate_scratch,
                             true,
                             false,
-                        )?;
-                        if options.record {
+                        );
+                        if options.record && valid.is_ok() {
                             rec_in.push(
-                                guards
+                                in_guards
                                     .iter()
                                     .flat_map(|g| g.iter().map(|t| (t.input.0, t.output.0)))
                                     .collect(),
                             );
                         }
+                        in_guards.clear();
+                        valid?;
                     }
                     do_phase(PH_APPLY_IN)?;
 
@@ -2578,7 +2698,7 @@ fn run_crossbar_sharded_feed(
                     // Output proposals go to the *row* owners for the pop
                     // step; validate ≤ 1 per output port first.
                     {
-                        let mut proposals: Vec<OutputTransfer> = Vec::new();
+                        proposals.clear();
                         for mbox in &fabric.comms.out_assignments {
                             proposals.extend(lock(mbox).drain(..));
                         }
@@ -2593,7 +2713,7 @@ fn run_crossbar_sharded_feed(
                             rec_out
                                 .push(proposals.iter().map(|t| (t.input.0, t.output.0)).collect());
                         }
-                        for t in proposals {
+                        for t in proposals.drain(..) {
                             let owner = fabric.partition.input_owner(t.input.index());
                             lock(&fabric.comms.out_assignments[owner]).push(t);
                         }

@@ -4,7 +4,11 @@
 //! seam. A producer thread pushes one batch of packets per slot through a
 //! [`StreamSender`]; the engine pulls them through a [`StreamingSource`]
 //! (an [`ArrivalSource`] with no horizon). Nothing materialises the full
-//! trace: memory is bounded by the channel depth.
+//! trace: memory is bounded by the channel depth. Drained batch buffers
+//! flow back to the producer through a bounded recycle ring
+//! ([`StreamSender::send_reusing`]), so steady-state streaming neither
+//! allocates nor frees — `depth + 1` buffers circulate for the life of
+//! the channel.
 //!
 //! ## Backpressure contract
 //!
@@ -93,6 +97,11 @@ struct ChannelState {
     /// Times a send found the buffer full and had to block. Diagnostic
     /// only — never serialized, never part of a report.
     stalls: u64,
+    /// Emptied batch buffers returned by the consumer for the producer to
+    /// refill ([`StreamSender::send_reusing`]): at most `depth + 1`
+    /// buffers circulate, so a steady-state producer/consumer pair stops
+    /// allocating once every buffer has grown to its high-water capacity.
+    recycled: Vec<Vec<Packet>>,
 }
 
 struct Channel {
@@ -130,14 +139,29 @@ impl StreamSender {
     /// Panics if `slot` is below the producer cursor or a packet's
     /// arrival disagrees with `slot` — both are producer bugs that would
     /// desynchronise the stream from the slot clock.
-    pub fn send(&self, slot: SlotId, packets: Vec<Packet>) -> Result<(), StreamClosed> {
+    pub fn send(&self, slot: SlotId, mut packets: Vec<Packet>) -> Result<(), StreamClosed> {
+        self.send_reusing(slot, &mut packets)
+    }
+
+    /// Like [`send`](Self::send), but the batch buffer stays with the
+    /// caller: its contents move into the channel and it comes back empty
+    /// — swapped, when one is available, for a buffer the consumer
+    /// already drained (capacity included). A producer that refills the
+    /// same buffer every slot therefore stops allocating once the ring's
+    /// `depth + 1` buffers have grown to the largest batch seen: the
+    /// steady-state streaming hot path is allocation-free.
+    pub fn send_reusing(
+        &self,
+        slot: SlotId,
+        packets: &mut Vec<Packet>,
+    ) -> Result<(), StreamClosed> {
         let mut st = self.chan.lock();
         assert!(
             slot >= st.next_push,
             "invariant violated: stream producer pushed slot {slot} after slot {}",
             st.next_push
         );
-        for p in &packets {
+        for p in packets.iter() {
             assert!(
                 p.arrival == slot,
                 "invariant violated: packet {} arrives at slot {} but was pushed in slot {slot}",
@@ -159,7 +183,9 @@ impl StreamSender {
         }
         st.next_push = slot + 1;
         if !packets.is_empty() {
-            st.batches.push_back((slot, packets));
+            let replacement = st.recycled.pop().unwrap_or_default();
+            st.batches
+                .push_back((slot, std::mem::replace(packets, replacement)));
             self.chan.data.notify_all();
         }
         Ok(())
@@ -215,11 +241,17 @@ impl StreamingSource {
                         s == slot,
                         "invariant violated: batch for slot {s} stranded below the cursor"
                     );
-                    let (_, packets) = st.batches.pop_front().expect("front just matched");
+                    let (_, mut packets) = st.batches.pop_front().expect("front just matched");
                     self.chan.space.notify_all();
-                    drop(st);
                     self.consumed += packets.len() as u64;
-                    out.extend(packets);
+                    out.append(&mut packets);
+                    // Hand the emptied buffer back for `send_reusing`;
+                    // the ring is bounded so a plain `send` producer
+                    // cannot make it grow without limit.
+                    if st.recycled.len() <= self.chan.depth {
+                        st.recycled.push(packets);
+                    }
+                    drop(st);
                     break;
                 }
                 // The next buffered batch is for a later slot: this slot
@@ -311,6 +343,7 @@ pub fn channel_at(depth: usize, cursor: StreamCursor) -> (StreamSender, Streamin
             closed: false,
             receiver_gone: false,
             stalls: 0,
+            recycled: Vec::with_capacity(depth + 1),
         }),
         space: Condvar::new(),
         data: Condvar::new(),
@@ -381,14 +414,14 @@ pub fn stream_trace_from(
     let (tx, src) = channel_at(depth, cursor);
     let pump = spawn_producer(tx, move |tx| {
         let mut i = 0;
+        let mut batch: Vec<Packet> = Vec::new();
         while i < tail.len() {
             let slot = tail[i].arrival;
-            let mut batch = Vec::new();
             while i < tail.len() && tail[i].arrival == slot {
                 batch.push(tail[i]);
                 i += 1;
             }
-            if tx.send(slot, batch).is_err() {
+            if tx.send_reusing(slot, &mut batch).is_err() {
                 return;
             }
         }
@@ -443,16 +476,17 @@ where
             cursor.slot,
             cursor.consumed
         );
+        let mut batch: Vec<Packet> = Vec::new();
         while let Some(first) = pending {
             let slot = first.arrival;
-            let mut batch = vec![first];
+            batch.push(first);
             pending = loop {
                 match next() {
                     Some(p) if p.arrival == slot => batch.push(p),
                     other => break other,
                 }
             };
-            if tx.send(slot, batch).is_err() {
+            if tx.send_reusing(slot, &mut batch).is_err() {
                 return;
             }
         }
@@ -512,6 +546,47 @@ mod tests {
         assert_eq!(out.len(), 2);
         pump.join();
         assert_eq!(rx.stalls(), 1, "a blocking send stalls once, not per retry");
+    }
+
+    #[test]
+    fn send_reusing_recycles_drained_buffers() {
+        let (tx, mut rx) = channel(2);
+        let mut batch = Vec::with_capacity(64);
+        batch.push(pkt(0, 0));
+        tx.send_reusing(0, &mut batch).unwrap();
+        assert!(batch.is_empty(), "contents moved into the channel");
+        let mut out = Vec::new();
+        rx.pull(0, &mut out);
+        assert_eq!(out.len(), 1);
+        // The drained 64-capacity buffer is back in the ring: the next
+        // reusing send must swap it out instead of allocating.
+        batch.push(pkt(1, 1));
+        tx.send_reusing(1, &mut batch).unwrap();
+        assert!(
+            batch.capacity() >= 64,
+            "producer got the consumer's drained buffer back (capacity {})",
+            batch.capacity()
+        );
+        rx.pull(1, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn recycle_ring_stays_bounded_under_plain_send() {
+        // `send` never takes from the ring, so the consumer must cap it
+        // rather than let every drained batch pile up.
+        let (tx, mut rx) = channel(1);
+        let mut out = Vec::new();
+        for slot in 0..16 {
+            tx.send(slot, vec![pkt(slot, slot)]).unwrap();
+            out.clear();
+            rx.pull(slot, &mut out);
+            assert_eq!(out.len(), 1);
+        }
+        assert!(
+            rx.chan.lock().recycled.len() <= 2,
+            "ring must stay within depth + 1 buffers"
+        );
     }
 
     #[test]

@@ -304,18 +304,30 @@ pub(crate) struct DelayCalendar {
 impl DelayCalendar {
     /// A calendar for a fabric whose largest pair latency is `horizon`
     /// (`≥ 1`; latency-0 pairs never enter the calendar).
+    /// As [`DelayCalendar::new`], with every bucket (and the drain
+    /// scratch) pre-reserved for `per_bucket` landings — the engine passes
+    /// its per-slot dispatch bound so the steady-state loop never grows a
+    /// bucket.
+    #[cfg(test)]
     pub(crate) fn new(horizon: SlotId) -> Self {
+        Self::with_reserve(horizon, 0)
+    }
+
+    pub(crate) fn with_reserve(horizon: SlotId, per_bucket: usize) -> Self {
         assert!(horizon >= 1, "calendar models max delay >= 1");
         DelayCalendar {
             horizon,
-            buckets: (0..horizon).map(|_| Vec::new()).collect(),
-            scratch: Vec::new(),
+            buckets: (0..horizon)
+                .map(|_| Vec::with_capacity(per_bucket))
+                .collect(),
+            scratch: Vec::with_capacity(per_bucket),
         }
     }
 
     /// Commit a packet dispatched in cycle `cycle` on a pair at latency
     /// `d ≥ 1` to land at the start of slot `cycle.slot + d`.
     #[inline]
+    // detlint: hot
     pub(crate) fn dispatch(&mut self, slot: SlotId, cycle: u32, d: SlotId, p: InFlightPacket) {
         debug_assert!((1..=self.horizon).contains(&d), "pair delay out of range");
         self.buckets[((slot + d) % self.horizon) as usize].push(Landing { slot, cycle, p });
@@ -325,6 +337,7 @@ impl DelayCalendar {
     /// canonical landing order. Return the drained buffer via
     /// [`DelayCalendar::restore`].
     #[inline]
+    // detlint: hot
     pub(crate) fn take_due(&mut self, slot: SlotId) -> Vec<Landing> {
         let bucket = &mut self.buckets[(slot % self.horizon) as usize];
         std::mem::swap(bucket, &mut self.scratch);

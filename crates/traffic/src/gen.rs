@@ -90,15 +90,15 @@ where
             from.slot,
             from.consumed
         );
+        let mut batch = Vec::new();
         for slot in from.slot..slots {
             tuples.clear();
             sg.fill_slot(&cfg, slot, &mut tuples);
-            let mut batch = Vec::with_capacity(tuples.len());
             for &(i, j, v) in &tuples {
                 batch.push(Packet::new(PacketId(next_id), v, slot, i, j));
                 next_id += 1;
             }
-            if tx.send(slot, batch).is_err() {
+            if tx.send_reusing(slot, &mut batch).is_err() {
                 return;
             }
         }
